@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: operand-B compression on/off across activation densities.
+ *
+ * HighLight compresses unstructured operand B with the three-level
+ * metadata of Sec 6.4. Compression pays ~4 metadata bits per stored
+ * nonzero, so it loses money near-dense and wins increasingly below
+ * ~75% density — this bench quantifies the crossover that motivates
+ * the density-conditional compression policy in the HighLight model.
+ */
+
+#include <iostream>
+
+#include "arch/arch_spec.hh"
+#include "common/table.hh"
+#include "energy/components.hh"
+#include "format/hierarchical_cp.hh"
+#include "model/engine.hh"
+#include "sparsity/hss.hh"
+
+int
+main()
+{
+    using namespace highlight;
+
+    const ComponentLibrary lib;
+    const ArchSpec arch = highlightArch();
+    const HssSpec spec({GhPattern(2, 4), GhPattern(4, 4)}); // A 50%
+
+    TextTable t("Operand-B compression ablation (A = 50% HSS, "
+                "1024^3 GEMM; energy in mJ)");
+    t.setHeader({"B density", "uncompressed (mJ)", "compressed (mJ)",
+                 "compression wins"});
+
+    for (double db : {1.0, 0.9, 0.8, 0.75, 0.6, 0.5, 0.25, 0.1}) {
+        auto base_params = [&] {
+            TrafficParams p;
+            p.m = p.k = p.n = 1024;
+            p.a_density = spec.density();
+            p.b_density = db;
+            p.a_stored_density = spec.density();
+            p.a_meta_bits_per_word = bitsFor(4) + bitsFor(4) / 2.0;
+            p.time_fraction = spec.density();
+            p.effectual_mac_fraction = spec.density() * db;
+            p.gate_ineffectual = true;
+            p.mux_pj_per_step =
+                arch.numMacs() * lib.muxSelectPj(4) +
+                arch.num_arrays * 4.0 * lib.muxSelectPj(8);
+            p.saf_pj_per_b_fetch = 2.0 * lib.regAccessPj();
+            return p;
+        };
+
+        TrafficParams uncompressed = base_params();
+        TrafficParams compressed = base_params();
+        compressed.b_stored_density = db;
+        compressed.b_meta_bits_per_word = bitsFor(4) + 2.0;
+        compressed.b_fetch_fraction = db;
+
+        const auto ru = evaluateTraffic(arch, lib, uncompressed);
+        const auto rc = evaluateTraffic(arch, lib, compressed);
+        t.addRow({TextTable::fmt(db, 2),
+                  TextTable::fmt(ru.totalEnergyPj() / 1e9, 3),
+                  TextTable::fmt(rc.totalEnergyPj() / 1e9, 3),
+                  rc.totalEnergyPj() < ru.totalEnergyPj() ? "yes"
+                                                          : "no"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nTakeaway: the three-level metadata costs ~25% per "
+                 "stored word, so the\ncompression crossover sits near "
+                 "75-80% density; HighLight stores denser\nactivations "
+                 "uncompressed and relies on gating alone there.\n";
+    return 0;
+}

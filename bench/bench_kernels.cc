@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark timings of the library's computational kernels:
+ * HSS sparsification, hierarchical CP compression/decompression, the
+ * analytical evaluation, and the cycle-level micro-simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/highlight.hh"
+#include "common/random.hh"
+#include "format/hierarchical_cp.hh"
+#include "microsim/simulator.hh"
+#include "sparsity/sparsify.hh"
+#include "tensor/generator.hh"
+
+namespace
+{
+
+using namespace highlight;
+
+const HssSpec &
+benchSpec()
+{
+    static const HssSpec spec({GhPattern(2, 4), GhPattern(4, 8)});
+    return spec;
+}
+
+DenseTensor
+benchMatrix(std::int64_t rows, std::int64_t cols)
+{
+    Rng rng(42);
+    return randomDense(TensorShape({{"M", rows}, {"K", cols}}), rng);
+}
+
+void
+BM_HssSparsify(benchmark::State &state)
+{
+    const auto dense = benchMatrix(state.range(0), 1024);
+    for (auto _ : state) {
+        auto sparse = hssSparsify(dense, benchSpec());
+        benchmark::DoNotOptimize(sparse.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * dense.numel());
+}
+BENCHMARK(BM_HssSparsify)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_HierarchicalCpCompress(benchmark::State &state)
+{
+    const auto sparse =
+        hssSparsify(benchMatrix(state.range(0), 1024), benchSpec());
+    for (auto _ : state) {
+        HierarchicalCpMatrix cp(sparse, benchSpec());
+        benchmark::DoNotOptimize(cp.dataWords());
+    }
+    state.SetItemsProcessed(state.iterations() * sparse.numel());
+}
+BENCHMARK(BM_HierarchicalCpCompress)->Arg(16)->Arg(64);
+
+void
+BM_HierarchicalCpDecompress(benchmark::State &state)
+{
+    const auto sparse =
+        hssSparsify(benchMatrix(state.range(0), 1024), benchSpec());
+    const HierarchicalCpMatrix cp(sparse, benchSpec());
+    for (auto _ : state) {
+        auto dense = cp.decompress();
+        benchmark::DoNotOptimize(dense.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * sparse.numel());
+}
+BENCHMARK(BM_HierarchicalCpDecompress)->Arg(16)->Arg(64);
+
+void
+BM_AnalyticalEvaluate(benchmark::State &state)
+{
+    const HighLightAccel hl;
+    GemmWorkload w;
+    w.name = "bench";
+    w.m = w.k = w.n = 1024;
+    w.a = OperandSparsity::structured(benchSpec());
+    w.b = OperandSparsity::unstructured(0.5);
+    for (auto _ : state) {
+        auto r = hl.evaluate(w);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_AnalyticalEvaluate);
+
+void
+BM_Microsim(benchmark::State &state)
+{
+    Rng rng(7);
+    const std::int64_t k = benchSpec().totalSpan() *
+                           static_cast<std::int64_t>(state.range(0));
+    const auto a = hssSparsify(benchMatrix(4, k), benchSpec());
+    const auto b =
+        randomDense(TensorShape({{"K", k}, {"N", 16}}), rng);
+    const HighlightSimulator sim;
+    for (auto _ : state) {
+        auto r = sim.run(a, benchSpec(), b);
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * a.numel() * 16);
+}
+BENCHMARK(BM_Microsim)->Arg(2)->Arg(8);
+
+void
+BM_ReferenceGemm(benchmark::State &state)
+{
+    Rng rng(9);
+    const auto a = benchMatrix(state.range(0), 256);
+    const auto b = randomDense(
+        TensorShape({{"K", 256}, {"N", state.range(0)}}), rng);
+    for (auto _ : state) {
+        auto c = referenceGemm(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+}
+BENCHMARK(BM_ReferenceGemm)->Arg(32)->Arg(64);
+
+} // namespace

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig 14: geomean of normalized latency, energy, EDP and
+ * ED^2 across the Fig 13 synthetic suite, per design. The paper's
+ * headline: HighLight achieves the best geomean on every metric, with
+ * geomean EDP gains of ~6.4x vs dense (up to 20.4x) and ~2.7x vs the
+ * sparse baselines (up to 5.9x).
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/evaluator.hh"
+
+int
+main()
+{
+    using namespace highlight;
+
+    Evaluator ev;
+    const auto suite = syntheticSuite();
+    const auto designs = ev.standardLineup();
+
+    TextTable t("Fig 14: geomean of normalized metrics "
+                "(over supported workloads; lower is better)");
+    t.setHeader({"design", "latency", "energy", "EDP", "ED^2",
+                 "#supported"});
+    for (const Accelerator *d : designs) {
+        std::vector<double> lat, energy, edp, ed2;
+        for (const auto &w : suite) {
+            const auto tc = evaluateBest(*designs[0], w);
+            const auto r = evaluateBest(*d, w);
+            if (!r.supported)
+                continue;
+            const auto n = normalizeTo(r, tc);
+            lat.push_back(n.latency);
+            energy.push_back(n.energy);
+            edp.push_back(n.edp);
+            ed2.push_back(n.ed2);
+        }
+        t.addRow({d->name(), TextTable::fmt(geomean(lat), 3),
+                  TextTable::fmt(geomean(energy), 3),
+                  TextTable::fmt(geomean(edp), 3),
+                  TextTable::fmt(geomean(ed2), 3),
+                  std::to_string(lat.size())});
+    }
+    t.print(std::cout);
+
+    // The abstract's headline numbers.
+    std::vector<double> vs_tc, vs_sparse_best;
+    for (const auto &w : suite) {
+        const auto tc = evaluateBest(*designs[0], w);
+        const auto hl = evaluateBest(ev.design("HighLight"), w);
+        vs_tc.push_back(tc.edp() / hl.edp());
+        double best_sparse = 1e300;
+        for (const char *name : {"STC", "S2TA", "DSTC"}) {
+            const auto r = evaluateBest(ev.design(name), w);
+            if (r.supported)
+                best_sparse = std::min(best_sparse, r.edp());
+        }
+        vs_sparse_best.push_back(best_sparse / hl.edp());
+    }
+    std::cout << "\nHighLight EDP vs dense TC:    geomean "
+              << TextTable::fmt(geomean(vs_tc), 2) << "x, max "
+              << TextTable::fmt(maxOf(vs_tc), 2)
+              << "x   (paper: 6.4x / 20.4x)\n";
+    std::cout << "HighLight EDP vs best sparse: geomean "
+              << TextTable::fmt(geomean(vs_sparse_best), 2) << "x, max "
+              << TextTable::fmt(maxOf(vs_sparse_best), 2)
+              << "x   (paper: 2.7x / 5.9x)\n";
+    return 0;
+}

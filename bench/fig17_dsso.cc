@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces Fig 17: normalized processing speed of HighLight vs. the
+ * dual structured sparse operands (DSSO) design for workloads with
+ * operand A = C1(dense)->C0(2:4) and operand B = C1(2:H)->C0(dense)
+ * for H in {2..8}.
+ *
+ * DSSO's alternating dense ranks let each rank's SAF do a perfectly
+ * balanced dense-sparse intersection, so both operands' sparsity turns
+ * into speedup; HighLight only gates operand B, so its speed stays at
+ * the A-side 2x.
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/evaluator.hh"
+#include "microsim/dsso_sim.hh"
+#include "microsim/simulator.hh"
+#include "sparsity/sparsify.hh"
+#include "tensor/generator.hh"
+
+int
+main()
+{
+    using namespace highlight;
+
+    Evaluator ev;
+    const Accelerator &hl = ev.design("HighLight");
+    const Accelerator &dsso = ev.design("DSSO");
+
+    TextTable t("Fig 17: processing speed normalized to HighLight");
+    t.setHeader({"operand B pattern", "B density", "HighLight speed",
+                 "DSSO speed", "DSSO / HighLight", "microsim ratio",
+                 "microsim max|err|"});
+
+    for (int h = 2; h <= 8; ++h) {
+        const double b_density = 2.0 / h;
+        GemmWorkload w;
+        w.name = "B=C1(2:" + std::to_string(h) + ")";
+        w.m = w.k = w.n = 1024;
+        // A: C1(dense)->C0(2:4).
+        w.a = OperandSparsity::structured(HssSpec({GhPattern(2, 4)}));
+        // B: C1(2:h)->C0(dense) for DSSO.
+        w.b = OperandSparsity::structured(
+            HssSpec({GhPattern(4, 4), GhPattern(2, h)}));
+
+        const auto r_dsso = dsso.evaluate(w);
+
+        // HighLight sees the same B content as unstructured sparsity.
+        GemmWorkload w_hl = w;
+        w_hl.a = OperandSparsity::structured(
+            HssSpec({GhPattern(2, 4), GhPattern(4, 4)}));
+        w_hl.b = b_density < 1.0
+                     ? OperandSparsity::unstructured(b_density)
+                     : OperandSparsity::dense();
+        const auto r_hl = hl.evaluate(w_hl);
+
+        const double hl_speed = 1.0; // normalization target
+        const double dsso_speed = r_hl.cycles / r_dsso.cycles;
+
+        // Cycle-level cross-check with the two micro-simulators on a
+        // down-sized instance of the same workload.
+        Rng rng(static_cast<std::uint64_t>(h));
+        const std::int64_t sm = 2, sk = 4 * h * 2, sn = 4;
+        const GhPattern a_rank0(2, 4);
+        const GhPattern b_rank1(2, h);
+        const auto sa = hssSparsify(
+            randomDense(TensorShape({{"M", sm}, {"K", sk}}), rng),
+            HssSpec({a_rank0}));
+        const auto sb = hssSparsifyColumns(
+            randomDense(TensorShape({{"K", sk}, {"N", sn}}), rng),
+            HssSpec({GhPattern(4, 4), b_rank1}));
+        const auto sim_dsso = DssoSimulator(2).run(sa, a_rank0, sb,
+                                                   b_rank1);
+        const auto sim_hl = HighlightSimulator().run(
+            sa, HssSpec({a_rank0, GhPattern(2, 2)}), sb);
+        const double sim_ratio =
+            static_cast<double>(sim_hl.stats.cycles) /
+            static_cast<double>(sim_dsso.stats.cycles);
+        const double err = sim_dsso.output.maxAbsDiff(
+            referenceGemm(sa, sb));
+
+        t.addRow({w.name, TextTable::fmt(b_density, 3),
+                  TextTable::fmt(hl_speed, 2),
+                  TextTable::fmt(dsso_speed, 2),
+                  TextTable::fmt(dsso_speed, 2),
+                  TextTable::fmt(sim_ratio, 2),
+                  TextTable::fmt(err, 6)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected shape (paper Fig 17): DSSO reaches 2x "
+                 "HighLight's speed at the\ncommonly supported degrees "
+                 "(B 2:4) and scales further with sparser B, at\nthe "
+                 "cost of fewer supported operand-B degrees.\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Fig 2: normalized EDP of TC, STC, DSTC and HighLight
+ * running pruned Transformer-Big and pruned ResNet50 (all GEMM
+ * layers), at comparable accuracy.
+ *
+ * Per the paper's setup: DNNs are structured-pruned for STC (2:4) and
+ * HighLight (HSS), unstructured-pruned for DSTC, dense for TC, with
+ * per-model sparsity chosen so accuracy stays within ~0.5%:
+ * Transformer-Big prunes to ~50-60%, ResNet50 to 75-80%.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/evaluator.hh"
+#include "dnn/resnet50.hh"
+#include "dnn/transformer.hh"
+
+namespace
+{
+
+using namespace highlight;
+
+void
+runModel(const Evaluator &ev, const DnnModel &model, DnnName nm,
+         double structured_sparsity, double unstructured_sparsity)
+{
+    const DnnScenario scenarios[] = {
+        {"TC", PruningApproach::Dense, 0.0},
+        {"STC", PruningApproach::OneRankGh,
+         std::min(structured_sparsity, 0.5)},
+        {"DSTC", PruningApproach::Unstructured, unstructured_sparsity},
+        {"HighLight", PruningApproach::Hss, structured_sparsity},
+    };
+
+    DnnEvalResult tc_result =
+        ev.runDnn(model, nm, scenarios[0]);
+
+    TextTable t("Fig 2: " + model.name +
+                " (EDP normalized to TC; accuracy loss in points)");
+    t.setHeader({"design", "weight sparsity", "accuracy loss",
+                 "norm. latency", "norm. energy", "norm. EDP"});
+    for (const auto &sc : scenarios) {
+        const auto r = ev.runDnn(model, nm, sc);
+        if (!r.supported) {
+            t.addRow({sc.design, TextTable::fmt(sc.weight_sparsity, 2),
+                      "-", "unsupported", "-", "-"});
+            continue;
+        }
+        t.addRow({sc.design, TextTable::fmt(sc.weight_sparsity, 2),
+                  TextTable::fmt(r.accuracy_loss, 2),
+                  TextTable::fmt(r.total_cycles / tc_result.total_cycles,
+                                 3),
+                  TextTable::fmt(
+                      r.total_energy_pj / tc_result.total_energy_pj, 3),
+                  TextTable::fmt(r.edp() / tc_result.edp(), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    Evaluator ev;
+    // Transformer-Big: moderate prunability, near-dense activations.
+    // HSS's degree flexibility lets HighLight prune to 62.5% within
+    // the same 0.5-point accuracy budget that pins STC at 2:4.
+    runModel(ev, transformerBigModel(), DnnName::TransformerBig, 0.625,
+             0.6);
+    // ResNet50: deep prunability, ~60% sparse ReLU activations.
+    runModel(ev, resnet50Model(), DnnName::ResNet50, 0.75, 0.8);
+
+    std::cout << "Expected shape (paper Fig 2): STC < DSTC on "
+                 "Transformer-Big; DSTC < STC on ResNet50;\nHighLight "
+                 "lowest EDP on both.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * End-to-end two-layer network on the cycle-level datapath (paper
+ * Sec 6.4): layer 1 computes on HSS weights, the activation-function
+ * unit and compression unit recompress its outputs into the
+ * three-level operand-B format, and layer 2 streams them through the
+ * VFMU — the full intermediate-layer loop of Fig 10.
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "microsim/layer_chain.hh"
+#include "sparsity/sparsify.hh"
+#include "tensor/generator.hh"
+
+int
+main()
+{
+    using namespace highlight;
+
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    std::cout << "Weight pattern for both layers: " << spec.str()
+              << " (75% sparse)\n\n";
+
+    Rng rng(5);
+    const std::int64_t m1 = 64, k1 = 64, n = 12, m2 = 16;
+    const auto a1 = hssSparsify(
+        randomDense(TensorShape({{"M", m1}, {"K", k1}}), rng), spec);
+    const auto input =
+        randomDense(TensorShape({{"K", k1}, {"N", n}}), rng);
+    const auto a2 = hssSparsify(
+        randomDense(TensorShape({{"M", m2}, {"K", m1}}), rng), spec);
+
+    const auto chain =
+        LayerChainSimulator().run(a1, spec, input, a2, spec);
+    const auto reference = referenceChain(a1, input, a2);
+
+    TextTable t("Two-layer chain statistics");
+    t.setHeader({"stage", "cycles", "MACs", "gated", "GLB-B words",
+                 "VFMU skipped fetches"});
+    t.addRow({"layer 1", std::to_string(chain.layer1.cycles),
+              std::to_string(chain.layer1.pe.mac_ops),
+              std::to_string(chain.layer1.pe.gated_macs),
+              std::to_string(chain.layer1.glb_b.words_read),
+              std::to_string(chain.layer1.vfmu.skipped_fetches)});
+    t.addRow({"layer 2", std::to_string(chain.layer2.cycles),
+              std::to_string(chain.layer2.pe.mac_ops),
+              std::to_string(chain.layer2.pe.gated_macs),
+              std::to_string(chain.layer2.glb_b.words_read),
+              std::to_string(chain.layer2.vfmu.skipped_fetches)});
+    t.print(std::cout);
+
+    std::cout << "\nCompression unit: " << chain.compression.values_in
+              << " outputs in, " << chain.compression.nonzeros_out
+              << " nonzeros kept (activation density "
+              << TextTable::fmt(chain.activation_density, 3)
+              << " after ReLU)\n";
+    std::cout << "Final output max |error| vs dense reference: "
+              << TextTable::fmt(chain.final_output.maxAbsDiff(reference),
+                                6)
+              << "\n";
+    std::cout << "\nLayer 2 consumed the recompressed activations "
+                 "through the VFMU: its\nGLB traffic reflects only the "
+                 "stored nonzeros, and gating silenced the\nlanes "
+                 "whose selected activation was zero — with zero "
+                 "numerical error.\n";
+    return 0;
+}

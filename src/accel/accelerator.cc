@@ -1,0 +1,49 @@
+#include "accel/accelerator.hh"
+
+namespace highlight
+{
+
+Accelerator::Accelerator(ArchSpec arch, ComponentLibrary lib)
+    : arch_(std::move(arch)), lib_(lib)
+{
+}
+
+double
+Accelerator::totalAreaUm2() const
+{
+    return breakdownTotal(areaBreakdown());
+}
+
+EvalResult
+Accelerator::unsupportedResult(const GemmWorkload &w,
+                               const std::string &why) const
+{
+    EvalResult r;
+    r.design = name();
+    r.workload = w.name;
+    r.supported = false;
+    r.note = why;
+    return r;
+}
+
+std::vector<BreakdownEntry>
+Accelerator::baseAreaBreakdown() const
+{
+    std::vector<BreakdownEntry> area;
+    area.push_back({"mac", static_cast<double>(arch_.numMacs()) *
+                               lib_.macAreaUm2()});
+    area.push_back({"rf", static_cast<double>(arch_.rf_instances) *
+                              lib_.rfAreaUm2(arch_.rf_kb)});
+    area.push_back({"glb", lib_.sramAreaUm2(arch_.glb_data_kb)});
+    if (arch_.glb_meta_kb > 0.0)
+        area.push_back({"glb_metadata",
+                        lib_.sramAreaUm2(arch_.glb_meta_kb)});
+    // Operand/pipeline registers: two operand words per MAC lane.
+    area.push_back(
+        {"reg", lib_.regArrayAreaUm2(static_cast<std::int64_t>(
+                    arch_.numMacs()) *
+                    2 * lib_.tech().word_bits)});
+    return area;
+}
+
+} // namespace highlight

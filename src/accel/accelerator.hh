@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The abstract accelerator model interface.
+ *
+ * Each design (Table 1 / Table 3) implements: which operand sparsity
+ * patterns it supports, how a workload maps to cycles and energy, and
+ * its area breakdown. All designs share the component library and the
+ * canonical traffic engine so comparisons are apples-to-apples
+ * (Sec 7.1.1: "all accelerator designs are evaluated with the same
+ * evaluation framework to ensure fairness").
+ */
+
+#ifndef HIGHLIGHT_ACCEL_ACCELERATOR_HH
+#define HIGHLIGHT_ACCEL_ACCELERATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/workload.hh"
+#include "arch/arch_spec.hh"
+#include "energy/components.hh"
+#include "model/engine.hh"
+#include "model/result.hh"
+
+namespace highlight
+{
+
+/**
+ * Base class for all accelerator models.
+ */
+class Accelerator
+{
+  public:
+    explicit Accelerator(
+        ArchSpec arch,
+        ComponentLibrary lib = ComponentLibrary());
+    virtual ~Accelerator() = default;
+
+    const std::string &name() const { return arch_.name; }
+    const ArchSpec &arch() const { return arch_; }
+    const ComponentLibrary &lib() const { return lib_; }
+
+    /** Table 3 cell for operand A, e.g. "dense; C0({G<=2}:4)". */
+    virtual std::string supportedPatternsA() const = 0;
+
+    /** Table 3 cell for operand B. */
+    virtual std::string supportedPatternsB() const = 0;
+
+    /** Can this design produce functionally correct results for w? */
+    virtual bool supports(const GemmWorkload &w) const = 0;
+
+    /**
+     * Evaluate the workload. If unsupported, returns a result with
+     * supported = false and a note explaining why.
+     */
+    virtual EvalResult evaluate(const GemmWorkload &w) const = 0;
+
+    /** Static area breakdown of the design. */
+    virtual std::vector<BreakdownEntry> areaBreakdown() const = 0;
+
+    /** Total area. */
+    double totalAreaUm2() const;
+
+  protected:
+    /** Result skeleton for unsupported workloads. */
+    EvalResult unsupportedResult(const GemmWorkload &w,
+                                 const std::string &why) const;
+
+    /** Shared datapath/storage area entries (MACs, RF, GLB, regs). */
+    std::vector<BreakdownEntry> baseAreaBreakdown() const;
+
+    ArchSpec arch_;
+    ComponentLibrary lib_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,133 @@
+#include "arch/arch_spec.hh"
+
+#include <sstream>
+
+namespace highlight
+{
+
+namespace
+{
+
+std::string
+kbString(double kb)
+{
+    std::ostringstream oss;
+    if (kb >= 1.0) {
+        oss << static_cast<long>(kb) << "KB";
+    } else {
+        oss << static_cast<long>(kb * 1024.0) << "B";
+    }
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+ArchSpec::glbString() const
+{
+    std::ostringstream oss;
+    if (glb_meta_kb > 0.0) {
+        oss << static_cast<long>(glb_data_kb) << " + "
+            << static_cast<long>(glb_meta_kb) << "KB";
+    } else {
+        oss << static_cast<long>(glb_data_kb) << "KB";
+    }
+    return oss.str();
+}
+
+std::string
+ArchSpec::rfString() const
+{
+    std::ostringstream oss;
+    oss << rf_instances << " x " << kbString(rf_kb);
+    return oss.str();
+}
+
+std::string
+ArchSpec::computeString() const
+{
+    std::ostringstream oss;
+    oss << num_arrays << " x " << pes_per_array * macs_per_pe;
+    return oss.str();
+}
+
+ArchSpec
+tcArch()
+{
+    ArchSpec a;
+    a.name = "TC";
+    a.glb_data_kb = 320.0;
+    a.glb_meta_kb = 0.0;
+    a.rf_kb = 2.0;
+    a.rf_instances = 4;
+    a.num_arrays = 4;
+    a.pes_per_array = 256;
+    a.macs_per_pe = 1;
+    a.spatial_k = 32;
+    return a;
+}
+
+ArchSpec
+stcArch()
+{
+    ArchSpec a = tcArch();
+    a.name = "STC";
+    a.glb_data_kb = 256.0;
+    a.glb_meta_kb = 64.0;
+    // STC PEs host the 2 lanes that process a 2:4 block.
+    a.pes_per_array = 128;
+    a.macs_per_pe = 2;
+    return a;
+}
+
+ArchSpec
+dstcArch()
+{
+    ArchSpec a = tcArch();
+    a.name = "DSTC";
+    a.glb_data_kb = 256.0;
+    a.glb_meta_kb = 64.0;
+    return a;
+}
+
+ArchSpec
+s2taArch()
+{
+    ArchSpec a;
+    a.name = "S2TA";
+    a.glb_data_kb = 256.0;
+    a.glb_meta_kb = 64.0;
+    a.rf_kb = 64.0 / 1024.0; // 64B
+    a.rf_instances = 64;
+    a.num_arrays = 64;
+    a.pes_per_array = 2;
+    a.macs_per_pe = 8;
+    a.spatial_k = 8;
+    return a;
+}
+
+ArchSpec
+highlightArch()
+{
+    ArchSpec a;
+    a.name = "HighLight";
+    a.glb_data_kb = 256.0;
+    a.glb_meta_kb = 64.0;
+    a.rf_kb = 2.0;
+    a.rf_instances = 4;
+    a.num_arrays = 4;
+    a.pes_per_array = 128; // G0 = 2 MACs per PE -> 4 x 256 MACs total.
+    a.macs_per_pe = 2;
+    a.spatial_k = 32;
+    return a;
+}
+
+ArchSpec
+dssoArch()
+{
+    ArchSpec a = highlightArch();
+    a.name = "DSSO";
+    return a;
+}
+
+} // namespace highlight

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architecture topology and resource allocation (paper Sec 5.4,
+ * Table 4).
+ *
+ * Every evaluated design is a memory hierarchy (DRAM -> GLB -> RF/regs)
+ * feeding a MAC array organized as arrays x PEs x MACs-per-PE. Sparse
+ * designs partition the GLB into data and metadata storage. The
+ * builders below reproduce Table 4's allocations exactly.
+ */
+
+#ifndef HIGHLIGHT_ARCH_ARCH_SPEC_HH
+#define HIGHLIGHT_ARCH_ARCH_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace highlight
+{
+
+/**
+ * Resource allocation of one accelerator design.
+ */
+struct ArchSpec
+{
+    std::string name;
+
+    // --- storage (capacities in KB) ---
+    double glb_data_kb = 0.0; ///< GLB data partition.
+    double glb_meta_kb = 0.0; ///< GLB metadata partition (0 if dense).
+    double rf_kb = 0.0;       ///< Per-instance register file.
+    int rf_instances = 0;
+
+    // --- compute ---
+    int num_arrays = 1;   ///< PE arrays.
+    int pes_per_array = 1;
+    int macs_per_pe = 1;
+
+    // --- spatial organization of the MAC grid ---
+    /**
+     * MAC lanes reducing along K spatially (partial sums from these
+     * lanes are accumulated before touching the RF); the remaining
+     * parallelism fans out over output rows (M).
+     */
+    int spatial_k = 32;
+
+    /** Total MAC count. */
+    int numMacs() const
+    {
+        return num_arrays * pes_per_array * macs_per_pe;
+    }
+
+    /** Output-row parallelism: numMacs() / spatial_k. */
+    int spatialM() const { return numMacs() / spatial_k; }
+
+    /** Total GLB capacity in 16-bit words (data partition). */
+    std::int64_t glbDataWords() const
+    {
+        return static_cast<std::int64_t>(glb_data_kb * 1024.0 / 2.0);
+    }
+
+    /** Table 4 "GLB" cell, e.g. "320KB" or "256 + 64KB". */
+    std::string glbString() const;
+
+    /** Table 4 "RF" cell, e.g. "4 x 2KB". */
+    std::string rfString() const;
+
+    /** Table 4 "Compute" cell, e.g. "4 x 256". */
+    std::string computeString() const;
+};
+
+/** TC-like dense accelerator: 320KB GLB, 4 x 2KB RF, 4 x 256 MACs. */
+ArchSpec tcArch();
+
+/** STC-like: 256 + 64KB GLB, 4 x 2KB RF, 4 x 256 MACs. */
+ArchSpec stcArch();
+
+/** DSTC-like: 256 + 64KB GLB, 4 x 2KB RF, 4 x 256 MACs. */
+ArchSpec dstcArch();
+
+/** S2TA-like: 256 + 64KB GLB, 64 x 64B RF, 64 x 16 MACs. */
+ArchSpec s2taArch();
+
+/**
+ * HighLight: 256 + 64KB GLB, 4 x 2KB RF, 1024 MACs in 4 PE arrays;
+ * each PE hosts G0 = 2 MACs (Sec 6.3.3), so 128 PEs per array.
+ */
+ArchSpec highlightArch();
+
+/** DSSO: HighLight's resources with the dual-side HSS SAFs (Sec 7.5). */
+ArchSpec dssoArch();
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_ARCH_ARCH_SPEC_HH

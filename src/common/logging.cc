@@ -1,0 +1,45 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace highlight
+{
+
+namespace
+{
+bool verboseEnabled = true;
+} // namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (verboseEnabled)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseEnabled)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+} // namespace highlight

@@ -1,0 +1,29 @@
+#include "common/random.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+std::vector<std::size_t>
+Rng::sampleIndices(std::size_t n, std::size_t k)
+{
+    if (k > n)
+        panic(msgOf("sampleIndices: k=", k, " > n=", n));
+    std::vector<std::size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), std::size_t{0});
+    // Partial Fisher-Yates: after i swaps the first i entries are a
+    // uniform random k-subset prefix.
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto j =
+            static_cast<std::size_t>(uniformInt(static_cast<std::int64_t>(i),
+                static_cast<std::int64_t>(n - 1)));
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+} // namespace highlight

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic pieces of the library (tensor generators, unstructured
+ * sparsifiers, workload-balance sampling) draw from an explicitly seeded
+ * Rng so every experiment in bench/ is exactly reproducible run-to-run.
+ */
+
+#ifndef HIGHLIGHT_COMMON_RANDOM_HH
+#define HIGHLIGHT_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace highlight
+{
+
+/**
+ * A seeded pseudo-random source wrapping std::mt19937_64.
+ *
+ * The class exposes exactly the primitives the library needs so call
+ * sites stay simple and the distribution objects are constructed in one
+ * place.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed (default fixed seed). */
+    explicit Rng(std::uint64_t seed = 0x48534cu) : engine_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return unit_(engine_); }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Standard normal sample scaled to the given mean/stddev. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        std::normal_distribution<double> dist(mean, stddev);
+        return dist(engine_);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /**
+     * Choose k distinct indices out of n (partial Fisher-Yates).
+     * Used by unstructured pruning to pick zero locations.
+     */
+    std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k);
+
+    /** Access the underlying engine (for std::shuffle etc.). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+    std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_COMMON_RANDOM_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics helpers shared by the evaluation harness and benches.
+ *
+ * The paper reports geometric means across workloads (Fig 14) and
+ * min/max factors ("up to 20.4x"), so those summaries live here.
+ */
+
+#ifndef HIGHLIGHT_COMMON_STATS_HH
+#define HIGHLIGHT_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace highlight
+{
+
+/** Geometric mean of strictly positive values. Fatal on empty/non-pos. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. Fatal on empty input. */
+double mean(const std::vector<double> &values);
+
+/** Minimum element. Fatal on empty input. */
+double minOf(const std::vector<double> &values);
+
+/** Maximum element. Fatal on empty input. */
+double maxOf(const std::vector<double> &values);
+
+/**
+ * Summary of a sample: n, mean, geomean, min, max.
+ * Built once so benches can report consistent aggregates.
+ */
+struct SampleSummary
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double geomean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Compute all SampleSummary fields for a strictly positive sample. */
+SampleSummary summarize(const std::vector<double> &values);
+
+/**
+ * Exact expectation E[f(X)] for X ~ Binomial(n, p).
+ *
+ * Used by the DSTC workload-balance model (Sec 2.2.1: occupancy must be
+ * a multiple of the compute-column width for perfect balance). n is
+ * small (<= a few thousand) so the direct sum is fine.
+ *
+ * @param n Number of Bernoulli trials.
+ * @param p Success probability.
+ * @param f Function evaluated at each outcome k in [0, n].
+ */
+double binomialExpectation(int n, double p, double (*f)(int, const void *),
+                           const void *ctx);
+
+/** Probability mass P[X = k] for X ~ Binomial(n, p), computed stably. */
+double binomialPmf(int n, int k, double p);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_COMMON_STATS_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The top-level evaluation API.
+ *
+ * Owns one instance of every accelerator model and exposes the
+ * paper-style experiments: run a workload (with operand swapping),
+ * run a suite, build the per-design DNN workloads of Fig 2/15 (each
+ * design prunes the DNN to its own supported pattern at a comparable
+ * accuracy level), and normalize everything to the dense TC baseline.
+ */
+
+#ifndef HIGHLIGHT_CORE_EVALUATOR_HH
+#define HIGHLIGHT_CORE_EVALUATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/harness.hh"
+#include "accuracy/accuracy_model.hh"
+#include "dnn/layer.hh"
+
+namespace highlight
+{
+
+/** Per-design weight-sparsity choice for a DNN evaluation. */
+struct DnnScenario
+{
+    std::string design;           ///< Accelerator name.
+    PruningApproach approach = PruningApproach::Dense;
+    double weight_sparsity = 0.0; ///< Applied to prunable layers.
+};
+
+/** One design's aggregate over a DNN's layers. */
+struct DnnEvalResult
+{
+    std::string design;
+    double accuracy_loss = 0.0;
+    double total_energy_pj = 0.0;
+    double total_cycles = 0.0;
+    bool supported = true;
+    std::string note;
+    std::vector<EvalResult> per_layer;
+
+    double edp() const; ///< J*s over the whole network.
+};
+
+/**
+ * Owns the design lineup and runs experiments.
+ */
+class Evaluator
+{
+  public:
+    /** Builds TC, STC, S2TA, DSTC, HighLight and DSSO. */
+    Evaluator();
+
+    /** All designs (stable order: TC, STC, S2TA, DSTC, HighLight, DSSO). */
+    std::vector<const Accelerator *> designs() const;
+
+    /** The standard five-design comparison lineup (no DSSO). */
+    std::vector<const Accelerator *> standardLineup() const;
+
+    /** Look up a design by name; fatal if absent. */
+    const Accelerator &design(const std::string &name) const;
+
+    /** Evaluate one workload on one design with operand swapping. */
+    EvalResult run(const std::string &design_name,
+                   const GemmWorkload &w) const;
+
+    /**
+     * Build the per-layer workloads for a DNN under a scenario: the
+     * design's pruning approach is applied to prunable layers (choosing
+     * the design's nearest supported pattern) and activations carry the
+     * model's typical density.
+     */
+    std::vector<GemmWorkload> buildDnnWorkloads(
+        const DnnModel &model, const DnnScenario &scenario) const;
+
+    /** Evaluate a DNN end to end under a scenario. */
+    DnnEvalResult runDnn(const DnnModel &model, DnnName accuracy_model,
+                         const DnnScenario &scenario) const;
+
+  private:
+    std::vector<std::unique_ptr<Accelerator>> owned_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_CORE_EVALUATOR_HH

@@ -1,0 +1,111 @@
+#include "core/explorer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+std::vector<double>
+HssDesignReport::latencies() const
+{
+    // With skipping SAFs and perfect structured balance, relative
+    // processing latency at a supported degree equals its density
+    // (Fig 6(a)).
+    std::vector<double> out;
+    for (const auto &d : degrees)
+        out.push_back(d.density);
+    return out;
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(ComponentLibrary lib)
+    : lib_(lib)
+{
+}
+
+HssDesignReport
+DesignSpaceExplorer::analyze(const HssDesignConfig &config) const
+{
+    if (config.supports.empty())
+        fatal("DesignSpaceExplorer::analyze: no rank supports");
+
+    HssDesignReport report;
+    report.name = config.name;
+    report.num_ranks = config.supports.size();
+    std::vector<int> g_per_rank;
+    for (const auto &s : config.supports) {
+        report.hmax_per_rank.push_back(s.h_max);
+        g_per_rank.push_back(s.g);
+    }
+    report.degrees = enumerateDegrees(config.supports);
+
+    const MuxModel mux = buildHssMuxModel(
+        g_per_rank, report.hmax_per_rank, config.num_pes,
+        config.num_arrays);
+    report.total_mux2 = mux.totalMux2();
+    report.mux_area_um2 = mux.areaUm2(lib_);
+    report.mux_energy_per_step_pj = mux.energyPerStepPj(lib_);
+    return report;
+}
+
+HssDesignConfig
+DesignSpaceExplorer::designS()
+{
+    return {"S (one-rank)", fig6DesignS(), 2, 1};
+}
+
+HssDesignConfig
+DesignSpaceExplorer::designSS()
+{
+    return {"SS (two-rank)", fig6DesignSS(), 2, 1};
+}
+
+std::vector<HssDesignReport>
+DesignSpaceExplorer::rankAblation(int min_degrees,
+                                  double min_density) const
+{
+    std::vector<HssDesignReport> reports;
+
+    // For each rank count, grow the per-rank H ranges breadth-first
+    // (largest Hmax first gets incremented last) until the degree and
+    // density targets are met.
+    for (int ranks = 1; ranks <= 3; ++ranks) {
+        std::vector<RankSupport> supports(
+            static_cast<std::size_t>(ranks), RankSupport{2, 2, 2});
+        bool satisfied = false;
+        // Bound the search so a misconfiguration cannot loop forever.
+        for (int iter = 0; iter < 64 && !satisfied; ++iter) {
+            const auto degrees = enumerateDegrees(supports);
+            const double sparsest = degrees.back().density;
+            if (static_cast<int>(degrees.size()) >= min_degrees &&
+                sparsest <= min_density + 1e-12) {
+                satisfied = true;
+                break;
+            }
+            // Grow the rank with the currently smallest Hmax (keeps
+            // the per-rank Hmax balanced, which is the whole point of
+            // multi-rank HSS).
+            auto smallest = std::min_element(
+                supports.begin(), supports.end(),
+                [](const RankSupport &a, const RankSupport &b) {
+                    return a.h_max < b.h_max;
+                });
+            ++smallest->h_max;
+        }
+        if (!satisfied) {
+            warn(msgOf("rankAblation: ", ranks,
+                       "-rank search did not converge"));
+            continue;
+        }
+        HssDesignConfig config;
+        config.name = std::to_string(ranks) + "-rank";
+        config.supports = supports;
+        config.num_pes = 2;
+        config.num_arrays = 1;
+        reports.push_back(analyze(config));
+    }
+    return reports;
+}
+
+} // namespace highlight

@@ -1,0 +1,49 @@
+#include "core/pareto.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace highlight
+{
+
+namespace
+{
+
+/** a dominates b: a is <= in both coords and < in at least one. */
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+} // namespace
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<ParetoPoint> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j)
+            dominated = j != i && dominates(points[j], points[i]);
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [&points](std::size_t a, std::size_t b) {
+                  if (points[a].x != points[b].x)
+                      return points[a].x < points[b].x;
+                  return points[a].y < points[b].y;
+              });
+    return frontier;
+}
+
+bool
+onFrontier(const std::vector<ParetoPoint> &points, std::size_t i)
+{
+    const auto frontier = paretoFrontier(points);
+    return std::find(frontier.begin(), frontier.end(), i) !=
+           frontier.end();
+}
+
+} // namespace highlight

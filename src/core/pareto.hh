@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Pareto-frontier utilities for the EDP-vs-accuracy-loss analysis
+ * (paper Sec 7.3, Fig 15).
+ */
+
+#ifndef HIGHLIGHT_CORE_PARETO_HH
+#define HIGHLIGHT_CORE_PARETO_HH
+
+#include <string>
+#include <vector>
+
+namespace highlight
+{
+
+/** One candidate point: lower x and lower y are both better. */
+struct ParetoPoint
+{
+    double x = 0.0; ///< e.g. accuracy loss.
+    double y = 0.0; ///< e.g. normalized EDP.
+    std::string label;
+};
+
+/**
+ * Indices of the points on the Pareto frontier (no other point is
+ * <= in both coordinates with < in at least one). Stable order by x.
+ */
+std::vector<std::size_t> paretoFrontier(
+    const std::vector<ParetoPoint> &points);
+
+/** True if points[i] is on the frontier. */
+bool onFrontier(const std::vector<ParetoPoint> &points, std::size_t i);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_CORE_PARETO_HH

@@ -1,0 +1,79 @@
+#include "dataflow/loopnest.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+LoopNest::LoopNest(std::vector<Loop> loops) : loops_(std::move(loops))
+{
+    for (const auto &l : loops_) {
+        if (l.bound < 1)
+            fatal(msgOf("LoopNest: loop ", l.dim, " has bound ", l.bound));
+    }
+}
+
+std::int64_t
+LoopNest::totalIterations() const
+{
+    std::int64_t total = 1;
+    for (const auto &l : loops_)
+        total *= l.bound;
+    return total;
+}
+
+std::int64_t
+LoopNest::spatialIterations() const
+{
+    std::int64_t total = 1;
+    for (const auto &l : loops_) {
+        if (l.spatial)
+            total *= l.bound;
+    }
+    return total;
+}
+
+std::string
+LoopNest::str() const
+{
+    std::ostringstream oss;
+    int indent = 0;
+    for (const auto &l : loops_) {
+        oss << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+            << (l.spatial ? "parallel-for " : "for ") << l.dim << " in [0, "
+            << l.bound << ")";
+        if (!l.level.empty())
+            oss << "   # " << l.level;
+        oss << "\n";
+        ++indent;
+    }
+    oss << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+        << "Z[m][n] += A[m][k] * B[k][n]\n";
+    return oss.str();
+}
+
+LoopNest
+highlightDataflow(std::int64_t m, std::int64_t k, std::int64_t n,
+                  std::int64_t m_tile, std::int64_t n_tile, int spatial_m,
+                  int spatial_k)
+{
+    auto ceil_div = [](std::int64_t a, std::int64_t b) {
+        return (a + b - 1) / b;
+    };
+    std::vector<Loop> loops;
+    loops.push_back({"M1", ceil_div(m, m_tile), false, "DRAM"});
+    loops.push_back({"N1", ceil_div(n, n_tile), false, "DRAM"});
+    loops.push_back(
+        {"K1", ceil_div(k, spatial_k), false, "GLB (A chunk stationary)"});
+    loops.push_back({"M0t", ceil_div(m_tile, spatial_m), false, "GLB"});
+    loops.push_back({"N0", n_tile, false, "GLB (stream B)"});
+    loops.push_back({"M0", std::min<std::int64_t>(m_tile, spatial_m), true,
+                     "PE rows"});
+    loops.push_back({"K0", std::min<std::int64_t>(k, spatial_k), true,
+                     "PE k-lanes (spatial reduce)"});
+    return LoopNest(std::move(loops));
+}
+
+} // namespace highlight

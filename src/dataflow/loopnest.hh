@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Loopnest representation of dataflows (paper Fig 8(b), following
+ * Timeloop [40] / Eyeriss [5]).
+ *
+ * A dataflow is an ordered nest of loops over workload dimensions,
+ * each either temporal or spatial, annotated with the storage level it
+ * lives at. The representation is descriptive: the analytical engine
+ * derives its reuse factors from a GemmTiling, and the printer
+ * reproduces the paper's loopnest listing.
+ */
+
+#ifndef HIGHLIGHT_DATAFLOW_LOOPNEST_HH
+#define HIGHLIGHT_DATAFLOW_LOOPNEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace highlight
+{
+
+/** One loop of a loopnest. */
+struct Loop
+{
+    std::string dim;       ///< Dimension name, e.g. "M1" or "K0".
+    std::int64_t bound = 1;
+    bool spatial = false;  ///< parallel-for vs. for.
+    std::string level;     ///< Storage level, e.g. "DRAM", "GLB", "PE".
+};
+
+/**
+ * An ordered loopnest (outermost loop first).
+ */
+class LoopNest
+{
+  public:
+    LoopNest() = default;
+    explicit LoopNest(std::vector<Loop> loops);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Product of all loop bounds (total iteration count). */
+    std::int64_t totalIterations() const;
+
+    /** Product of spatial loop bounds (hardware parallelism used). */
+    std::int64_t spatialIterations() const;
+
+    /** Indented pseudo-code listing like the paper's Fig 8(b). */
+    std::string str() const;
+
+  private:
+    std::vector<Loop> loops_;
+};
+
+/**
+ * HighLight's HSS-operand stationary dataflow (Sec 6.3.1, Fig 8(b))
+ * instantiated for an M x K x N GEMM on the given MAC organization.
+ *
+ * @param m,k,n       GEMM dimensions.
+ * @param m_tile      A-tile rows resident in the GLB.
+ * @param n_tile      B-tile columns resident in the GLB.
+ * @param spatial_m   Output-row parallelism.
+ * @param spatial_k   K-lane parallelism (spatially reduced).
+ */
+LoopNest highlightDataflow(std::int64_t m, std::int64_t k, std::int64_t n,
+                           std::int64_t m_tile, std::int64_t n_tile,
+                           int spatial_m, int spatial_k);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_DATAFLOW_LOOPNEST_HH

@@ -1,0 +1,56 @@
+#include "dnn/deit.hh"
+
+#include <sstream>
+
+namespace highlight
+{
+
+DnnModel
+deitSmallModel()
+{
+    const std::int64_t d_model = 384;
+    const std::int64_t d_ff = 1536;
+    const std::int64_t tokens = 197;
+    const int num_layers = 12;
+
+    DnnModel model;
+    model.name = "DeiT-small";
+    // GELU activations are mostly dense.
+    model.activation_density = 0.9;
+
+    // Patch embedding: a 16x16x3 conv over 224x224 = GEMM
+    // 384 x 768 x 196 — kept dense.
+    model.layers.push_back(
+        {"patch_embed", d_model, 768, 196, /*prunable=*/false});
+
+    for (int l = 0; l < num_layers; ++l) {
+        std::ostringstream tag;
+        tag << "blk" << l;
+        // Q/K/V projections: dense (not pruned; Sec 7.3).
+        for (const char *proj : {"q", "k", "v"}) {
+            model.layers.push_back({tag.str() + "_" + proj + "proj",
+                                    d_model, d_model, tokens,
+                                    /*prunable=*/false});
+        }
+        // Dynamic attention GEMMs: activation-by-activation, no
+        // weights to prune (6 heads of d_head = 64 aggregated along N).
+        model.layers.push_back({tag.str() + "_qk", tokens, 64,
+                                tokens * 6, /*prunable=*/false});
+        model.layers.push_back({tag.str() + "_av", tokens, tokens,
+                                64 * 6, /*prunable=*/false});
+        // Output projection: pruned.
+        model.layers.push_back({tag.str() + "_oproj", d_model, d_model,
+                                tokens, /*prunable=*/true});
+        // Feed-forward block: pruned.
+        model.layers.push_back({tag.str() + "_ffn1", d_ff, d_model,
+                                tokens, /*prunable=*/true});
+        model.layers.push_back({tag.str() + "_ffn2", d_model, d_ff,
+                                tokens, /*prunable=*/true});
+    }
+    // Classification head: dense.
+    model.layers.push_back(
+        {"head", 1000, d_model, 1, /*prunable=*/false});
+    return model;
+}
+
+} // namespace highlight

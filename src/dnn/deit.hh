@@ -1,0 +1,25 @@
+/**
+ * @file
+ * DeiT-small [47] layer table (ImageNet configuration).
+ *
+ * d_model = 384, d_ff = 1536, 6 heads, 12 layers, 197 tokens
+ * (196 patches + CLS). The paper prunes only the feed-forward blocks
+ * and the attention output projections because the model is already
+ * compact (Sec 7.3); Q/K/V projections and the patch embedding stay
+ * dense.
+ */
+
+#ifndef HIGHLIGHT_DNN_DEIT_HH
+#define HIGHLIGHT_DNN_DEIT_HH
+
+#include "dnn/layer.hh"
+
+namespace highlight
+{
+
+/** The weight GEMMs of DeiT-small. */
+DnnModel deitSmallModel();
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_DNN_DEIT_HH

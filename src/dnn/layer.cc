@@ -1,0 +1,93 @@
+#include "dnn/layer.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+DnnLayer
+convToGemm(const ConvShape &conv, bool prunable)
+{
+    DnnLayer layer;
+    layer.name = conv.name;
+    layer.m = conv.m;
+    layer.k = conv.c * conv.r * conv.s;
+    layer.n = conv.p * conv.q;
+    layer.prunable = prunable;
+    return layer;
+}
+
+DenseTensor
+toeplitzExpand(const DenseTensor &input, const ConvShape &conv)
+{
+    if (input.shape().rank() != 3)
+        fatal("toeplitzExpand: input must be [C, H, W]");
+    const std::int64_t c = input.shape().dim(0).extent;
+    const std::int64_t h = input.shape().dim(1).extent;
+    const std::int64_t w = input.shape().dim(2).extent;
+    if (c != conv.c)
+        fatal(msgOf("toeplitzExpand: input has ", c, " channels, conv ",
+                    conv.c));
+    if (h < conv.inputH() || w < conv.inputW())
+        fatal(msgOf("toeplitzExpand: input ", h, "x", w,
+                    " smaller than required ", conv.inputH(), "x",
+                    conv.inputW()));
+
+    const std::int64_t rows = conv.c * conv.r * conv.s;
+    const std::int64_t cols = conv.p * conv.q;
+    DenseTensor out(TensorShape({{"K", rows}, {"N", cols}}));
+    for (std::int64_t cc = 0; cc < conv.c; ++cc) {
+        for (std::int64_t rr = 0; rr < conv.r; ++rr) {
+            for (std::int64_t ss = 0; ss < conv.s; ++ss) {
+                const std::int64_t row =
+                    (cc * conv.r + rr) * conv.s + ss;
+                for (std::int64_t pp = 0; pp < conv.p; ++pp) {
+                    for (std::int64_t qq = 0; qq < conv.q; ++qq) {
+                        const std::int64_t col = pp * conv.q + qq;
+                        const std::int64_t ih = pp * conv.stride + rr;
+                        const std::int64_t iw = qq * conv.stride + ss;
+                        out.set2(row, col, input.at({cc, ih, iw}));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+DenseTensor
+flattenWeights(const DenseTensor &weights)
+{
+    if (weights.shape().rank() != 4)
+        fatal("flattenWeights: weights must be [M, C, R, S]");
+    const std::int64_t m = weights.shape().dim(0).extent;
+    const std::int64_t crs = weights.numel() / m;
+    // Row-major [M, C, R, S] flattens in place to M x (C*R*S).
+    return DenseTensor(TensorShape({{"M", m}, {"K", crs}}),
+                       weights.data());
+}
+
+double
+DnnModel::totalMacs() const
+{
+    double total = 0.0;
+    for (const auto &l : layers)
+        total += l.denseMacs();
+    return total;
+}
+
+double
+DnnModel::prunableWeightFraction() const
+{
+    double prunable = 0.0, total = 0.0;
+    for (const auto &l : layers) {
+        const double weights =
+            static_cast<double>(l.m) * static_cast<double>(l.k);
+        total += weights;
+        if (l.prunable)
+            prunable += weights;
+    }
+    return total > 0.0 ? prunable / total : 0.0;
+}
+
+} // namespace highlight

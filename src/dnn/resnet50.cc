@@ -1,0 +1,90 @@
+#include "dnn/resnet50.hh"
+
+#include <sstream>
+
+namespace highlight
+{
+
+namespace
+{
+
+/**
+ * Emit the three convs of one bottleneck block (1x1 reduce, 3x3,
+ * 1x1 expand) plus the optional 1x1 projection shortcut.
+ */
+void
+addBottleneck(std::vector<ConvShape> &convs, const std::string &stage,
+              int block, std::int64_t c_in, std::int64_t width,
+              std::int64_t c_out, std::int64_t fmap,
+              std::int64_t stride, bool projection)
+{
+    auto name = [&stage, block](const char *suffix) {
+        std::ostringstream oss;
+        oss << stage << "_b" << block << "_" << suffix;
+        return oss.str();
+    };
+    // 1x1 reduce (carries the stride in the torchvision variant).
+    convs.push_back({name("1x1a"), c_in, width, 1, 1, fmap, fmap, 1});
+    // 3x3 spatial.
+    convs.push_back(
+        {name("3x3"), width, width, 3, 3, fmap, fmap, stride});
+    // 1x1 expand.
+    convs.push_back({name("1x1b"), width, c_out, 1, 1, fmap, fmap, 1});
+    if (projection) {
+        convs.push_back(
+            {name("proj"), c_in, c_out, 1, 1, fmap, fmap, stride});
+    }
+}
+
+} // namespace
+
+std::vector<ConvShape>
+resnet50ConvShapes()
+{
+    std::vector<ConvShape> convs;
+    // conv1: 7x7, 64 filters, stride 2, 224 -> 112.
+    convs.push_back({"conv1", 3, 64, 7, 7, 112, 112, 2});
+
+    struct Stage
+    {
+        const char *name;
+        int blocks;
+        std::int64_t width, c_out, fmap, stride;
+    };
+    // After the 3x3/2 max-pool the feature map entering conv2 is 56x56.
+    const Stage stages[] = {
+        {"conv2", 3, 64, 256, 56, 1},
+        {"conv3", 4, 128, 512, 28, 2},
+        {"conv4", 6, 256, 1024, 14, 2},
+        {"conv5", 3, 512, 2048, 7, 2},
+    };
+    std::int64_t c_in = 64;
+    for (const auto &st : stages) {
+        for (int b = 0; b < st.blocks; ++b) {
+            const bool first = b == 0;
+            // The stage's stride applies in its first block; later
+            // blocks keep the feature map.
+            const std::int64_t stride = first ? st.stride : 1;
+            addBottleneck(convs, st.name, b, c_in, st.width, st.c_out,
+                          st.fmap, stride, first);
+            c_in = st.c_out;
+        }
+    }
+    return convs;
+}
+
+DnnModel
+resnet50Model()
+{
+    DnnModel model;
+    model.name = "ResNet50";
+    // ReLU activations: ~60% sparse (paper Sec 2.2.3).
+    model.activation_density = 0.4;
+    for (const auto &conv : resnet50ConvShapes())
+        model.layers.push_back(convToGemm(conv, /*prunable=*/true));
+    // Final FC: 2048 -> 1000 over the pooled feature.
+    model.layers.push_back({"fc", 1000, 2048, 1, /*prunable=*/true});
+    return model;
+}
+
+} // namespace highlight

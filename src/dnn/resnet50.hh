@@ -1,0 +1,27 @@
+/**
+ * @file
+ * ResNet50 [16] layer table (ImageNet configuration, batch 1).
+ *
+ * The paper prunes all convolutional and fully-connected layers
+ * (Sec 7.3) and reports ~60% sparse activations from ReLU. Layer
+ * shapes are the standard published ones: conv1, four bottleneck
+ * stages (3/4/6/3 blocks with projection shortcuts), and the final FC.
+ */
+
+#ifndef HIGHLIGHT_DNN_RESNET50_HH
+#define HIGHLIGHT_DNN_RESNET50_HH
+
+#include "dnn/layer.hh"
+
+namespace highlight
+{
+
+/** All 53 conv layers + FC of ResNet50, GEMM-lowered. */
+DnnModel resnet50Model();
+
+/** The raw conv shapes (for Toeplitz-expansion demos). */
+std::vector<ConvShape> resnet50ConvShapes();
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_DNN_RESNET50_HH

@@ -1,0 +1,80 @@
+#include "dnn/transformer.hh"
+
+#include <sstream>
+
+namespace highlight
+{
+
+namespace
+{
+
+void
+addAttentionBlock(std::vector<DnnLayer> &layers, const std::string &tag,
+                  std::int64_t d_model, std::int64_t seq_len)
+{
+    // Q, K, V and output projections: d_model x d_model weights
+    // applied to seq_len tokens. All projection weights are pruned.
+    for (const char *proj : {"q", "k", "v", "o"}) {
+        std::ostringstream name;
+        name << tag << "_" << proj << "proj";
+        layers.push_back(
+            {name.str(), d_model, d_model, seq_len, /*prunable=*/true});
+    }
+    // Dynamic attention GEMMs (QK^T and A*V): both operands are
+    // activations, so there are no weights to prune — these are the
+    // purely dense layers structured-weight designs must still be able
+    // to process (Sec 7.3). 16 heads of d_head = 64 are aggregated
+    // along N.
+    const std::int64_t d_head = 64;
+    const std::int64_t heads = d_model / d_head;
+    layers.push_back({tag + "_qk", seq_len, d_head, seq_len * heads,
+                      /*prunable=*/false});
+    layers.push_back({tag + "_av", seq_len, seq_len, d_head * heads,
+                      /*prunable=*/false});
+}
+
+void
+addFfnBlock(std::vector<DnnLayer> &layers, const std::string &tag,
+            std::int64_t d_model, std::int64_t d_ff,
+            std::int64_t seq_len)
+{
+    layers.push_back(
+        {tag + "_ffn1", d_ff, d_model, seq_len, /*prunable=*/true});
+    layers.push_back(
+        {tag + "_ffn2", d_model, d_ff, seq_len, /*prunable=*/true});
+}
+
+} // namespace
+
+DnnModel
+transformerBigModel(std::int64_t seq_len)
+{
+    const std::int64_t d_model = 1024;
+    const std::int64_t d_ff = 4096;
+    const int num_layers = 6;
+
+    DnnModel model;
+    model.name = "Transformer-Big";
+    // <10% average activation sparsity (Sec 2.2.3).
+    model.activation_density = 0.92;
+
+    for (int l = 0; l < num_layers; ++l) {
+        std::ostringstream enc;
+        enc << "enc" << l;
+        addAttentionBlock(model.layers, enc.str() + "_self", d_model,
+                          seq_len);
+        addFfnBlock(model.layers, enc.str(), d_model, d_ff, seq_len);
+    }
+    for (int l = 0; l < num_layers; ++l) {
+        std::ostringstream dec;
+        dec << "dec" << l;
+        addAttentionBlock(model.layers, dec.str() + "_self", d_model,
+                          seq_len);
+        addAttentionBlock(model.layers, dec.str() + "_cross", d_model,
+                          seq_len);
+        addFfnBlock(model.layers, dec.str(), d_model, d_ff, seq_len);
+    }
+    return model;
+}
+
+} // namespace highlight

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Transformer-Big [50] layer table (WMT16 EN-DE configuration).
+ *
+ * d_model = 1024, d_ff = 4096, 16 heads, 6 encoder + 6 decoder layers.
+ * The paper prunes the feed-forward blocks and all projection weights
+ * (Sec 7.3) and notes <10% average activation sparsity (Sec 2.2.3).
+ * Token count per sequence is a configuration knob (default 128).
+ */
+
+#ifndef HIGHLIGHT_DNN_TRANSFORMER_HH
+#define HIGHLIGHT_DNN_TRANSFORMER_HH
+
+#include "dnn/layer.hh"
+
+namespace highlight
+{
+
+/** The weight GEMMs of Transformer-Big. */
+DnnModel transformerBigModel(std::int64_t seq_len = 128);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_DNN_TRANSFORMER_HH

@@ -1,0 +1,86 @@
+#include "energy/mux_model.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+long
+MuxStage::totalMux2() const
+{
+    return static_cast<long>(instances) * g * (h_max - 1);
+}
+
+MuxModel::MuxModel(std::vector<MuxStage> stages)
+    : stages_(std::move(stages))
+{
+    for (const auto &s : stages_) {
+        if (s.g < 1 || s.h_max < 1 || s.instances < 1)
+            fatal(msgOf("MuxModel: invalid stage ", s.name, " g=", s.g,
+                        " h_max=", s.h_max, " instances=", s.instances));
+    }
+}
+
+long
+MuxModel::totalMux2() const
+{
+    long total = 0;
+    for (const auto &s : stages_)
+        total += s.totalMux2();
+    return total;
+}
+
+double
+MuxModel::areaUm2(const ComponentLibrary &lib) const
+{
+    double area = 0.0;
+    for (const auto &s : stages_)
+        area += static_cast<double>(s.instances) * s.g *
+                lib.muxAreaUm2(s.h_max);
+    return area;
+}
+
+double
+MuxModel::energyPerStepPj(const ComponentLibrary &lib) const
+{
+    double pj = 0.0;
+    for (const auto &s : stages_)
+        pj += static_cast<double>(s.instances) * s.g *
+              lib.muxSelectPj(s.h_max);
+    return pj;
+}
+
+MuxModel
+buildHssMuxModel(const std::vector<int> &g_per_rank,
+                 const std::vector<int> &hmax_per_rank, int num_pes,
+                 int num_arrays)
+{
+    if (g_per_rank.size() != hmax_per_rank.size())
+        fatal("buildHssMuxModel: G and Hmax vectors differ in length");
+    if (g_per_rank.empty())
+        fatal("buildHssMuxModel: no ranks");
+    if (num_pes < 1 || num_arrays < 1)
+        fatal("buildHssMuxModel: need at least one PE and one array");
+
+    std::vector<MuxStage> stages;
+    for (std::size_t n = 0; n < g_per_rank.size(); ++n) {
+        MuxStage stage;
+        stage.g = g_per_rank[n];
+        stage.h_max = hmax_per_rank[n];
+        if (n == 0) {
+            // Rank-0 selection runs inside every PE (Fig 10: the 4:2
+            // mux in each PE picks the operand-B value for each MAC).
+            stage.name = "rank0-PE";
+            stage.instances = num_pes * num_arrays;
+        } else {
+            // Higher-rank selection distributes blocks to PEs once per
+            // array slice; one selection site per array per rank.
+            stage.name = "rank" + std::to_string(n) + "-array";
+            stage.instances = num_arrays;
+        }
+        stages.push_back(stage);
+    }
+    return MuxModel(std::move(stages));
+}
+
+} // namespace highlight

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Muxing-overhead model for skipping SAFs (paper Sec 5.2-5.3, Fig 6(b),
+ * Fig 7).
+ *
+ * Skipping a G:H pattern needs G muxes of Hmax-to-1 to steer the
+ * correct operand-B values to the G compute lanes. An Hmax-to-1 mux is
+ * built from (Hmax - 1) 2-to-1 muxes, so both area and energy grow
+ * approximately linearly with Hmax.
+ *
+ * The crucial multi-rank effect: rank-0 SAF muxes are replicated in
+ * every PE, while rank-1 SAF selection happens once per PE array (block
+ * granularity, amortized across the PEs). Supporting the same degree
+ * count with two ranks therefore cuts the *replicated* Hmax sharply,
+ * which is how design SS lands at less than half of design S's muxing
+ * overhead in Fig 6(b).
+ */
+
+#ifndef HIGHLIGHT_ENERGY_MUX_MODEL_HH
+#define HIGHLIGHT_ENERGY_MUX_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "energy/components.hh"
+
+namespace highlight
+{
+
+/**
+ * One muxing stage of a skipping SAF: `instances` muxes, each selecting
+ * one of `h_max` inputs (G lanes at a level contribute G instances).
+ */
+struct MuxStage
+{
+    std::string name;  ///< e.g. "rank0-PE" or "rank1-array".
+    int g = 1;         ///< Lanes selected per instance site.
+    int h_max = 1;     ///< Widest supported pattern at this stage.
+    int instances = 1; ///< Instance sites (PEs or arrays) * G.
+
+    /** Total 2-to-1 mux count: instances * g * (h_max - 1). */
+    long totalMux2() const;
+};
+
+/**
+ * Aggregate muxing overhead of a (possibly multi-rank) skipping design.
+ */
+class MuxModel
+{
+  public:
+    explicit MuxModel(std::vector<MuxStage> stages);
+
+    const std::vector<MuxStage> &stages() const { return stages_; }
+
+    /** Total 2-to-1 mux equivalents across stages. */
+    long totalMux2() const;
+
+    /** Total area of the muxing logic. */
+    double areaUm2(const ComponentLibrary &lib) const;
+
+    /**
+     * Energy of one full processing step in which every mux instance
+     * performs one selection.
+     */
+    double energyPerStepPj(const ComponentLibrary &lib) const;
+
+  private:
+    std::vector<MuxStage> stages_;
+};
+
+/**
+ * Build the mux model for an N-rank HSS skipping design laid out like
+ * Fig 6(c): rank 0 muxes replicated per PE (each PE hosts rank-0 G
+ * lanes), rank n >= 1 selection instantiated once per PE-array slice
+ * feeding G_n PEs.
+ *
+ * @param g_per_rank   G at each rank, rank 0 first.
+ * @param hmax_per_rank Hmax at each rank, rank 0 first.
+ * @param num_pes      PEs per array.
+ * @param num_arrays   PE arrays.
+ */
+MuxModel buildHssMuxModel(const std::vector<int> &g_per_rank,
+                          const std::vector<int> &hmax_per_rank,
+                          int num_pes, int num_arrays);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_ENERGY_MUX_MODEL_HH

@@ -1,0 +1,5 @@
+#include "energy/tech.hh"
+
+// TechnologyParams is an aggregate of constants; its definitions live in
+// the header. This translation unit exists so the build sees the header
+// compiled standalone (include-what-you-use hygiene).

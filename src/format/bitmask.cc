@@ -1,0 +1,47 @@
+#include "format/bitmask.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+BitmaskStream::BitmaskStream(const float *data, std::int64_t len)
+    : len_(len)
+{
+    if (len < 0)
+        fatal("BitmaskStream: negative length");
+    mask_.reserve(static_cast<std::size_t>(len));
+    for (std::int64_t i = 0; i < len; ++i) {
+        const bool nz = data[i] != 0.0f;
+        mask_.push_back(nz);
+        if (nz)
+            values_.push_back(data[i]);
+    }
+}
+
+std::vector<float>
+BitmaskStream::decompress() const
+{
+    std::vector<float> out(static_cast<std::size_t>(len_), 0.0f);
+    std::size_t cursor = 0;
+    for (std::int64_t i = 0; i < len_; ++i) {
+        if (mask_[static_cast<std::size_t>(i)])
+            out[static_cast<std::size_t>(i)] = values_[cursor++];
+    }
+    return out;
+}
+
+std::int64_t
+BitmaskStream::popcount(std::int64_t begin, std::int64_t end) const
+{
+    if (begin < 0 || end > len_ || begin > end)
+        panic("BitmaskStream::popcount: bad span");
+    std::int64_t count = 0;
+    for (std::int64_t i = begin; i < end; ++i) {
+        if (mask_[static_cast<std::size_t>(i)])
+            ++count;
+    }
+    return count;
+}
+
+} // namespace highlight

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bitmask compression (the format family used by SparTen-style
+ * unstructured accelerators and DSTC's sub-tensor occupancy tracking).
+ *
+ * One bit per element plus the packed nonzero values. Metadata cost is
+ * constant (1 bit/element) regardless of sparsity, which is why
+ * unstructured designs pay it even on dense workloads — one concrete
+ * ingredient of their sparsity tax (paper Sec 2.2.1).
+ */
+
+#ifndef HIGHLIGHT_FORMAT_BITMASK_HH
+#define HIGHLIGHT_FORMAT_BITMASK_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace highlight
+{
+
+/** Bitmask-compressed 1-D stream. */
+class BitmaskStream
+{
+  public:
+    BitmaskStream(const float *data, std::int64_t len);
+
+    std::vector<float> decompress() const;
+
+    const std::vector<bool> &mask() const { return mask_; }
+    const std::vector<float> &values() const { return values_; }
+
+    std::int64_t dataWords() const
+    {
+        return static_cast<std::int64_t>(values_.size());
+    }
+
+    /** 1 bit per element. */
+    std::int64_t metadataBits() const { return len_; }
+
+    std::int64_t length() const { return len_; }
+
+    /**
+     * Population count of a mask span [begin, end): how many effectual
+     * values a compute unit assigned that span would receive. Used by
+     * workload-balance models.
+     */
+    std::int64_t popcount(std::int64_t begin, std::int64_t end) const;
+
+  private:
+    std::int64_t len_ = 0;
+    std::vector<bool> mask_;
+    std::vector<float> values_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_FORMAT_BITMASK_HH

@@ -1,0 +1,51 @@
+#include "format/csr.hh"
+
+#include "common/logging.hh"
+#include "format/hierarchical_cp.hh"
+
+namespace highlight
+{
+
+CsrMatrix::CsrMatrix(const DenseTensor &matrix)
+{
+    if (matrix.shape().rank() != 2)
+        fatal("CsrMatrix: expected a rank-2 matrix");
+    rows_ = matrix.shape().dim(0).extent;
+    cols_ = matrix.shape().dim(1).extent;
+    row_ptr_.push_back(0);
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        for (std::int64_t c = 0; c < cols_; ++c) {
+            const float v = matrix.at2(r, c);
+            if (v != 0.0f) {
+                col_idx_.push_back(c);
+                values_.push_back(v);
+            }
+        }
+        row_ptr_.push_back(static_cast<std::int64_t>(values_.size()));
+    }
+}
+
+DenseTensor
+CsrMatrix::decompress() const
+{
+    DenseTensor out(TensorShape({{"M", rows_}, {"K", cols_}}));
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)];
+             i < row_ptr_[static_cast<std::size_t>(r + 1)]; ++i) {
+            out.set2(r, col_idx_[static_cast<std::size_t>(i)],
+                     values_[static_cast<std::size_t>(i)]);
+        }
+    }
+    return out;
+}
+
+std::int64_t
+CsrMatrix::metadataBits() const
+{
+    const std::int64_t idx_bits = bitsFor(cols_);
+    const std::int64_t ptr_bits = bitsFor(nnz() + 1);
+    return static_cast<std::int64_t>(col_idx_.size()) * idx_bits +
+           static_cast<std::int64_t>(row_ptr_.size()) * ptr_bits;
+}
+
+} // namespace highlight

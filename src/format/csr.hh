@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) format for rank-2 matrices.
+ *
+ * The classic HPC format: row pointers, column indices, values. Used as
+ * the reference point for metadata-cost comparisons — CSR's per-nonzero
+ * full column index is what the offset-based CP formats avoid.
+ */
+
+#ifndef HIGHLIGHT_FORMAT_CSR_HH
+#define HIGHLIGHT_FORMAT_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dense_tensor.hh"
+
+namespace highlight
+{
+
+/** CSR-compressed matrix. */
+class CsrMatrix
+{
+  public:
+    explicit CsrMatrix(const DenseTensor &matrix);
+
+    DenseTensor decompress() const;
+
+    const std::vector<std::int64_t> &rowPtr() const { return row_ptr_; }
+    const std::vector<std::int64_t> &colIdx() const { return col_idx_; }
+    const std::vector<float> &values() const { return values_; }
+
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+    std::int64_t nnz() const
+    {
+        return static_cast<std::int64_t>(values_.size());
+    }
+
+    std::int64_t dataWords() const { return nnz(); }
+
+    /**
+     * Metadata bits: col indices at ceil(log2 cols) bits each plus row
+     * pointers at ceil(log2 (nnz+1)) bits each.
+     */
+    std::int64_t metadataBits() const;
+
+  private:
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::vector<std::int64_t> row_ptr_;
+    std::vector<std::int64_t> col_idx_;
+    std::vector<float> values_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_FORMAT_CSR_HH

@@ -1,0 +1,204 @@
+#include "format/hierarchical_cp.hh"
+
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+int
+bitsFor(std::int64_t n)
+{
+    if (n <= 1)
+        return 1;
+    int bits = 0;
+    std::int64_t v = n - 1;
+    while (v > 0) {
+        ++bits;
+        v >>= 1;
+    }
+    return bits;
+}
+
+HierarchicalCpRow::HierarchicalCpRow(const float *row, std::int64_t cols,
+                                     const HssSpec &spec)
+    : spec_(spec), cols_(cols)
+{
+    if (cols % spec_.totalSpan() != 0)
+        fatal(msgOf("HierarchicalCpRow: cols ", cols,
+                    " not divisible by HSS span ", spec_.totalSpan()));
+    offsets_.assign(spec_.numRanks(), {});
+
+    const std::size_t nranks = spec_.numRanks();
+
+    // Emit an all-dummy fiber subtree at the given rank (used to pad
+    // groups whose real occupancy is below G).
+    std::function<void(std::size_t)> emitDummy = [&](std::size_t n) {
+        const int g = spec_.rank(n).g;
+        for (int i = 0; i < g; ++i) {
+            offsets_[n].push_back(0);
+            if (n == 0)
+                values_.push_back(0.0f);
+            else
+                emitDummy(n - 1);
+        }
+    };
+
+    // Emit the fiber at rank n starting at value index `base`.
+    std::function<void(std::int64_t, std::size_t)> emitFiber =
+        [&](std::int64_t base, std::size_t n) {
+        const GhPattern &p = spec_.rank(n);
+        const std::int64_t sub_span = spec_.blockSpan(n);
+        // Find non-empty sub-payloads among the Hn coordinates.
+        std::vector<int> present;
+        for (int c = 0; c < p.h; ++c) {
+            const std::int64_t start = base + c * sub_span;
+            bool nonzero = false;
+            for (std::int64_t i = 0; i < sub_span && !nonzero; ++i)
+                nonzero = row[start + i] != 0.0f;
+            if (nonzero)
+                present.push_back(c);
+        }
+        if (static_cast<int>(present.size()) > p.g)
+            fatal(msgOf("HierarchicalCpRow: rank ", n, " fiber at value ",
+                        base, " has occupancy ", present.size(),
+                        " > G=", p.g, " (operand does not conform to ",
+                        spec_.str(), ")"));
+        for (int slot = 0; slot < p.g; ++slot) {
+            if (slot < static_cast<int>(present.size())) {
+                const int c = present[static_cast<std::size_t>(slot)];
+                offsets_[n].push_back(static_cast<std::uint8_t>(c));
+                if (n == 0)
+                    values_.push_back(row[base + c]);
+                else
+                    emitFiber(base + c * sub_span, n - 1);
+            } else {
+                offsets_[n].push_back(0);
+                if (n == 0)
+                    values_.push_back(0.0f);
+                else
+                    emitDummy(n - 1);
+            }
+        }
+    };
+
+    const std::int64_t top_span = spec_.totalSpan();
+    for (std::int64_t g = 0; g < cols / top_span; ++g)
+        emitFiber(g * top_span, nranks - 1);
+}
+
+std::vector<float>
+HierarchicalCpRow::decompress() const
+{
+    std::vector<float> row(static_cast<std::size_t>(cols_), 0.0f);
+    std::vector<std::size_t> cursor(spec_.numRanks(), 0);
+    std::size_t value_cursor = 0;
+
+    std::function<void(std::int64_t, std::size_t)> readFiber =
+        [&](std::int64_t base, std::size_t n) {
+        const GhPattern &p = spec_.rank(n);
+        const std::int64_t sub_span = spec_.blockSpan(n);
+        for (int slot = 0; slot < p.g; ++slot) {
+            const std::uint8_t off = offsets_[n][cursor[n]++];
+            if (n == 0) {
+                const float v = values_[value_cursor++];
+                // Dummy entries carry value 0; writing them is a no-op
+                // on the zero-initialized row.
+                if (v != 0.0f)
+                    row[static_cast<std::size_t>(base + off)] = v;
+            } else {
+                readFiber(base + off * sub_span, n - 1);
+            }
+        }
+    };
+
+    const std::int64_t top_span = spec_.totalSpan();
+    for (std::int64_t g = 0; g < cols_ / top_span; ++g)
+        readFiber(g * top_span, spec_.numRanks() - 1);
+    return row;
+}
+
+const std::vector<std::uint8_t> &
+HierarchicalCpRow::offsets(std::size_t rank) const
+{
+    if (rank >= offsets_.size())
+        panic(msgOf("offsets: rank ", rank, " out of range"));
+    return offsets_[rank];
+}
+
+std::int64_t
+HierarchicalCpRow::metadataBits() const
+{
+    std::int64_t bits = 0;
+    for (std::size_t n = 0; n < offsets_.size(); ++n) {
+        bits += static_cast<std::int64_t>(offsets_[n].size()) *
+                bitsFor(spec_.rank(n).h);
+    }
+    return bits;
+}
+
+HierarchicalCpMatrix::HierarchicalCpMatrix(const DenseTensor &matrix,
+                                           const HssSpec &spec)
+    : shape_(matrix.shape())
+{
+    if (shape_.rank() != 2)
+        fatal("HierarchicalCpMatrix: expected a rank-2 matrix");
+    const std::int64_t rows = shape_.dim(0).extent;
+    const std::int64_t cols = shape_.dim(1).extent;
+    rows_.reserve(static_cast<std::size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r)
+        rows_.emplace_back(matrix.data().data() + r * cols, cols, spec);
+}
+
+const HierarchicalCpRow &
+HierarchicalCpMatrix::row(std::int64_t r) const
+{
+    if (r < 0 || r >= numRows())
+        panic(msgOf("HierarchicalCpMatrix::row: ", r, " out of range"));
+    return rows_[static_cast<std::size_t>(r)];
+}
+
+DenseTensor
+HierarchicalCpMatrix::decompress() const
+{
+    DenseTensor out{shape_};
+    const std::int64_t cols = shape_.dim(1).extent;
+    for (std::int64_t r = 0; r < numRows(); ++r) {
+        const auto row = rows_[static_cast<std::size_t>(r)].decompress();
+        for (std::int64_t c = 0; c < cols; ++c)
+            out.set2(r, c, row[static_cast<std::size_t>(c)]);
+    }
+    return out;
+}
+
+std::int64_t
+HierarchicalCpMatrix::dataWords() const
+{
+    std::int64_t words = 0;
+    for (const auto &row : rows_)
+        words += row.dataWords();
+    return words;
+}
+
+std::int64_t
+HierarchicalCpMatrix::metadataBits() const
+{
+    std::int64_t bits = 0;
+    for (const auto &row : rows_)
+        bits += row.metadataBits();
+    return bits;
+}
+
+double
+HierarchicalCpMatrix::compressionRatio(int word_bits) const
+{
+    const double dense_bits =
+        static_cast<double>(shape_.numel()) * word_bits;
+    const double stored_bits =
+        static_cast<double>(dataWords()) * word_bits +
+        static_cast<double>(metadataBits());
+    return dense_bits / stored_bits;
+}
+
+} // namespace highlight

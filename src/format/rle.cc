@@ -1,0 +1,56 @@
+#include "format/rle.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+RleStream::RleStream(const float *data, std::int64_t len, int run_bits)
+    : len_(len), run_bits_(run_bits)
+{
+    if (run_bits < 1 || run_bits > 16)
+        fatal(msgOf("RleStream: run_bits ", run_bits, " outside [1, 16]"));
+    const std::uint32_t max_run = (1u << run_bits) - 1;
+
+    std::uint32_t run = 0;
+    for (std::int64_t i = 0; i < len; ++i) {
+        if (data[i] == 0.0f) {
+            if (run == max_run) {
+                // Emit a zero-valued carrier: it represents max_run
+                // preceding zeros plus this zero in its value slot.
+                runs_.push_back(run);
+                values_.push_back(0.0f);
+                run = 0;
+            } else {
+                ++run;
+            }
+        } else {
+            runs_.push_back(run);
+            values_.push_back(data[i]);
+            run = 0;
+        }
+    }
+    // Trailing zeros need no entries: the stored stream length lets
+    // decompression pad the tail.
+}
+
+std::vector<float>
+RleStream::decompress() const
+{
+    std::vector<float> out;
+    out.reserve(static_cast<std::size_t>(len_));
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        for (std::uint32_t z = 0; z < runs_[i]; ++z)
+            out.push_back(0.0f);
+        // Carrier entries hold value 0 and just extend the run; real
+        // entries append their value.
+        if (values_[i] != 0.0f)
+            out.push_back(values_[i]);
+        else if (out.size() < static_cast<std::size_t>(len_))
+            out.push_back(0.0f);
+    }
+    out.resize(static_cast<std::size_t>(len_), 0.0f);
+    return out;
+}
+
+} // namespace highlight

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Run-length encoding of zero runs (the Eyeriss-style RLC format).
+ *
+ * Each stored entry is a (zero_run, value) pair where zero_run counts
+ * the zeros preceding the value; runs longer than the field's maximum
+ * are carried with explicit zero-valued entries. Included as a baseline
+ * compression format with occupancy-dependent metadata cost, contrasted
+ * against the fixed-rate hierarchical CP format in tests and benches.
+ */
+
+#ifndef HIGHLIGHT_FORMAT_RLE_HH
+#define HIGHLIGHT_FORMAT_RLE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace highlight
+{
+
+/** RLE-compressed 1-D stream. */
+class RleStream
+{
+  public:
+    /**
+     * Compress with the given run-length field width (bits). The
+     * maximum representable run is 2^run_bits - 1; longer runs emit a
+     * zero-valued carrier entry.
+     */
+    RleStream(const float *data, std::int64_t len, int run_bits = 4);
+
+    std::vector<float> decompress() const;
+
+    /** Stored (run, value) entry count, including run carriers. */
+    std::int64_t entries() const
+    {
+        return static_cast<std::int64_t>(values_.size());
+    }
+
+    /** Data words stored (== entries; carriers store a zero word). */
+    std::int64_t dataWords() const { return entries(); }
+
+    /** run_bits per entry. */
+    std::int64_t metadataBits() const
+    {
+        return entries() * run_bits_;
+    }
+
+    std::int64_t length() const { return len_; }
+    const std::vector<std::uint32_t> &runs() const { return runs_; }
+    const std::vector<float> &values() const { return values_; }
+
+  private:
+    std::int64_t len_ = 0;
+    int run_bits_ = 4;
+    std::vector<std::uint32_t> runs_;
+    std::vector<float> values_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_FORMAT_RLE_HH

@@ -1,0 +1,33 @@
+#include "microsim/compression_unit.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+CompressionUnit::CompressionUnit(int h0, int h1) : h0_(h0), h1_(h1)
+{
+    if (h0_ < 1 || h1_ < 1)
+        fatal(msgOf("CompressionUnit: bad geometry h0=", h0_, " h1=",
+                    h1_));
+}
+
+OperandBStream
+CompressionUnit::compress(const std::vector<float> &stream)
+{
+    std::vector<float> activated;
+    activated.reserve(stream.size());
+    for (float v : stream) {
+        ++stats_.activations_applied;
+        activated.push_back(v > 0.0f ? v : 0.0f);
+    }
+    stats_.values_in += static_cast<std::int64_t>(stream.size());
+
+    OperandBStream out(activated.data(),
+                       static_cast<std::int64_t>(activated.size()), h0_,
+                       h1_);
+    stats_.nonzeros_out += out.dataWords();
+    return out;
+}
+
+} // namespace highlight

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Output-activation compression unit (paper Sec 6.4, Fig 10).
+ *
+ * For intermediate DNN layers, the accelerator applies the activation
+ * function to the accumulated outputs and recompresses them into the
+ * three-level operand-B format so the next layer can stream them
+ * through the VFMU.
+ */
+
+#ifndef HIGHLIGHT_MICROSIM_COMPRESSION_UNIT_HH
+#define HIGHLIGHT_MICROSIM_COMPRESSION_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "format/operand_b.hh"
+
+namespace highlight
+{
+
+/** Compression-unit activity counters. */
+struct CompressionStats
+{
+    std::int64_t values_in = 0;
+    std::int64_t nonzeros_out = 0;
+    std::int64_t activations_applied = 0;
+};
+
+/**
+ * Applies ReLU and produces a compressed OperandBStream.
+ */
+class CompressionUnit
+{
+  public:
+    CompressionUnit(int h0, int h1);
+
+    /**
+     * ReLU then compress one output stream. The stream length must be
+     * divisible by h0*h1 (pad with zeros upstream if needed).
+     */
+    OperandBStream compress(const std::vector<float> &stream);
+
+    const CompressionStats &stats() const { return stats_; }
+
+  private:
+    int h0_;
+    int h1_;
+    CompressionStats stats_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_MICROSIM_COMPRESSION_UNIT_HH

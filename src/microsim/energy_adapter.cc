@@ -1,0 +1,51 @@
+#include "microsim/energy_adapter.hh"
+
+namespace highlight
+{
+
+std::vector<BreakdownEntry>
+microsimEnergy(const SimStats &stats, const HssSpec &spec,
+               const ComponentLibrary &lib, double glb_kb, double rf_kb)
+{
+    std::vector<BreakdownEntry> energy;
+
+    // MACs: effectual at full cost, gated lanes at the gating tax.
+    energy.push_back(
+        {"mac", static_cast<double>(stats.pe.mac_ops) *
+                        lib.macComputePj() +
+                    static_cast<double>(stats.pe.gated_macs) *
+                        lib.macGatedPj()});
+
+    // GLB: operand-B words actually fetched, plus the stationary A
+    // loads (A words travel GLB -> PE registers once per residency).
+    energy.push_back(
+        {"glb", static_cast<double>(stats.glb_b.words_read +
+                                    stats.a_words_loaded) *
+                    lib.sramAccessPj(glb_kb)});
+
+    // RF: one read+write per partial-sum update.
+    energy.push_back({"rf", 2.0 *
+                                static_cast<double>(stats.psum_updates) *
+                                lib.rfAccessPj(rf_kb)});
+
+    // SAFs: rank-0 mux selections at H0, VFMU register traffic
+    // (write + read per word delivered).
+    const int h0 = spec.rank(0).h;
+    double saf = static_cast<double>(stats.pe.mux_selects) *
+                 lib.muxSelectPj(h0);
+    saf += 2.0 * static_cast<double>(stats.vfmu.words_out) *
+           lib.regAccessPj();
+    energy.push_back({"saf", saf});
+
+    // Operand registers: A loads write, every lane slot reads its A
+    // operand and latches its B operand (mux_selects counts lane
+    // slots).
+    energy.push_back(
+        {"reg", (static_cast<double>(stats.a_words_loaded) +
+                 2.0 * static_cast<double>(stats.pe.mux_selects)) *
+                    lib.regAccessPj()});
+
+    return energy;
+}
+
+} // namespace highlight

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Micro-simulator energy adapter.
+ *
+ * Converts the micro-simulator's measured activity counters into a
+ * per-component energy breakdown using the same ComponentLibrary the
+ * analytical models use. This closes the validation loop: the
+ * analytical engine *predicts* activity statistically, the simulator
+ * *measures* it, and both price it identically.
+ */
+
+#ifndef HIGHLIGHT_MICROSIM_ENERGY_ADAPTER_HH
+#define HIGHLIGHT_MICROSIM_ENERGY_ADAPTER_HH
+
+#include <vector>
+
+#include "energy/components.hh"
+#include "microsim/simulator.hh"
+#include "sparsity/hss.hh"
+
+namespace highlight
+{
+
+/**
+ * Price a simulation's activity counters.
+ *
+ * @param stats  Measured activity from HighlightSimulator.
+ * @param spec   The operand-A spec (mux widths come from its H values).
+ * @param lib    The component library shared with the analytical path.
+ * @param glb_kb GLB capacity assumed for pricing B fetches.
+ * @param rf_kb  RF capacity assumed for pricing partial-sum updates.
+ */
+std::vector<BreakdownEntry> microsimEnergy(
+    const SimStats &stats, const HssSpec &spec,
+    const ComponentLibrary &lib, double glb_kb = 256.0,
+    double rf_kb = 2.0);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_MICROSIM_ENERGY_ADAPTER_HH

@@ -1,0 +1,39 @@
+#include "microsim/glb.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+MicroGlb::MicroGlb(std::vector<float> data, int row_words)
+    : data_(std::move(data)), row_words_(row_words)
+{
+    if (row_words_ < 1)
+        fatal(msgOf("MicroGlb: row_words ", row_words_));
+    // Pad the stream to a whole number of rows so aligned fetches at
+    // the tail are well defined.
+    const std::size_t rem = data_.size() % static_cast<std::size_t>(
+                                row_words_);
+    if (rem != 0)
+        data_.resize(data_.size() + (row_words_ - rem), 0.0f);
+}
+
+std::int64_t
+MicroGlb::numRows() const
+{
+    return static_cast<std::int64_t>(data_.size()) / row_words_;
+}
+
+std::vector<float>
+MicroGlb::fetchRow(std::int64_t row)
+{
+    if (row < 0 || row >= numRows())
+        panic(msgOf("MicroGlb::fetchRow: row ", row, " out of range ",
+                    numRows()));
+    ++stats_.row_fetches;
+    stats_.words_read += row_words_;
+    const auto begin = data_.begin() + row * row_words_;
+    return std::vector<float>(begin, begin + row_words_);
+}
+
+} // namespace highlight

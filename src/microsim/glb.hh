@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Global buffer model for the micro-simulator (paper Fig 11).
+ *
+ * The GLB stores operand B as fixed-width rows; every fetch returns one
+ * aligned row ("due to the fixed physical dimensions of the GLB, each
+ * GLB fetch has to be fixed to a certain number of blocks"). The VFMU
+ * downstream turns these aligned fetches into variable-length reads.
+ */
+
+#ifndef HIGHLIGHT_MICROSIM_GLB_HH
+#define HIGHLIGHT_MICROSIM_GLB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace highlight
+{
+
+/** Counters every micro-sim component exposes. */
+struct GlbStats
+{
+    std::int64_t row_fetches = 0; ///< Aligned row-fetch events.
+    std::int64_t words_read = 0;  ///< Data words delivered.
+};
+
+/**
+ * A read-only GLB image of one operand stream with aligned row access.
+ */
+class MicroGlb
+{
+  public:
+    /**
+     * @param data      The stored stream (dense values or compressed
+     *                  nonzeros).
+     * @param row_words Fetch granularity in words (Fig 11: 16).
+     */
+    MicroGlb(std::vector<float> data, int row_words);
+
+    /** Number of whole rows (the stream is zero-padded to row width). */
+    std::int64_t numRows() const;
+
+    /**
+     * Fetch aligned row `row` (16 words in the paper's example).
+     * Counts the access and returns the row contents.
+     */
+    std::vector<float> fetchRow(std::int64_t row);
+
+    int rowWords() const { return row_words_; }
+    const GlbStats &stats() const { return stats_; }
+
+  private:
+    std::vector<float> data_;
+    int row_words_;
+    GlbStats stats_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_MICROSIM_GLB_HH

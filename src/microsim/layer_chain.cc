@@ -1,0 +1,85 @@
+#include "microsim/layer_chain.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+LayerChainSimulator::LayerChainSimulator(MicrosimConfig config)
+    : config_(config)
+{
+}
+
+ChainResult
+LayerChainSimulator::run(const DenseTensor &a1, const HssSpec &spec1,
+                         const DenseTensor &input, const DenseTensor &a2,
+                         const HssSpec &spec2) const
+{
+    const std::int64_t m1 = a1.shape().dim(0).extent;
+    if (a2.shape().dim(1).extent != m1)
+        fatal(msgOf("LayerChainSimulator: layer-2 K=",
+                    a2.shape().dim(1).extent,
+                    " must equal layer-1 M=", m1));
+    if (m1 % spec2.totalSpan() != 0)
+        fatal(msgOf("LayerChainSimulator: layer-1 M=", m1,
+                    " not divisible by layer-2 HSS span ",
+                    spec2.totalSpan(),
+                    " (choose layer shapes accordingly)"));
+
+    ChainResult result{DenseTensor(), DenseTensor(), DenseTensor(),
+                       {},            {},            {},
+                       1.0};
+
+    // --- layer 1 on the datapath ---
+    const HighlightSimulator sim1(config_);
+    auto r1 = sim1.run(a1, spec1, input);
+    result.layer1 = r1.stats;
+    result.layer1_output = std::move(r1.output);
+
+    // --- activation + compression unit (Sec 6.4, Fig 10) ---
+    // The compression unit applies ReLU and re-encodes each output
+    // column in the three-level operand-B format sized for the next
+    // layer's block geometry.
+    const int h0 = spec2.rank(0).h;
+    const int h1 = spec2.numRanks() > 1 ? spec2.rank(1).h : 1;
+    CompressionUnit cu(h0, h1);
+    const std::int64_t n = result.layer1_output.shape().dim(1).extent;
+    result.activations =
+        DenseTensor(TensorShape({{"K", m1}, {"N", n}}));
+    std::vector<float> column(static_cast<std::size_t>(m1));
+    for (std::int64_t col = 0; col < n; ++col) {
+        for (std::int64_t row = 0; row < m1; ++row)
+            column[static_cast<std::size_t>(row)] =
+                result.layer1_output.at2(row, col);
+        const OperandBStream compressed = cu.compress(column);
+        const auto decompressed = compressed.decompress();
+        for (std::int64_t row = 0; row < m1; ++row)
+            result.activations.set2(
+                row, col, decompressed[static_cast<std::size_t>(row)]);
+    }
+    result.compression = cu.stats();
+    result.activation_density = result.activations.density();
+
+    // --- layer 2 consumes the recompressed activations ---
+    MicrosimConfig cfg2 = config_;
+    cfg2.compress_b = true; // the whole point of the compression unit
+    const HighlightSimulator sim2(cfg2);
+    auto r2 = sim2.run(a2, spec2, result.activations);
+    result.layer2 = r2.stats;
+    result.final_output = std::move(r2.output);
+    return result;
+}
+
+DenseTensor
+referenceChain(const DenseTensor &a1, const DenseTensor &input,
+               const DenseTensor &a2)
+{
+    DenseTensor hidden = referenceGemm(a1, input);
+    for (auto &v : hidden.data())
+        v = v > 0.0f ? v : 0.0f;
+    // referenceGemm expects B with dims (K x N); hidden is (M1 x N)
+    // which plays the K x N role for layer 2 directly.
+    return referenceGemm(a2, hidden);
+}
+
+} // namespace highlight

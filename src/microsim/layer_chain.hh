@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Two-layer chain simulation (paper Sec 6.4).
+ *
+ * "For intermediate layers, such compression on a previous layer's
+ * output activation is performed by the compression unit after the
+ * activation function unit ... to prepare for the processing for the
+ * next layer." This module wires that loop: layer 1 runs on the
+ * micro-simulated datapath, its outputs pass through ReLU and the
+ * compression unit, and layer 2 consumes the recompressed activations
+ * as its operand B.
+ */
+
+#ifndef HIGHLIGHT_MICROSIM_LAYER_CHAIN_HH
+#define HIGHLIGHT_MICROSIM_LAYER_CHAIN_HH
+
+#include "microsim/compression_unit.hh"
+#include "microsim/simulator.hh"
+#include "sparsity/hss.hh"
+#include "tensor/dense_tensor.hh"
+
+namespace highlight
+{
+
+/** Result of simulating a two-layer chain. */
+struct ChainResult
+{
+    DenseTensor layer1_output;     ///< Pre-activation layer-1 output.
+    DenseTensor activations;       ///< ReLU(layer-1 output).
+    DenseTensor final_output;      ///< Layer-2 output.
+    SimStats layer1;
+    SimStats layer2;
+    CompressionStats compression;
+    double activation_density = 1.0; ///< Density after ReLU.
+};
+
+/**
+ * Simulate layer2( relu( layer1(input) ) ) on the HighLight datapath.
+ */
+class LayerChainSimulator
+{
+  public:
+    explicit LayerChainSimulator(MicrosimConfig config = {});
+
+    /**
+     * @param a1     Layer-1 weights (M1 x K1), conforming to spec1.
+     * @param spec1  Layer-1 weight HSS pattern.
+     * @param input  Layer-1 input activations (K1 x N), dense or
+     *               sparse.
+     * @param a2     Layer-2 weights (M2 x M1), conforming to spec2.
+     * @param spec2  Layer-2 weight HSS pattern (its H0/H1 define the
+     *               recompression geometry).
+     */
+    ChainResult run(const DenseTensor &a1, const HssSpec &spec1,
+                    const DenseTensor &input, const DenseTensor &a2,
+                    const HssSpec &spec2) const;
+
+  private:
+    MicrosimConfig config_;
+};
+
+/** Reference implementation: layer2(relu(layer1(input))) densely. */
+DenseTensor referenceChain(const DenseTensor &a1,
+                           const DenseTensor &input,
+                           const DenseTensor &a2);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_MICROSIM_LAYER_CHAIN_HH

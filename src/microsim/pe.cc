@@ -1,0 +1,53 @@
+#include "microsim/pe.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+MicroPe::MicroPe(int g0) : g0_(g0)
+{
+    if (g0_ < 1)
+        fatal(msgOf("MicroPe: g0 ", g0_));
+    a_values_.assign(static_cast<std::size_t>(g0_), 0.0f);
+    a_offsets_.assign(static_cast<std::size_t>(g0_), 0);
+}
+
+void
+MicroPe::loadBlock(const std::vector<float> &values,
+                   const std::vector<std::uint8_t> &offsets)
+{
+    if (values.size() != static_cast<std::size_t>(g0_) ||
+        offsets.size() != static_cast<std::size_t>(g0_))
+        panic(msgOf("MicroPe::loadBlock: expected exactly ", g0_,
+                    " lanes"));
+    a_values_ = values;
+    a_offsets_ = offsets;
+}
+
+double
+MicroPe::step(const std::vector<float> &b_block)
+{
+    double psum = 0.0;
+    for (int lane = 0; lane < g0_; ++lane) {
+        const float a = a_values_[static_cast<std::size_t>(lane)];
+        const std::uint8_t off =
+            a_offsets_[static_cast<std::size_t>(lane)];
+        // Rank-0 mux: select the B value at the lane's CP offset.
+        ++stats_.mux_selects;
+        const float b = off < b_block.size()
+                            ? b_block[static_cast<std::size_t>(off)]
+                            : 0.0f;
+        if (a == 0.0f || b == 0.0f) {
+            // Gating SAF: the MAC stays idle; the cycle is still spent
+            // so PEs remain in sync (Sec 6.4).
+            ++stats_.gated_macs;
+        } else {
+            ++stats_.mac_ops;
+            psum += static_cast<double>(a) * static_cast<double>(b);
+        }
+    }
+    return psum;
+}
+
+} // namespace highlight

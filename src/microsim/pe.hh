@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Processing element of the micro-simulator (paper Sec 6.3.3, Fig 10).
+ *
+ * Each PE holds G0 stationary operand-A values (the nonzeros of one
+ * rank-0 block) with their CP offsets. Per processing step it receives
+ * one dense-expanded operand-B block of H0 values; each MAC lane
+ * selects its B value through the rank-0 mux using the A-side offset,
+ * gates when the selected B value (or the lane's A dummy) is zero, and
+ * contributes to the PE's partial sum.
+ */
+
+#ifndef HIGHLIGHT_MICROSIM_PE_HH
+#define HIGHLIGHT_MICROSIM_PE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace highlight
+{
+
+/** Per-PE activity counters. */
+struct PeStats
+{
+    std::int64_t mac_ops = 0;     ///< Effectual multiply-accumulates.
+    std::int64_t gated_macs = 0;  ///< Lanes gated (zero operand).
+    std::int64_t mux_selects = 0; ///< Rank-0 mux selections.
+};
+
+/**
+ * One PE with G0 MAC lanes.
+ */
+class MicroPe
+{
+  public:
+    explicit MicroPe(int g0);
+
+    /**
+     * Load a rank-0 block's stationary operands: up to G0 values with
+     * their intra-block offsets (dummy lanes carry value 0).
+     */
+    void loadBlock(const std::vector<float> &values,
+                   const std::vector<std::uint8_t> &offsets);
+
+    /**
+     * Process one step against a dense-expanded B block of H0 values.
+     * Returns the PE's partial-sum contribution.
+     */
+    double step(const std::vector<float> &b_block);
+
+    const PeStats &stats() const { return stats_; }
+    int g0() const { return g0_; }
+
+  private:
+    int g0_;
+    std::vector<float> a_values_;
+    std::vector<std::uint8_t> a_offsets_;
+    PeStats stats_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_MICROSIM_PE_HH

@@ -1,0 +1,238 @@
+#include "microsim/simulator.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "format/hierarchical_cp.hh"
+#include "format/operand_b.hh"
+
+namespace highlight
+{
+
+double
+SimResult::speedupVsDense(std::int64_t m, std::int64_t k,
+                          std::int64_t n) const
+{
+    // A dense datapath of the same width (G1 PEs x G0 lanes) would
+    // need (K / (G1*G0)) steps per (row, column) pair.
+    const double g_lanes =
+        static_cast<double>(stats.pe.mux_selects) /
+        std::max<std::int64_t>(1, stats.cycles);
+    const double dense_steps = static_cast<double>(m) *
+                               static_cast<double>(n) *
+                               static_cast<double>(k) / g_lanes;
+    return dense_steps / static_cast<double>(stats.cycles);
+}
+
+HighlightSimulator::HighlightSimulator(MicrosimConfig config)
+    : config_(config)
+{
+    if (config_.glb_row_words < 1)
+        fatal("HighlightSimulator: glb_row_words < 1");
+}
+
+SimResult
+HighlightSimulator::run(const DenseTensor &a, const HssSpec &a_spec,
+                        const DenseTensor &b) const
+{
+    if (a.shape().rank() != 2 || b.shape().rank() != 2)
+        fatal("HighlightSimulator: operands must be rank-2");
+    const std::int64_t m = a.shape().dim(0).extent;
+    const std::int64_t k = a.shape().dim(1).extent;
+    const std::int64_t n = b.shape().dim(1).extent;
+    if (b.shape().dim(0).extent != k)
+        fatal(msgOf("HighlightSimulator: A is Mx", k, " but B is ",
+                    b.shape().dim(0).extent, "xN"));
+
+    // Geometry from the operand-A spec. The datapath implements the
+    // paper's two-level SAF hierarchy (PE-array level + PE level,
+    // Fig 6(c)); deeper HSS hierarchies are covered by the analytical
+    // explorer only.
+    if (a_spec.numRanks() > 2)
+        fatal(msgOf("HighlightSimulator: the simulated datapath "
+                    "implements at most two HSS ranks; got ",
+                    a_spec.numRanks()));
+    const int g0 = a_spec.rank(0).g;
+    const int h0 = a_spec.rank(0).h;
+    const bool two_rank = a_spec.numRanks() > 1;
+    const int g1 = two_rank ? a_spec.rank(1).g : 1;
+    const int h1 = two_rank ? a_spec.rank(1).h : 1;
+    const std::int64_t set_span = static_cast<std::int64_t>(h0) * h1;
+    if (k % set_span != 0)
+        fatal(msgOf("HighlightSimulator: K=", k,
+                    " not divisible by H0*H1=", set_span));
+    const std::int64_t groups = k / set_span;
+
+    int vfmu_cap = config_.vfmu_capacity_words;
+    if (vfmu_cap == 0) {
+        vfmu_cap = std::max(2 * h1 * h0, 2 * config_.glb_row_words);
+        vfmu_cap = std::max(
+            vfmu_cap, static_cast<int>(set_span) + config_.glb_row_words);
+    }
+
+    // Compress operand A (validates conformance as a side effect).
+    const HierarchicalCpMatrix a_cp(a, a_spec);
+
+    // Build the operand-B GLB stream in (group-major, column-minor)
+    // order so each VFMU shift delivers the H1*H0 values one A group
+    // needs for one output column while A stays stationary.
+    std::vector<float> b_stream;
+    b_stream.reserve(static_cast<std::size_t>(k * n));
+    for (std::int64_t g = 0; g < groups; ++g) {
+        for (std::int64_t col = 0; col < n; ++col) {
+            for (std::int64_t kk = g * set_span; kk < (g + 1) * set_span;
+                 ++kk) {
+                b_stream.push_back(b.at2(kk, col));
+            }
+        }
+    }
+
+    SimResult result{DenseTensor(TensorShape({{"M", m}, {"N", n}})), {}};
+    SimStats &st = result.stats;
+
+    // Optional compressed view of the stream (Sec 6.4): per-set shift
+    // counts come from the level-1 metadata.
+    std::unique_ptr<OperandBStream> b_comp;
+    if (config_.compress_b) {
+        b_comp = std::make_unique<OperandBStream>(
+            b_stream.data(), static_cast<std::int64_t>(b_stream.size()),
+            h0, h1);
+    }
+
+    // The PE array: G1 PEs, each with G0 MAC lanes (Fig 10).
+    std::vector<MicroPe> pes;
+    for (int p = 0; p < g1; ++p)
+        pes.emplace_back(g0);
+
+    for (std::int64_t row = 0; row < m; ++row) {
+        const HierarchicalCpRow &cp = a_cp.row(row);
+        // Fresh streaming state per A row: the whole B stream is
+        // re-streamed once per row (the down-sized config has a single
+        // PE row; larger configs amortize this across spatial rows).
+        MicroGlb glb(config_.compress_b
+                         ? std::vector<float>(b_comp->values())
+                         : b_stream,
+                     config_.glb_row_words);
+        Vfmu vfmu(glb, vfmu_cap);
+
+        for (std::int64_t g = 0; g < groups; ++g) {
+            // Rank-1 skipping SAF: load the G1 selected blocks (real
+            // or dummy) stationary into the PEs for this group.
+            std::vector<std::uint8_t> block_offsets(
+                static_cast<std::size_t>(g1));
+            for (int p = 0; p < g1; ++p) {
+                const std::size_t entry =
+                    static_cast<std::size_t>(g * g1 + p);
+                block_offsets[static_cast<std::size_t>(p)] =
+                    two_rank ? cp.offsets(1)[entry] : 0;
+                std::vector<float> lane_vals(
+                    static_cast<std::size_t>(g0));
+                std::vector<std::uint8_t> lane_offs(
+                    static_cast<std::size_t>(g0));
+                bool all_dummy = true;
+                for (int l = 0; l < g0; ++l) {
+                    const std::size_t vidx = static_cast<std::size_t>(
+                        (g * g1 + p) * g0 + l);
+                    lane_vals[static_cast<std::size_t>(l)] =
+                        cp.values()[vidx];
+                    lane_offs[static_cast<std::size_t>(l)] =
+                        cp.offsets(0)[vidx];
+                    all_dummy = all_dummy &&
+                                cp.values()[vidx] == 0.0f;
+                }
+                pes[static_cast<std::size_t>(p)].loadBlock(lane_vals,
+                                                           lane_offs);
+                st.a_words_loaded += g0;
+                if (all_dummy)
+                    ++st.dummy_blocks;
+            }
+
+            for (std::int64_t col = 0; col < n; ++col) {
+                // VFMU shift for this (group, column) set.
+                const std::int64_t set_idx = g * n + col;
+                std::vector<float> words;
+                std::vector<std::vector<float>> blocks(
+                    static_cast<std::size_t>(h1),
+                    std::vector<float>(static_cast<std::size_t>(h0),
+                                       0.0f));
+                if (config_.compress_b) {
+                    const std::int64_t count =
+                        b_comp->setCounts()[static_cast<std::size_t>(
+                            set_idx)];
+                    words = vfmu.readShift(static_cast<int>(count));
+                    // Expand the compressed set back into aligned
+                    // blocks using levels 2 and 3 of the metadata.
+                    const std::int64_t first_block = set_idx * h1;
+                    std::int64_t cursor = 0;
+                    for (int j = 0; j < h1; ++j) {
+                        const std::int64_t blk = first_block + j;
+                        const std::int64_t begin =
+                            blk == 0 ? 0
+                                     : b_comp->blockEnds()
+                                           [static_cast<std::size_t>(
+                                               blk - 1)];
+                        const std::int64_t end =
+                            b_comp->blockEnds()[static_cast<std::size_t>(
+                                blk)];
+                        for (std::int64_t i = begin; i < end;
+                             ++i, ++cursor) {
+                            const std::uint8_t off =
+                                b_comp->offsets()
+                                    [static_cast<std::size_t>(i)];
+                            blocks[static_cast<std::size_t>(j)]
+                                  [off] = words[static_cast<std::size_t>(
+                                      cursor)];
+                        }
+                    }
+                } else {
+                    // Dense B: fixed shift of H1 blocks (H1*H0 words);
+                    // for H1 < Hmax the tail slots would be dummy
+                    // padding never selected by the rank-1 SAF.
+                    words =
+                        vfmu.readShift(static_cast<int>(set_span));
+                    for (int j = 0; j < h1; ++j) {
+                        for (int i = 0; i < h0; ++i) {
+                            blocks[static_cast<std::size_t>(j)]
+                                  [static_cast<std::size_t>(i)] =
+                                words[static_cast<std::size_t>(
+                                    j * h0 + i)];
+                        }
+                    }
+                }
+
+                // One processing step: all PEs in parallel, partial
+                // sums spatially accumulated, then one RF update.
+                double psum = 0.0;
+                for (int p = 0; p < g1; ++p) {
+                    const auto &blk = blocks[block_offsets
+                                                 [static_cast<
+                                                     std::size_t>(p)]];
+                    psum += pes[static_cast<std::size_t>(p)].step(blk);
+                }
+                ++st.cycles;
+                ++st.psum_updates;
+                result.output.set2(
+                    row, col,
+                    result.output.at2(row, col) +
+                        static_cast<float>(psum));
+            }
+        }
+
+        // Fold per-row component stats into the aggregate.
+        st.glb_b.row_fetches += glb.stats().row_fetches;
+        st.glb_b.words_read += glb.stats().words_read;
+        st.vfmu.shifts += vfmu.stats().shifts;
+        st.vfmu.skipped_fetches += vfmu.stats().skipped_fetches;
+        st.vfmu.words_out += vfmu.stats().words_out;
+    }
+
+    for (const auto &pe : pes) {
+        st.pe.mac_ops += pe.stats().mac_ops;
+        st.pe.gated_macs += pe.stats().gated_macs;
+        st.pe.mux_selects += pe.stats().mux_selects;
+    }
+    return result;
+}
+
+} // namespace highlight

@@ -1,0 +1,66 @@
+#include "microsim/vfmu.hh"
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+Vfmu::Vfmu(MicroGlb &glb, int capacity_words)
+    : glb_(glb), capacity_words_(capacity_words)
+{
+    if (capacity_words_ < glb_.rowWords())
+        fatal(msgOf("Vfmu: capacity ", capacity_words_,
+                    " smaller than one GLB row (", glb_.rowWords(),
+                    " words)"));
+}
+
+void
+Vfmu::ensure(int need)
+{
+    if (static_cast<int>(buffer_.size()) >= need) {
+        // Enough valid entries: the GLB fetch for this step is skipped
+        // (Fig 12(b) step 2).
+        ++stats_.skipped_fetches;
+        return;
+    }
+    while (static_cast<int>(buffer_.size()) < need &&
+           next_row_ < glb_.numRows()) {
+        if (static_cast<int>(buffer_.size()) + glb_.rowWords() >
+            capacity_words_) {
+            panic(msgOf("Vfmu: refill would exceed capacity ",
+                        capacity_words_, " (buffered ", buffer_.size(),
+                        ", row ", glb_.rowWords(), ")"));
+        }
+        for (float v : glb_.fetchRow(next_row_))
+            buffer_.push_back(v);
+        ++next_row_;
+    }
+}
+
+std::vector<float>
+Vfmu::readShift(int count)
+{
+    if (count < 0)
+        panic("Vfmu::readShift: negative count");
+    if (count > capacity_words_)
+        fatal(msgOf("Vfmu::readShift: shift ", count,
+                    " exceeds buffer capacity ", capacity_words_));
+    ensure(count);
+    ++stats_.shifts;
+    std::vector<float> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count && !buffer_.empty(); ++i) {
+        out.push_back(buffer_.front());
+        buffer_.pop_front();
+    }
+    stats_.words_out += static_cast<std::int64_t>(out.size());
+    return out;
+}
+
+bool
+Vfmu::exhausted() const
+{
+    return buffer_.empty() && next_row_ >= glb_.numRows();
+}
+
+} // namespace highlight

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Variable Fetch Management Unit (paper Sec 6.3.2, Figs 11-12).
+ *
+ * The VFMU sits between the GLB's aligned row fetches and the PEs'
+ * variable-length block needs. It holds a small buffer, refills it with
+ * aligned GLB rows only when the buffered valid words cannot satisfy
+ * the next read ("if there are enough data words stored in VFMU for the
+ * next processing step, the GLB fetch is not performed"), and pops a
+ * configurable shift amount per processing step:
+ *
+ *  - dense operand B: shift = H1 * H0 values (e.g. 12 for C1(2:3),
+ *    Fig 11), output padded with dummy blocks up to Hmax blocks;
+ *  - compressed operand B: shift = the per-set nonzero count encoded
+ *    in the level-1 metadata (Fig 12(b)).
+ */
+
+#ifndef HIGHLIGHT_MICROSIM_VFMU_HH
+#define HIGHLIGHT_MICROSIM_VFMU_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "microsim/glb.hh"
+
+namespace highlight
+{
+
+/** VFMU event counters. */
+struct VfmuStats
+{
+    std::int64_t shifts = 0;          ///< Variable-length reads served.
+    std::int64_t skipped_fetches = 0; ///< Steps served from the buffer.
+    std::int64_t words_out = 0;       ///< Valid words delivered.
+};
+
+/**
+ * The VFMU streaming buffer.
+ */
+class Vfmu
+{
+  public:
+    /**
+     * @param glb            The operand-B GLB image to stream from.
+     * @param capacity_words Buffer capacity (2 * Hmax1 blocks of Hmax0
+     *                       words in the paper; Sec 6.3.2).
+     */
+    Vfmu(MicroGlb &glb, int capacity_words);
+
+    /**
+     * Read `count` words off the stream head (the configured shift for
+     * this step), refilling from the GLB beforehand only if needed.
+     * Returns the words; fewer only at end-of-stream.
+     */
+    std::vector<float> readShift(int count);
+
+    /** Valid words currently buffered. */
+    int validWords() const
+    {
+        return static_cast<int>(buffer_.size());
+    }
+
+    /** True when the stream and buffer are exhausted. */
+    bool exhausted() const;
+
+    const VfmuStats &stats() const { return stats_; }
+
+  private:
+    /** Refill until at least `need` words are valid (or stream ends). */
+    void ensure(int need);
+
+    MicroGlb &glb_;
+    int capacity_words_;
+    std::deque<float> buffer_;
+    std::int64_t next_row_ = 0;
+    VfmuStats stats_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_MICROSIM_VFMU_HH

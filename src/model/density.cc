@@ -1,0 +1,79 @@
+#include "model/density.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace highlight
+{
+
+double
+blockNonEmptyProb(double density, std::int64_t block)
+{
+    if (density < 0.0 || density > 1.0)
+        fatal(msgOf("blockNonEmptyProb: density ", density));
+    if (block < 1)
+        fatal(msgOf("blockNonEmptyProb: block ", block));
+    return 1.0 - std::pow(1.0 - density, static_cast<double>(block));
+}
+
+double
+expectedBlockOccupancy(double density, std::int64_t block)
+{
+    if (density < 0.0 || density > 1.0)
+        fatal(msgOf("expectedBlockOccupancy: density ", density));
+    return density * static_cast<double>(block);
+}
+
+namespace
+{
+
+struct UtilCtx
+{
+    int lane_width;
+};
+
+double
+ceilToLanes(int k, const void *ctx)
+{
+    const auto *c = static_cast<const UtilCtx *>(ctx);
+    if (k == 0)
+        return 0.0;
+    const int groups = (k + c->lane_width - 1) / c->lane_width;
+    return static_cast<double>(groups) *
+           static_cast<double>(c->lane_width);
+}
+
+double
+identityK(int k, const void *)
+{
+    return static_cast<double>(k);
+}
+
+} // namespace
+
+double
+unstructuredUtilization(double density, int lane_width, int sample_block)
+{
+    if (lane_width < 1 || sample_block < 1)
+        fatal("unstructuredUtilization: bad geometry");
+    if (density <= 0.0)
+        return 1.0; // no work at all: vacuous full utilization
+    UtilCtx ctx{lane_width};
+    const double e_occ =
+        binomialExpectation(sample_block, density, identityK, nullptr);
+    const double e_slots =
+        binomialExpectation(sample_block, density, ceilToLanes, &ctx);
+    if (e_slots <= 0.0)
+        return 1.0;
+    return e_occ / e_slots;
+}
+
+double
+hssDensity(const HssSpec &spec)
+{
+    return spec.density();
+}
+
+} // namespace highlight

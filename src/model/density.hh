@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Statistical density models (the Sparseloop methodology [54]; the
+ * paper adds an HSS density model, Sec 7.1.3).
+ *
+ * Structured operands have *fixed* per-tile occupancy — that is the
+ * whole point of HSS: tile occupancy equals G/H exactly, so workload
+ * balance is perfect. Unstructured operands have hypergeometric /
+ * binomial tile occupancy, which is what breaks balance on DSTC-style
+ * designs (Sec 2.2.1).
+ */
+
+#ifndef HIGHLIGHT_MODEL_DENSITY_HH
+#define HIGHLIGHT_MODEL_DENSITY_HH
+
+#include <cstdint>
+
+#include "sparsity/hss.hh"
+
+namespace highlight
+{
+
+/**
+ * Probability that a block of `block` elements from an unstructured
+ * tensor of the given density contains at least one nonzero.
+ */
+double blockNonEmptyProb(double density, std::int64_t block);
+
+/** Expected nonzeros in a block of `block` unstructured elements. */
+double expectedBlockOccupancy(double density, std::int64_t block);
+
+/**
+ * Expected compute-lane utilization of a DSTC-style design with
+ * `lane_width` parallel lanes fed from sub-tensors of `sample_block`
+ * elements with unstructured density `density`.
+ *
+ * DSTC only achieves perfect balance when a sub-tensor's occupancy is
+ * a multiple of the lane width (Sec 2.2.1); otherwise the last lane
+ * group runs partially empty. util = E[occ] / E[ceil(occ/W) * W] with
+ * occ ~ Binomial(sample_block, density). Structured operands (exact
+ * occupancy) get util = 1 from the same formula.
+ */
+double unstructuredUtilization(double density, int lane_width,
+                               int sample_block = 128);
+
+/**
+ * The HSS density model: the exact stored/compute density of a
+ * conforming operand is prod(Gn/Hn); this helper merely documents the
+ * equivalence and funnels every model through one call site.
+ */
+double hssDensity(const HssSpec &spec);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_MODEL_DENSITY_HH

@@ -1,0 +1,77 @@
+#include "sparsity/conformance.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+std::int64_t
+ConformanceReport::totalViolations() const
+{
+    return std::accumulate(violations_per_rank.begin(),
+                           violations_per_rank.end(), std::int64_t{0});
+}
+
+ConformanceReport
+checkHss(const DenseTensor &matrix, const HssSpec &spec)
+{
+    if (matrix.shape().rank() != 2)
+        fatal("checkHss: expected a rank-2 matrix");
+    const std::int64_t rows = matrix.shape().dim(0).extent;
+    const std::int64_t cols = matrix.shape().dim(1).extent;
+    if (cols % spec.totalSpan() != 0)
+        fatal(msgOf("checkHss: columns ", cols,
+                    " not divisible by HSS span ", spec.totalSpan()));
+
+    ConformanceReport report;
+    report.violations_per_rank.assign(spec.numRanks(), 0);
+
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *row = matrix.data().data() + r * cols;
+
+        // occupancy[b] at the current rank granularity: start with the
+        // per-value nonzero indicator and coarsen rank by rank.
+        std::vector<bool> occupied(static_cast<std::size_t>(cols));
+        for (std::int64_t i = 0; i < cols; ++i)
+            occupied[static_cast<std::size_t>(i)] = row[i] != 0.0f;
+
+        for (std::size_t n = 0; n < spec.numRanks(); ++n) {
+            const GhPattern &p = spec.rank(n);
+            const auto nunits = static_cast<std::int64_t>(occupied.size());
+            std::vector<bool> coarser(
+                static_cast<std::size_t>(nunits / p.h), false);
+            for (std::int64_t blk = 0; blk < nunits / p.h; ++blk) {
+                int occ = 0;
+                for (int i = 0; i < p.h; ++i) {
+                    if (occupied[static_cast<std::size_t>(
+                            blk * p.h + i)]) {
+                        ++occ;
+                    }
+                }
+                coarser[static_cast<std::size_t>(blk)] = occ > 0;
+                if (occ > p.g) {
+                    ++report.violations_per_rank[n];
+                    report.conforms = false;
+                    if (report.first_violation.empty()) {
+                        report.first_violation = msgOf(
+                            "row ", r, " rank ", n, " block ", blk,
+                            ": occupancy ", occ, " > G=", p.g,
+                            " (pattern ", p.str(), ")");
+                    }
+                }
+            }
+            occupied = std::move(coarser);
+        }
+    }
+    return report;
+}
+
+bool
+conformsTo(const DenseTensor &matrix, const HssSpec &spec)
+{
+    return checkHss(matrix, spec).conforms;
+}
+
+} // namespace highlight

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * HSS conformance checking.
+ *
+ * Given a matrix and an HssSpec, verify that every row obeys the
+ * per-rank occupancy limits: each H0 block holds at most G0 nonzeros,
+ * each group of H1 rank-1 blocks holds at most G1 non-empty blocks, and
+ * so on up the hierarchy. The hardware's correctness (and its perfect
+ * workload balance) depends on operands conforming, so both the
+ * sparsifier tests and the micro-simulator input validation use this.
+ */
+
+#ifndef HIGHLIGHT_SPARSITY_CONFORMANCE_HH
+#define HIGHLIGHT_SPARSITY_CONFORMANCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparsity/hss.hh"
+#include "tensor/dense_tensor.hh"
+
+namespace highlight
+{
+
+/** Result of a conformance check. */
+struct ConformanceReport
+{
+    bool conforms = true;
+    /** Per-rank count of fibers exceeding their occupancy limit. */
+    std::vector<std::int64_t> violations_per_rank;
+    /** First violation, described for error messages. */
+    std::string first_violation;
+
+    /** Total violations across ranks. */
+    std::int64_t totalViolations() const;
+};
+
+/**
+ * Check a rank-2 matrix against an HSS spec applied along columns.
+ * Column count must be divisible by spec.totalSpan().
+ */
+ConformanceReport checkHss(const DenseTensor &matrix, const HssSpec &spec);
+
+/**
+ * Check that the matrix's overall sparsity is achievable under the
+ * spec: occupancy may be *lower* than G/H (the patterns are "at most G"
+ * constraints) but never higher.
+ */
+bool conformsTo(const DenseTensor &matrix, const HssSpec &spec);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_SPARSITY_CONFORMANCE_HH

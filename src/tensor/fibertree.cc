@@ -1,0 +1,159 @@
+#include "tensor/fibertree.hh"
+
+#include <functional>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+Fibertree
+Fibertree::fromDense(const DenseTensor &tensor)
+{
+    Fibertree tree;
+    tree.shape_ = tensor.shape();
+    const std::size_t nranks = tree.shape_.rank();
+    if (nranks == 0)
+        fatal("Fibertree::fromDense: rank-0 tensor");
+
+    // rank_names_[0] is the leaf (innermost) dimension.
+    for (std::size_t r = 0; r < nranks; ++r)
+        tree.rank_names_.push_back(
+            tree.shape_.dim(nranks - 1 - r).name);
+    tree.ranks_.assign(nranks, {});
+
+    // Recursive build: returns the fiber index at `rank` for the subtree
+    // rooted at the given index prefix, or SIZE_MAX if empty.
+    constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+    std::function<std::size_t(std::vector<std::int64_t> &, std::size_t)>
+        build = [&](std::vector<std::int64_t> &prefix,
+                    std::size_t depth) -> std::size_t {
+        // depth counts dims consumed from the outside; the rank index of
+        // the fiber being built is nranks - 1 - depth.
+        const std::size_t rank = nranks - 1 - depth;
+        const std::int64_t extent =
+            tree.shape_.dim(depth).extent;
+        Fiber fiber;
+        for (std::int64_t c = 0; c < extent; ++c) {
+            prefix.push_back(c);
+            if (rank == 0) {
+                const float v = tensor.at(prefix);
+                if (v != 0.0f) {
+                    fiber.coords.push_back(c);
+                    fiber.payloads.push_back(tree.values_.size());
+                    tree.values_.push_back(v);
+                }
+            } else {
+                const std::size_t child = build(prefix, depth + 1);
+                if (child != kEmpty) {
+                    fiber.coords.push_back(c);
+                    fiber.payloads.push_back(child);
+                }
+            }
+            prefix.pop_back();
+        }
+        if (fiber.coords.empty() && depth != 0)
+            return kEmpty;
+        tree.ranks_[rank].push_back(std::move(fiber));
+        return tree.ranks_[rank].size() - 1;
+    };
+
+    std::vector<std::int64_t> prefix;
+    build(prefix, 0);
+    return tree;
+}
+
+const std::string &
+Fibertree::rankName(std::size_t rank) const
+{
+    if (rank >= rank_names_.size())
+        panic(msgOf("rankName: rank ", rank, " out of range"));
+    return rank_names_[rank];
+}
+
+std::int64_t
+Fibertree::rankShape(std::size_t rank) const
+{
+    if (rank >= rank_names_.size())
+        panic(msgOf("rankShape: rank ", rank, " out of range"));
+    return shape_.dim(shape_.rank() - 1 - rank).extent;
+}
+
+const std::vector<Fiber> &
+Fibertree::fibersAt(std::size_t rank) const
+{
+    if (rank >= ranks_.size())
+        panic(msgOf("fibersAt: rank ", rank, " out of range"));
+    return ranks_[rank];
+}
+
+const Fiber &
+Fibertree::root() const
+{
+    const auto &top = ranks_.back();
+    if (top.empty())
+        panic("Fibertree::root: empty tree");
+    return top.back();
+}
+
+DenseTensor
+Fibertree::toDense() const
+{
+    DenseTensor out(shape_);
+    const std::size_t nranks = numRanks();
+    std::function<void(const Fiber &, std::size_t,
+                       std::vector<std::int64_t> &)>
+        emit = [&](const Fiber &fiber, std::size_t rank,
+                   std::vector<std::int64_t> &prefix) {
+        for (std::size_t i = 0; i < fiber.coords.size(); ++i) {
+            prefix.push_back(fiber.coords[i]);
+            if (rank == 0) {
+                out.set(prefix, values_[fiber.payloads[i]]);
+            } else {
+                emit(ranks_[rank - 1][fiber.payloads[i]], rank - 1,
+                     prefix);
+            }
+            prefix.pop_back();
+        }
+    };
+    std::vector<std::int64_t> prefix;
+    if (!ranks_.back().empty())
+        emit(root(), nranks - 1, prefix);
+    return out;
+}
+
+std::vector<std::size_t>
+Fibertree::occupancies(std::size_t rank) const
+{
+    std::vector<std::size_t> occ;
+    for (const auto &fiber : fibersAt(rank))
+        occ.push_back(fiber.occupancy());
+    return occ;
+}
+
+std::string
+Fibertree::str() const
+{
+    std::ostringstream oss;
+    const std::size_t nranks = numRanks();
+    std::function<void(const Fiber &, std::size_t, int)> emit =
+        [&](const Fiber &fiber, std::size_t rank, int indent) {
+        for (std::size_t i = 0; i < fiber.coords.size(); ++i) {
+            oss << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+                << rankName(rank) << "=" << fiber.coords[i];
+            if (rank == 0) {
+                oss << " -> " << values_[fiber.payloads[i]] << "\n";
+            } else {
+                oss << "\n";
+                emit(ranks_[rank - 1][fiber.payloads[i]], rank - 1,
+                     indent + 1);
+            }
+        }
+    };
+    if (!ranks_.back().empty())
+        emit(root(), nranks - 1, 0);
+    return oss.str();
+}
+
+} // namespace highlight

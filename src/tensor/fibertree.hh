@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fibertree abstraction (paper Sec 3.1, following Sze et al. [44]).
+ *
+ * A fibertree expresses the *content* of a tensor independent of storage
+ * layout. Each tensor dimension corresponds to a rank; each rank holds
+ * fibers; a fiber is a set of (coordinate, payload) pairs. For
+ * intermediate ranks the payload is a fiber one rank below; at Rank0 the
+ * payload is a value. A coordinate is present only if its subtree
+ * contains at least one nonzero, which is exactly how pruning a
+ * coordinate at an intermediate rank implicitly prunes its whole subtree
+ * (paper Sec 3.2).
+ */
+
+#ifndef HIGHLIGHT_TENSOR_FIBERTREE_HH
+#define HIGHLIGHT_TENSOR_FIBERTREE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/dense_tensor.hh"
+#include "tensor/shape.hh"
+
+namespace highlight
+{
+
+/**
+ * One fiber: the coordinates present in one slice of a rank, plus their
+ * payloads. For intermediate ranks payload[i] is the index of a fiber in
+ * the next-lower rank's fiber array; for the leaf rank payload[i] indexes
+ * into the tree's value array.
+ */
+struct Fiber
+{
+    /** Coordinates present (strictly increasing). */
+    std::vector<std::int64_t> coords;
+    /** Payload handles, parallel to coords. */
+    std::vector<std::size_t> payloads;
+
+    /** Number of present coordinates (paper: the fiber's occupancy). */
+    std::size_t occupancy() const { return coords.size(); }
+};
+
+/**
+ * A fibertree view of a tensor.
+ *
+ * Ranks are numbered the paper's way: rank index 0 is the *lowest*
+ * (leaf) rank. rankName(r) gives the dimension name of rank r.
+ */
+class Fibertree
+{
+  public:
+    /**
+     * Build the fibertree of a dense tensor. Exact zeros become absent
+     * coordinates; intermediate coordinates whose entire subtree is zero
+     * are absent too.
+     */
+    static Fibertree fromDense(const DenseTensor &tensor);
+
+    /** Number of ranks (== tensor rank). */
+    std::size_t numRanks() const { return rank_names_.size(); }
+
+    /**
+     * Dimension name of the given rank; rank 0 is the leaf rank (the
+     * innermost tensor dimension).
+     */
+    const std::string &rankName(std::size_t rank) const;
+
+    /** Extent (fiber shape) of the given rank. */
+    std::int64_t rankShape(std::size_t rank) const;
+
+    /** All fibers at the given rank. */
+    const std::vector<Fiber> &fibersAt(std::size_t rank) const;
+
+    /** The root fiber (top rank has exactly one fiber). */
+    const Fiber &root() const;
+
+    /** Leaf values (payloads of rank-0 coordinates index into this). */
+    const std::vector<float> &values() const { return values_; }
+
+    /** Total number of nonzero values in the tree. */
+    std::size_t nnz() const { return values_.size(); }
+
+    /** Reconstruct the dense tensor (inverse of fromDense). */
+    DenseTensor toDense() const;
+
+    /** The shape of the originating tensor. */
+    const TensorShape &shape() const { return shape_; }
+
+    /**
+     * Occupancies of every fiber at a rank, *including* empty fibers
+     * implied by present parent coordinates. Used by the conformance
+     * checker to test per-fiber G:H rules.
+     */
+    std::vector<std::size_t> occupancies(std::size_t rank) const;
+
+    /**
+     * Render the tree as an indented listing (small tensors only);
+     * handy for debugging and for the Table 2 examples.
+     */
+    std::string str() const;
+
+  private:
+    Fibertree() = default;
+
+    TensorShape shape_;
+    std::vector<std::string> rank_names_; // index 0 = leaf rank
+    /** ranks_[r] = fibers at rank r (index 0 = leaf rank). */
+    std::vector<std::vector<Fiber>> ranks_;
+    std::vector<float> values_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_TENSOR_FIBERTREE_HH

@@ -1,0 +1,73 @@
+#include "tensor/generator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+namespace
+{
+
+/** N(0,1) sample guaranteed nonzero (exact zeros are "absent"). */
+float
+nonzeroNormal(Rng &rng)
+{
+    float v = 0.0f;
+    do {
+        v = static_cast<float>(rng.normal());
+    } while (v == 0.0f);
+    return v;
+}
+
+} // namespace
+
+DenseTensor
+randomDense(const TensorShape &shape, Rng &rng)
+{
+    DenseTensor t(shape);
+    for (auto &v : t.data())
+        v = nonzeroNormal(rng);
+    return t;
+}
+
+DenseTensor
+randomUnstructured(const TensorShape &shape, double sparsity, Rng &rng)
+{
+    if (sparsity < 0.0 || sparsity > 1.0)
+        fatal(msgOf("randomUnstructured: sparsity ", sparsity,
+                    " outside [0, 1]"));
+    DenseTensor t = randomDense(shape, rng);
+    const auto n = static_cast<std::size_t>(t.numel());
+    const auto zeros = static_cast<std::size_t>(
+        std::llround(sparsity * static_cast<double>(n)));
+    for (std::size_t idx : rng.sampleIndices(n, zeros))
+        t.data()[idx] = 0.0f;
+    return t;
+}
+
+DenseTensor
+randomGhMatrix(std::int64_t rows, std::int64_t cols, int g, int h,
+               Rng &rng)
+{
+    if (g <= 0 || h <= 0 || g > h)
+        fatal(msgOf("randomGhMatrix: bad G:H = ", g, ":", h));
+    if (cols % h != 0)
+        fatal(msgOf("randomGhMatrix: cols ", cols,
+                    " not divisible by H ", h));
+    DenseTensor t = DenseTensor::matrix(rows, cols);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t b = 0; b < cols / h; ++b) {
+            for (std::size_t off : rng.sampleIndices(
+                     static_cast<std::size_t>(h),
+                     static_cast<std::size_t>(g))) {
+                t.set2(r, b * h + static_cast<std::int64_t>(off),
+                       nonzeroNormal(rng));
+            }
+        }
+    }
+    return t;
+}
+
+} // namespace highlight

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Synthetic tensor generators.
+ *
+ * The paper's synthetic workloads (Sec 7.1.2) use 1024x1024 matrices
+ * with controlled sparsity degrees; the DNN suites need weight-like
+ * value distributions so magnitude-based sparsification is meaningful.
+ * These generators substitute for the ImageNet/WMT16-trained models we
+ * cannot train here (DESIGN.md Sec 1.1, substitution 4).
+ */
+
+#ifndef HIGHLIGHT_TENSOR_GENERATOR_HH
+#define HIGHLIGHT_TENSOR_GENERATOR_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "tensor/dense_tensor.hh"
+
+namespace highlight
+{
+
+/**
+ * Dense tensor with i.i.d. N(0, 1) values, no exact zeros (resampled).
+ * Weight-like: magnitudes vary so top-G selection is non-degenerate.
+ */
+DenseTensor randomDense(const TensorShape &shape, Rng &rng);
+
+/**
+ * Unstructured sparse tensor: exactly round(sparsity * numel) entries
+ * are zero, at uniformly random locations; the rest ~ N(0, 1).
+ */
+DenseTensor randomUnstructured(const TensorShape &shape, double sparsity,
+                               Rng &rng);
+
+/**
+ * Matrix whose every row follows a G:H pattern on the column dimension:
+ * within each block of h columns, exactly g entries are nonzero at
+ * random positions. Used to make STC/S2TA-conformant operands.
+ */
+DenseTensor randomGhMatrix(std::int64_t rows, std::int64_t cols,
+                           int g, int h, Rng &rng);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_TENSOR_GENERATOR_HH

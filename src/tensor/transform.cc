@@ -1,0 +1,124 @@
+#include "tensor/transform.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+DenseTensor
+reorder(const DenseTensor &tensor, const std::vector<std::string> &order)
+{
+    const TensorShape &shape = tensor.shape();
+    if (order.size() != shape.rank())
+        fatal(msgOf("reorder: order has ", order.size(), " names, tensor ",
+                    shape.rank(), " dims"));
+
+    std::vector<std::size_t> perm; // perm[i] = old position of new dim i
+    std::vector<Dim> new_dims;
+    for (const auto &name : order) {
+        const std::size_t old = shape.indexOf(name);
+        if (std::find(perm.begin(), perm.end(), old) != perm.end())
+            fatal(msgOf("reorder: dimension ", name, " listed twice"));
+        perm.push_back(old);
+        new_dims.push_back(shape.dim(old));
+    }
+
+    DenseTensor out{TensorShape(new_dims)};
+    const std::int64_t n = tensor.numel();
+    std::vector<std::int64_t> new_index(shape.rank());
+    for (std::int64_t flat = 0; flat < n; ++flat) {
+        const auto old_index = shape.unflatten(flat);
+        for (std::size_t i = 0; i < perm.size(); ++i)
+            new_index[i] = old_index[perm[i]];
+        out.set(new_index, tensor.atFlat(flat));
+    }
+    return out;
+}
+
+DenseTensor
+flatten(const DenseTensor &tensor, const std::string &outer,
+        const std::string &inner, const std::string &new_name)
+{
+    const TensorShape &shape = tensor.shape();
+    const std::size_t io = shape.indexOf(outer);
+    const std::size_t ii = shape.indexOf(inner);
+    if (ii != io + 1)
+        fatal(msgOf("flatten: dims ", outer, " and ", inner,
+                    " are not adjacent (outer then inner)"));
+
+    std::vector<Dim> new_dims;
+    for (std::size_t i = 0; i < shape.rank(); ++i) {
+        if (i == io) {
+            new_dims.push_back(
+                {new_name.empty() ? outer + inner : new_name,
+                 shape.dim(io).extent * shape.dim(ii).extent});
+        } else if (i == ii) {
+            continue;
+        } else {
+            new_dims.push_back(shape.dim(i));
+        }
+    }
+    // Row-major layout is unchanged by flattening adjacent dims.
+    return DenseTensor(TensorShape(new_dims), tensor.data());
+}
+
+DenseTensor
+partition(const DenseTensor &tensor, const std::string &name,
+          std::int64_t block, const std::string &outer_name,
+          const std::string &inner_name)
+{
+    const TensorShape &shape = tensor.shape();
+    const std::size_t idx = shape.indexOf(name);
+    const std::int64_t extent = shape.dim(idx).extent;
+    if (block <= 0)
+        fatal(msgOf("partition: non-positive block ", block));
+    if (extent % block != 0)
+        fatal(msgOf("partition: extent ", extent, " of dim ", name,
+                    " not divisible by block ", block,
+                    " (padTo it first)"));
+
+    std::vector<Dim> new_dims;
+    for (std::size_t i = 0; i < shape.rank(); ++i) {
+        if (i == idx) {
+            new_dims.push_back(
+                {outer_name.empty() ? name + "1" : outer_name,
+                 extent / block});
+            new_dims.push_back(
+                {inner_name.empty() ? name + "0" : inner_name, block});
+        } else {
+            new_dims.push_back(shape.dim(i));
+        }
+    }
+    // Row-major layout is unchanged by splitting a dim in place.
+    return DenseTensor(TensorShape(new_dims), tensor.data());
+}
+
+DenseTensor
+padTo(const DenseTensor &tensor, const std::string &name,
+      std::int64_t multiple)
+{
+    const TensorShape &shape = tensor.shape();
+    const std::size_t idx = shape.indexOf(name);
+    const std::int64_t extent = shape.dim(idx).extent;
+    if (multiple <= 0)
+        fatal(msgOf("padTo: non-positive multiple ", multiple));
+    const std::int64_t target =
+        (extent + multiple - 1) / multiple * multiple;
+    if (target == extent)
+        return tensor;
+
+    std::vector<Dim> new_dims = shape.dims();
+    new_dims[idx].extent = target;
+    DenseTensor out{TensorShape(new_dims)};
+    const std::int64_t n = tensor.numel();
+    for (std::int64_t flat = 0; flat < n; ++flat) {
+        const float v = tensor.atFlat(flat);
+        if (v != 0.0f)
+            out.set(shape.unflatten(flat), v);
+    }
+    return out;
+}
+
+} // namespace highlight

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Content-preserving rank transforms (paper Sec 3.2).
+ *
+ * Sparsity pattern specifications may first reorder ranks, flatten
+ * adjacent ranks into one, or partition one rank into an (outer, inner)
+ * pair — e.g. the 2:4 pattern of Fig 4(b) is built by reordering to put
+ * C innermost and then partitioning C into C1 and C0 with block size 4.
+ * These transforms rearrange a DenseTensor's view without changing its
+ * values.
+ */
+
+#ifndef HIGHLIGHT_TENSOR_TRANSFORM_HH
+#define HIGHLIGHT_TENSOR_TRANSFORM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/dense_tensor.hh"
+
+namespace highlight
+{
+
+/**
+ * Reorder dimensions. `order` lists existing dimension names in the new
+ * outermost-to-innermost order and must be a permutation of the
+ * tensor's dimension names.
+ */
+DenseTensor reorder(const DenseTensor &tensor,
+                    const std::vector<std::string> &order);
+
+/**
+ * Flatten two *adjacent* dimensions into one. The two dims must appear
+ * consecutively (outer then inner); the result dimension is named
+ * `outer+inner` (e.g. flattening R and S gives "RS") unless a name is
+ * supplied.
+ */
+DenseTensor flatten(const DenseTensor &tensor, const std::string &outer,
+                    const std::string &inner,
+                    const std::string &new_name = "");
+
+/**
+ * Partition a dimension into (outer, inner) with the given inner block
+ * size. The dimension extent must be divisible by block; the outer dim
+ * is named `name+"1"` and the inner `name+"0"` by default (paper: C is
+ * split into C1 and C0).
+ */
+DenseTensor partition(const DenseTensor &tensor, const std::string &name,
+                      std::int64_t block,
+                      const std::string &outer_name = "",
+                      const std::string &inner_name = "");
+
+/**
+ * Pad a dimension up to a multiple of `multiple` with zeros. Real DNN
+ * layers rarely have channel counts divisible by every H under study;
+ * padding with zeros preserves GEMM results while making partitioning
+ * legal (the hardware does the same with dummy lanes).
+ */
+DenseTensor padTo(const DenseTensor &tensor, const std::string &name,
+                  std::int64_t multiple);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_TENSOR_TRANSFORM_HH

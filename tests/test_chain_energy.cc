@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the two-layer chain simulator (Sec 6.4's compression-unit
+ * loop) and the micro-sim energy adapter that cross-prices measured
+ * activity with the analytical component library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/highlight.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "microsim/energy_adapter.hh"
+#include "microsim/layer_chain.hh"
+#include "sparsity/sparsify.hh"
+#include "tensor/generator.hh"
+
+namespace highlight
+{
+namespace
+{
+
+struct ChainFixture
+{
+    HssSpec spec1{{GhPattern(2, 4), GhPattern(2, 4)}};
+    HssSpec spec2{{GhPattern(2, 4), GhPattern(2, 4)}};
+    DenseTensor a1, input, a2;
+
+    explicit ChainFixture(std::uint64_t seed = 21)
+    {
+        Rng rng(seed);
+        const std::int64_t m1 = 32, k1 = 32, n = 6, m2 = 8;
+        a1 = hssSparsify(
+            randomDense(TensorShape({{"M", m1}, {"K", k1}}), rng),
+            spec1);
+        input = randomDense(TensorShape({{"K", k1}, {"N", n}}), rng);
+        a2 = hssSparsify(
+            randomDense(TensorShape({{"M", m2}, {"K", m1}}), rng),
+            spec2);
+    }
+};
+
+TEST(LayerChain, MatchesDenseReference)
+{
+    const ChainFixture f;
+    const auto chain = LayerChainSimulator().run(f.a1, f.spec1, f.input,
+                                                 f.a2, f.spec2);
+    const auto reference = referenceChain(f.a1, f.input, f.a2);
+    EXPECT_LT(chain.final_output.maxAbsDiff(reference), 1e-3);
+}
+
+TEST(LayerChain, ActivationsAreReluOfLayer1)
+{
+    const ChainFixture f;
+    const auto chain = LayerChainSimulator().run(f.a1, f.spec1, f.input,
+                                                 f.a2, f.spec2);
+    for (std::int64_t i = 0; i < chain.layer1_output.numel(); ++i) {
+        const float pre = chain.layer1_output.atFlat(i);
+        EXPECT_FLOAT_EQ(chain.activations.atFlat(i),
+                        pre > 0.0f ? pre : 0.0f);
+    }
+    // ReLU of a zero-mean output leaves roughly half the values.
+    EXPECT_GT(chain.activation_density, 0.25);
+    EXPECT_LT(chain.activation_density, 0.75);
+}
+
+TEST(LayerChain, CompressionUnitCountsMatch)
+{
+    const ChainFixture f;
+    const auto chain = LayerChainSimulator().run(f.a1, f.spec1, f.input,
+                                                 f.a2, f.spec2);
+    EXPECT_EQ(chain.compression.values_in,
+              chain.layer1_output.numel());
+    EXPECT_EQ(chain.compression.nonzeros_out,
+              chain.activations.countNonzeros());
+}
+
+TEST(LayerChain, BothLayersRunAndCount)
+{
+    const ChainFixture f;
+    const auto chain = LayerChainSimulator().run(f.a1, f.spec1, f.input,
+                                                 f.a2, f.spec2);
+    EXPECT_GT(chain.layer1.cycles, 0);
+    EXPECT_GT(chain.layer2.cycles, 0);
+    // Layer 2 streams compressed activations: with ~50% dense
+    // activations the VFMU skips some fetches.
+    EXPECT_GT(chain.layer2.vfmu.skipped_fetches, 0);
+}
+
+TEST(LayerChain, RejectsMisalignedShapes)
+{
+    const ChainFixture f;
+    Rng rng(1);
+    // Layer-2 K != layer-1 M.
+    const auto a2_bad = hssSparsify(
+        randomDense(TensorShape({{"M", 8}, {"K", 16}}), rng), f.spec2);
+    EXPECT_THROW(LayerChainSimulator().run(f.a1, f.spec1, f.input,
+                                           a2_bad, f.spec2),
+                 FatalError);
+}
+
+TEST(EnergyAdapter, AllComponentsPresentAndPositive)
+{
+    const ChainFixture f;
+    const auto r = HighlightSimulator().run(f.a1, f.spec1, f.input);
+    const ComponentLibrary lib;
+    const auto energy = microsimEnergy(r.stats, f.spec1, lib);
+    for (const char *name : {"mac", "glb", "rf", "saf", "reg"}) {
+        EXPECT_GT(breakdownShare(energy, name), 0.0) << name;
+    }
+}
+
+TEST(EnergyAdapter, MacEnergyMatchesAnalyticalExactly)
+{
+    // Effectual MAC counts are deterministic for dense B: the
+    // simulator-measured MAC energy must equal the analytical model's
+    // effectual-MAC term exactly (same component library).
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(33);
+    const std::int64_t m = 4, k = 64, n = 8;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+
+    const ComponentLibrary lib;
+    const auto sim = HighlightSimulator().run(a, spec, b);
+    const auto energy = microsimEnergy(sim.stats, spec, lib);
+
+    const double measured_mac_pj =
+        breakdownShare(energy, "mac") * breakdownTotal(energy);
+    const double analytical_effectual =
+        static_cast<double>(a.countNonzeros()) *
+        static_cast<double>(n) * lib.macComputePj();
+    // Gated-lane energy is the only extra term; it is bounded by
+    // (lane slots - effectual) * gated_pj.
+    EXPECT_GE(measured_mac_pj, analytical_effectual);
+    const double lane_slots =
+        static_cast<double>(sim.stats.pe.mux_selects);
+    EXPECT_LE(measured_mac_pj,
+              analytical_effectual + lane_slots * lib.macGatedPj());
+}
+
+TEST(EnergyAdapter, GatingReducesMeasuredMacEnergy)
+{
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(34);
+    const std::int64_t m = 2, k = 64, n = 8;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b_dense =
+        randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+    const auto b_sparse = unstructuredSparsify(b_dense, 0.6);
+
+    const ComponentLibrary lib;
+    const auto e_dense = microsimEnergy(
+        HighlightSimulator().run(a, spec, b_dense).stats, spec, lib);
+    const auto e_sparse = microsimEnergy(
+        HighlightSimulator().run(a, spec, b_sparse).stats, spec, lib);
+    const auto mac = [](const std::vector<BreakdownEntry> &e) {
+        return breakdownShare(e, "mac") * breakdownTotal(e);
+    };
+    EXPECT_LT(mac(e_sparse), mac(e_dense));
+}
+
+TEST(EnergyAdapter, CompressedBReducesMeasuredGlbEnergy)
+{
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(35);
+    const std::int64_t m = 2, k = 64, n = 16;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomUnstructured(
+        TensorShape({{"K", k}, {"N", n}}), 0.7, rng);
+
+    const ComponentLibrary lib;
+    MicrosimConfig comp;
+    comp.compress_b = true;
+    const auto e_raw = microsimEnergy(
+        HighlightSimulator().run(a, spec, b).stats, spec, lib);
+    const auto e_comp = microsimEnergy(
+        HighlightSimulator(comp).run(a, spec, b).stats, spec, lib);
+    const auto glb = [](const std::vector<BreakdownEntry> &e) {
+        return breakdownShare(e, "glb") * breakdownTotal(e);
+    };
+    EXPECT_LT(glb(e_comp), glb(e_raw));
+}
+
+} // namespace
+} // namespace highlight

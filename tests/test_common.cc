@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the common utilities: error handling, RNG,
+ * statistics, and the table emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace highlight
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsPreserved)
+{
+    try {
+        fatal("specific detail");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("specific detail"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, MsgOfConcatenatesStreamably)
+{
+    EXPECT_EQ(msgOf("H=", 4, " G=", 2), "H=4 G=2");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16 && !any_diff; ++i)
+        any_diff = a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(3.0, 7.0);
+        EXPECT_GE(v, 3.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng;
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values hit over 1000 draws
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange)
+{
+    Rng rng;
+    const auto sample = rng.sampleIndices(100, 30);
+    EXPECT_EQ(sample.size(), 30u);
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 30u);
+    for (std::size_t idx : sample)
+        EXPECT_LT(idx, 100u);
+}
+
+TEST(Rng, SampleIndicesFullSet)
+{
+    Rng rng;
+    const auto sample = rng.sampleIndices(10, 10);
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesOverdrawPanics)
+{
+    Rng rng;
+    EXPECT_THROW(rng.sampleIndices(5, 6), PanicError);
+}
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({3.0, 3.0, 3.0}), 3.0);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsEmpty)
+{
+    EXPECT_THROW(geomean({}), FatalError);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), FatalError);
+    EXPECT_THROW(geomean({1.0, -2.0}), FatalError);
+}
+
+TEST(Stats, MeanMinMax)
+{
+    const std::vector<double> v{2.0, 4.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_DOUBLE_EQ(minOf(v), 2.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 9.0);
+}
+
+TEST(Stats, SummarizeAllFields)
+{
+    const auto s = summarize({1.0, 4.0, 16.0});
+    EXPECT_EQ(s.n, 3u);
+    EXPECT_DOUBLE_EQ(s.mean, 7.0);
+    EXPECT_NEAR(s.geomean, 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 16.0);
+}
+
+TEST(Stats, BinomialPmfSumsToOne)
+{
+    double total = 0.0;
+    for (int k = 0; k <= 20; ++k)
+        total += binomialPmf(20, k, 0.3);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Stats, BinomialPmfDegenerateP)
+{
+    EXPECT_DOUBLE_EQ(binomialPmf(10, 0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(10, 3, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(10, 10, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(10, 9, 1.0), 0.0);
+}
+
+TEST(Stats, BinomialPmfOutOfRangeIsZero)
+{
+    EXPECT_DOUBLE_EQ(binomialPmf(5, -1, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 6, 0.5), 0.0);
+}
+
+TEST(Stats, BinomialExpectationOfIdentityIsNp)
+{
+    auto identity = [](int k, const void *) {
+        return static_cast<double>(k);
+    };
+    EXPECT_NEAR(binomialExpectation(100, 0.25, identity, nullptr), 25.0,
+                1e-9);
+}
+
+TEST(Stats, BinomialExpectationOfConstant)
+{
+    auto one = [](int, const void *) { return 1.0; };
+    EXPECT_NEAR(binomialExpectation(64, 0.7, one, nullptr), 1.0, 1e-9);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    TextTable t("demo");
+    t.setHeader({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, CsvOutput)
+{
+    TextTable t;
+    t.setHeader({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace highlight

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the DNN layer tables and the conv -> GEMM lowering
+ * (Fig 8(a)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "dnn/deit.hh"
+#include "dnn/layer.hh"
+#include "dnn/resnet50.hh"
+#include "dnn/transformer.hh"
+#include "tensor/generator.hh"
+
+namespace highlight
+{
+namespace
+{
+
+TEST(Layer, ConvToGemmShapes)
+{
+    const ConvShape conv{"c", 64, 128, 3, 3, 28, 28, 1};
+    const auto gemm = convToGemm(conv);
+    EXPECT_EQ(gemm.m, 128);
+    EXPECT_EQ(gemm.k, 64 * 9);
+    EXPECT_EQ(gemm.n, 28 * 28);
+}
+
+TEST(Layer, InputSizeFromOutputAndStride)
+{
+    const ConvShape conv{"c", 3, 64, 7, 7, 112, 112, 2};
+    EXPECT_EQ(conv.inputH(), 229);
+    EXPECT_EQ(conv.inputW(), 229);
+}
+
+TEST(Layer, ToeplitzGemmEqualsDirectConvolution)
+{
+    // 2-channel 3x3 conv on a 6x6 input, stride 1 -> 4x4 output.
+    const ConvShape conv{"t", 2, 3, 3, 3, 4, 4, 1};
+    Rng rng(1);
+    const auto input = randomDense(
+        TensorShape({{"C", 2}, {"H", 6}, {"W", 6}}), rng);
+    const auto weights = randomDense(
+        TensorShape({{"M", 3}, {"C", 2}, {"R", 3}, {"S", 3}}), rng);
+
+    const auto a = flattenWeights(weights);
+    const auto b = toeplitzExpand(input, conv);
+    const auto gemm_out = referenceGemm(a, b);
+
+    // Direct convolution reference.
+    for (std::int64_t mm = 0; mm < 3; ++mm) {
+        for (std::int64_t pp = 0; pp < 4; ++pp) {
+            for (std::int64_t qq = 0; qq < 4; ++qq) {
+                double acc = 0.0;
+                for (std::int64_t cc = 0; cc < 2; ++cc)
+                    for (std::int64_t rr = 0; rr < 3; ++rr)
+                        for (std::int64_t ss = 0; ss < 3; ++ss)
+                            acc += static_cast<double>(
+                                       weights.at({mm, cc, rr, ss})) *
+                                   input.at({cc, pp + rr, qq + ss});
+                EXPECT_NEAR(gemm_out.at2(mm, pp * 4 + qq), acc, 1e-3);
+            }
+        }
+    }
+}
+
+TEST(Layer, ToeplitzRejectsBadInput)
+{
+    const ConvShape conv{"t", 2, 3, 3, 3, 4, 4, 1};
+    Rng rng;
+    const auto small = randomDense(
+        TensorShape({{"C", 2}, {"H", 4}, {"W", 4}}), rng);
+    EXPECT_THROW(toeplitzExpand(small, conv), FatalError);
+}
+
+TEST(Resnet50, LayerCount)
+{
+    const auto model = resnet50Model();
+    // 53 convolutions (1 stem + 16 blocks * 3 + 4 projections) + FC.
+    EXPECT_EQ(resnet50ConvShapes().size(), 53u);
+    EXPECT_EQ(model.layers.size(), 54u);
+}
+
+TEST(Resnet50, KnownLayerShapes)
+{
+    const auto model = resnet50Model();
+    // conv1: 64 filters over 3x7x7, 112x112 outputs.
+    EXPECT_EQ(model.layers[0].m, 64);
+    EXPECT_EQ(model.layers[0].k, 147);
+    EXPECT_EQ(model.layers[0].n, 112 * 112);
+    // Final FC: 1000 x 2048.
+    EXPECT_EQ(model.layers.back().m, 1000);
+    EXPECT_EQ(model.layers.back().k, 2048);
+}
+
+TEST(Resnet50, TotalMacsInPublishedBallpark)
+{
+    // He et al. report 3.8e9 FLOPs for ResNet-50 at 224x224, counting
+    // multiply-adds (i.e. 3.8 GMACs).
+    const auto model = resnet50Model();
+    EXPECT_GT(model.totalMacs(), 3.5e9);
+    EXPECT_LT(model.totalMacs(), 4.2e9);
+}
+
+TEST(Resnet50, AllLayersPrunable)
+{
+    // Sec 7.3: "we prune all convolutional and fully-connected
+    // layers".
+    const auto model = resnet50Model();
+    EXPECT_DOUBLE_EQ(model.prunableWeightFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(model.activation_density, 0.4);
+}
+
+TEST(TransformerBig, StructureCounts)
+{
+    const auto model = transformerBigModel(128);
+    // Encoder: 6 * (4 proj + 2 attn + 2 ffn) = 48.
+    // Decoder: 6 * (2 attention blocks * 6 + 2 ffn) = 84.
+    EXPECT_EQ(model.layers.size(), 48u + 84u);
+}
+
+TEST(TransformerBig, FfnShapes)
+{
+    const auto model = transformerBigModel(128);
+    bool found = false;
+    for (const auto &l : model.layers) {
+        if (l.name == "enc0_ffn1") {
+            EXPECT_EQ(l.m, 4096);
+            EXPECT_EQ(l.k, 1024);
+            EXPECT_EQ(l.n, 128);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TransformerBig, AttentionGemmsAreNotPrunable)
+{
+    const auto model = transformerBigModel(128);
+    int dense_layers = 0;
+    for (const auto &l : model.layers) {
+        if (!l.prunable) {
+            ++dense_layers;
+            // Dynamic GEMMs only: qk and av.
+            EXPECT_TRUE(l.name.find("_qk") != std::string::npos ||
+                        l.name.find("_av") != std::string::npos)
+                << l.name;
+        }
+    }
+    // 6 enc self + 6 dec self + 6 dec cross = 18 blocks, 2 each.
+    EXPECT_EQ(dense_layers, 36);
+}
+
+TEST(TransformerBig, MostlyDenseActivations)
+{
+    EXPECT_GT(transformerBigModel().activation_density, 0.85);
+}
+
+TEST(DeitSmall, StructureCounts)
+{
+    const auto model = deitSmallModel();
+    // patch embed + 12 * (3 qkv + 2 attn + 1 oproj + 2 ffn) + head.
+    EXPECT_EQ(model.layers.size(), 2u + 12u * 8u);
+}
+
+TEST(DeitSmall, OnlyFfnAndOprojPrunable)
+{
+    const auto model = deitSmallModel();
+    for (const auto &l : model.layers) {
+        const bool should_prune =
+            l.name.find("_oproj") != std::string::npos ||
+            l.name.find("_ffn") != std::string::npos;
+        EXPECT_EQ(l.prunable, should_prune) << l.name;
+    }
+    // Compact model: well under all weights prunable (Sec 7.3).
+    const double frac = model.prunableWeightFraction();
+    EXPECT_GT(frac, 0.5);
+    EXPECT_LT(frac, 0.9);
+}
+
+TEST(DeitSmall, FfnShapes)
+{
+    const auto model = deitSmallModel();
+    bool found = false;
+    for (const auto &l : model.layers) {
+        if (l.name == "blk0_ffn1") {
+            EXPECT_EQ(l.m, 1536);
+            EXPECT_EQ(l.k, 384);
+            EXPECT_EQ(l.n, 197);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Models, TotalMacsPositive)
+{
+    EXPECT_GT(transformerBigModel().totalMacs(), 1e9);
+    EXPECT_GT(deitSmallModel().totalMacs(), 1e8);
+}
+
+} // namespace
+} // namespace highlight

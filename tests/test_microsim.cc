@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Functional tests for the cycle-level micro-simulator (paper Sec 6):
+ * exact GEMM results across HSS degrees, cycle-count formulas, gating
+ * behaviour, VFMU fetch skipping, and the compression unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "microsim/compression_unit.hh"
+#include "microsim/dsso_sim.hh"
+#include "microsim/glb.hh"
+#include "microsim/simulator.hh"
+#include "microsim/vfmu.hh"
+#include "sparsity/sparsify.hh"
+#include "tensor/generator.hh"
+
+namespace highlight
+{
+namespace
+{
+
+TEST(MicroGlb, AlignedRowFetches)
+{
+    MicroGlb glb({1.0f, 2.0f, 3.0f, 4.0f, 5.0f}, 4);
+    EXPECT_EQ(glb.numRows(), 2); // padded to 8 words
+    const auto row0 = glb.fetchRow(0);
+    EXPECT_EQ(row0.size(), 4u);
+    EXPECT_FLOAT_EQ(row0[0], 1.0f);
+    const auto row1 = glb.fetchRow(1);
+    EXPECT_FLOAT_EQ(row1[0], 5.0f);
+    EXPECT_FLOAT_EQ(row1[3], 0.0f); // padding
+    EXPECT_EQ(glb.stats().row_fetches, 2);
+    EXPECT_EQ(glb.stats().words_read, 8);
+    EXPECT_THROW(glb.fetchRow(2), PanicError);
+}
+
+TEST(Vfmu, VariableShiftOverAlignedRows)
+{
+    // Fig 11: 16-word rows, shifts of 12 (three 4-word blocks for
+    // C1(2:3)) straddle row boundaries.
+    std::vector<float> data(48);
+    for (int i = 0; i < 48; ++i)
+        data[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+    MicroGlb glb(data, 16);
+    Vfmu vfmu(glb, 32);
+    const auto s1 = vfmu.readShift(12);
+    ASSERT_EQ(s1.size(), 12u);
+    EXPECT_FLOAT_EQ(s1[0], 1.0f);
+    const auto s2 = vfmu.readShift(12);
+    EXPECT_FLOAT_EQ(s2[0], 13.0f); // continues across the row boundary
+    const auto s3 = vfmu.readShift(12);
+    EXPECT_FLOAT_EQ(s3[11], 36.0f);
+    EXPECT_EQ(vfmu.stats().shifts, 3);
+}
+
+TEST(Vfmu, SkipsFetchWhenBufferSuffices)
+{
+    // Fig 12(b) step 2: 13 valid entries, next step needs 8 -> no GLB
+    // fetch.
+    std::vector<float> data(32, 1.0f);
+    MicroGlb glb(data, 16);
+    Vfmu vfmu(glb, 32);
+    (void)vfmu.readShift(3); // fetches a 16-word row, leaves 13
+    const auto fetches_before = glb.stats().row_fetches;
+    (void)vfmu.readShift(8); // served from the buffer
+    EXPECT_EQ(glb.stats().row_fetches, fetches_before);
+    EXPECT_GE(vfmu.stats().skipped_fetches, 1);
+}
+
+TEST(Vfmu, RejectsShiftBeyondCapacity)
+{
+    std::vector<float> data(32, 1.0f);
+    MicroGlb glb(data, 16);
+    Vfmu vfmu(glb, 16);
+    EXPECT_THROW(vfmu.readShift(17), FatalError);
+}
+
+TEST(Vfmu, ExhaustionAtStreamEnd)
+{
+    std::vector<float> data(16, 1.0f);
+    MicroGlb glb(data, 16);
+    Vfmu vfmu(glb, 32);
+    (void)vfmu.readShift(16);
+    EXPECT_TRUE(vfmu.exhausted());
+    EXPECT_TRUE(vfmu.readShift(4).empty());
+}
+
+TEST(Pe, GatesZeroOperands)
+{
+    MicroPe pe(2);
+    pe.loadBlock({2.0f, 0.0f}, {1, 0}); // lane 1 is a dummy
+    const double psum = pe.step({0.0f, 3.0f, 0.0f, 0.0f});
+    EXPECT_DOUBLE_EQ(psum, 6.0); // 2 * 3 via offset 1
+    EXPECT_EQ(pe.stats().mac_ops, 1);
+    EXPECT_EQ(pe.stats().gated_macs, 1);
+    EXPECT_EQ(pe.stats().mux_selects, 2);
+}
+
+TEST(Pe, GatesWhenSelectedBIsZero)
+{
+    MicroPe pe(2);
+    pe.loadBlock({2.0f, 4.0f}, {0, 3});
+    const double psum = pe.step({5.0f, 1.0f, 1.0f, 0.0f});
+    EXPECT_DOUBLE_EQ(psum, 10.0); // lane 1 selects B=0 -> gated
+    EXPECT_EQ(pe.stats().gated_macs, 1);
+}
+
+TEST(CompressionUnit, ReluThenCompressRoundTrip)
+{
+    CompressionUnit cu(4, 3);
+    std::vector<float> stream = {1.0f, -2.0f, 0.0f, 3.0f, -1.0f, -1.0f,
+                                 0.0f, 5.0f, 2.0f, 0.0f, 0.0f, -4.0f};
+    const auto compressed = cu.compress(stream);
+    const auto back = compressed.decompress();
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const float expected = stream[i] > 0.0f ? stream[i] : 0.0f;
+        EXPECT_FLOAT_EQ(back[i], expected);
+    }
+    EXPECT_EQ(cu.stats().nonzeros_out, 4);
+    EXPECT_EQ(cu.stats().values_in, 12);
+}
+
+/**
+ * End-to-end functional property: for (degree index, compress_b), the
+ * simulated GEMM equals the dense reference exactly, and the cycle
+ * count matches M * groups * N.
+ */
+class SimCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>>
+{
+};
+
+TEST_P(SimCorrectness, OutputMatchesReferenceAndCyclesFormula)
+{
+    const auto degrees = enumerateDegrees(highlightWeightSupport());
+    const HssSpec spec = degrees[std::get<0>(GetParam())].spec;
+    const bool compress_b = std::get<1>(GetParam());
+
+    Rng rng(std::get<0>(GetParam()) * 2 + (compress_b ? 1 : 0));
+    const std::int64_t m = 3;
+    const std::int64_t k = spec.totalSpan() * 3;
+    const std::int64_t n = 5;
+
+    auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    auto b = compress_b
+                 ? randomUnstructured(TensorShape({{"K", k}, {"N", n}}),
+                                      0.5, rng)
+                 : randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+
+    MicrosimConfig cfg;
+    cfg.compress_b = compress_b;
+    const HighlightSimulator sim(cfg);
+    const auto result = sim.run(a, spec, b);
+
+    const auto reference = referenceGemm(a, b);
+    EXPECT_LT(result.output.maxAbsDiff(reference), 1e-3)
+        << "spec " << spec.str();
+
+    const std::int64_t groups = k / spec.totalSpan();
+    EXPECT_EQ(result.stats.cycles, m * groups * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreesAndModes, SimCorrectness,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 12),
+                       ::testing::Bool()));
+
+TEST(Simulator, SpeedupMatchesInverseDensity)
+{
+    // C1(4:8) -> C0(2:4): density 0.25 -> 4x fewer steps than a dense
+    // datapath of the same width.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(4, 8)});
+    Rng rng(5);
+    const std::int64_t m = 2, k = spec.totalSpan() * 2, n = 4;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+    const auto result = HighlightSimulator().run(a, spec, b);
+    EXPECT_NEAR(result.speedupVsDense(m, k, n), 4.0, 1e-9);
+}
+
+TEST(Simulator, GatedMacsTrackBSparsity)
+{
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(9);
+    const std::int64_t m = 2, k = 32, n = 8;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b_dense =
+        randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+    const auto b_sparse = unstructuredSparsify(b_dense, 0.5);
+
+    const auto r_dense = HighlightSimulator().run(a, spec, b_dense);
+    const auto r_sparse = HighlightSimulator().run(a, spec, b_sparse);
+    // Same cycles (gating does not change timing, Sec 6.4)...
+    EXPECT_EQ(r_dense.stats.cycles, r_sparse.stats.cycles);
+    // ...but fewer effectual MACs and more gated lanes.
+    EXPECT_LT(r_sparse.stats.pe.mac_ops, r_dense.stats.pe.mac_ops);
+    EXPECT_GT(r_sparse.stats.pe.gated_macs,
+              r_dense.stats.pe.gated_macs);
+}
+
+TEST(Simulator, CompressedBReducesGlbTraffic)
+{
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(13);
+    const std::int64_t m = 2, k = 64, n = 8;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomUnstructured(
+        TensorShape({{"K", k}, {"N", n}}), 0.75, rng);
+
+    MicrosimConfig dense_cfg, comp_cfg;
+    comp_cfg.compress_b = true;
+    const auto r_dense = HighlightSimulator(dense_cfg).run(a, spec, b);
+    const auto r_comp = HighlightSimulator(comp_cfg).run(a, spec, b);
+    EXPECT_LT(r_comp.stats.glb_b.words_read,
+              r_dense.stats.glb_b.words_read);
+    // Functional equivalence between the two modes.
+    EXPECT_LT(r_comp.output.maxAbsDiff(r_dense.output), 1e-4);
+}
+
+TEST(Simulator, DummyBlocksCountedForUnderOccupiedGroups)
+{
+    // A row with one empty group half: rank-1 padding shows up as
+    // dummy blocks (the hardware keeps PEs in sync with zero work).
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    DenseTensor a(TensorShape({{"M", 1}, {"K", 16}}));
+    a.set2(0, 0, 1.0f); // only one nonzero -> 1 real block, 1 dummy
+    const auto b = [] {
+        Rng rng(17);
+        return randomDense(TensorShape({{"K", 16}, {"N", 2}}), rng);
+    }();
+    const auto result = HighlightSimulator().run(a, spec, b);
+    EXPECT_GE(result.stats.dummy_blocks, 1);
+    const auto reference = referenceGemm(a, b);
+    EXPECT_LT(result.output.maxAbsDiff(reference), 1e-5);
+}
+
+TEST(Simulator, SingleRankSpecRuns)
+{
+    const HssSpec spec({GhPattern(2, 4)});
+    Rng rng(21);
+    const std::int64_t m = 2, k = 16, n = 3;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+    const auto result = HighlightSimulator().run(a, spec, b);
+    EXPECT_LT(result.output.maxAbsDiff(referenceGemm(a, b)), 1e-4);
+    EXPECT_EQ(result.stats.cycles, m * (k / 4) * n);
+}
+
+TEST(Simulator, RejectsMismatchedOperands)
+{
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    auto a = DenseTensor::matrix(2, 16);
+    auto b = DenseTensor::matrix(8, 4); // K mismatch
+    EXPECT_THROW(HighlightSimulator().run(a, spec, b), FatalError);
+}
+
+TEST(Simulator, RejectsNonDivisibleK)
+{
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    auto a = DenseTensor::matrix(2, 20);
+    auto b = DenseTensor::matrix(20, 4);
+    EXPECT_THROW(HighlightSimulator().run(a, spec, b), FatalError);
+}
+
+/**
+ * DSSO (Sec 7.5) functional property across the supported B degrees:
+ * exact results, block-level time skipping, and the Fig 17 speed ratio
+ * vs. HighLight's gating-only datapath.
+ */
+class DssoSimProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DssoSimProperty, ExactResultsAndFig17SpeedRatio)
+{
+    const int hb = GetParam();
+    const GhPattern a_rank0(2, 4);
+    const GhPattern b_rank1(2, hb);
+
+    Rng rng(static_cast<std::uint64_t>(hb));
+    const std::int64_t m = 3;
+    const std::int64_t k = 4 * hb * 2; // two rank-1 groups
+    const std::int64_t n = 5;
+
+    // A: C1(dense)->C0(2:4); B: C1(2:hb)->C0(dense).
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng),
+        HssSpec({a_rank0}));
+    const auto b = hssSparsifyColumns(
+        randomDense(TensorShape({{"K", k}, {"N", n}}), rng),
+        HssSpec({GhPattern(4, 4), b_rank1}));
+
+    const DssoSimulator dsso(2);
+    const auto r = dsso.run(a, a_rank0, b, b_rank1);
+    EXPECT_LT(r.output.maxAbsDiff(referenceGemm(a, b)), 1e-3);
+
+    // Block-level skipping: exactly Gb of every Hb blocks processed.
+    const std::int64_t blocks = k / 4;
+    EXPECT_EQ(r.stats.b_blocks_processed,
+              m * n * (blocks / hb) * b_rank1.g);
+    EXPECT_EQ(r.stats.b_blocks_skipped,
+              m * n * (blocks - (blocks / hb) * b_rank1.g));
+
+    // Fig 17: speed vs the HighLight datapath (same A, B only gated):
+    // HighLight's cycles are independent of B sparsity. The dense
+    // rank-1 is expressed as 2:2 so both datapaths use two PEs.
+    const HssSpec hl_spec({a_rank0, GhPattern(2, 2)});
+    const auto hl = HighlightSimulator().run(a, hl_spec, b);
+    EXPECT_LT(hl.output.maxAbsDiff(referenceGemm(a, b)), 1e-3);
+    const double ratio = static_cast<double>(hl.stats.cycles) /
+                         static_cast<double>(r.stats.cycles);
+    EXPECT_NEAR(ratio, hb / 2.0, 1e-9) << "Hb=" << hb;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBDegrees, DssoSimProperty,
+                         ::testing::Values(2, 4, 6, 8));
+
+TEST(DssoSim, RejectsNonConformingOperands)
+{
+    Rng rng(3);
+    const GhPattern a_rank0(2, 4);
+    const GhPattern b_rank1(2, 4);
+    // Dense A violates C0(2:4).
+    const auto a_bad =
+        randomDense(TensorShape({{"M", 2}, {"K", 32}}), rng);
+    const auto b_ok = hssSparsifyColumns(
+        randomDense(TensorShape({{"K", 32}, {"N", 2}}), rng),
+        HssSpec({GhPattern(4, 4), b_rank1}));
+    EXPECT_THROW(DssoSimulator().run(a_bad, a_rank0, b_ok, b_rank1),
+                 FatalError);
+    // Dense B violates C1(2:4).
+    const auto a_ok = hssSparsify(a_bad, HssSpec({a_rank0}));
+    const auto b_bad =
+        randomDense(TensorShape({{"K", 32}, {"N", 2}}), rng);
+    EXPECT_THROW(DssoSimulator().run(a_ok, a_rank0, b_bad, b_rank1),
+                 FatalError);
+}
+
+TEST(DssoSim, PerfectWorkloadBalanceAcrossPes)
+{
+    // Alternating dense ranks give dense-sparse intersections that are
+    // perfectly balanced (Sec 7.5): with Gb = num_pes, every step
+    // occupies every PE, so mux selections split evenly.
+    Rng rng(11);
+    const GhPattern a_rank0(2, 4);
+    const GhPattern b_rank1(2, 4);
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", 2}, {"K", 64}}), rng),
+        HssSpec({a_rank0}));
+    const auto b = hssSparsifyColumns(
+        randomDense(TensorShape({{"K", 64}, {"N", 4}}), rng),
+        HssSpec({GhPattern(4, 4), b_rank1}));
+    const auto r = DssoSimulator(2).run(a, a_rank0, b, b_rank1);
+    // Every cycle engages both PEs (2 blocks per group, 2 PEs).
+    EXPECT_EQ(r.stats.pe.mux_selects, r.stats.cycles * 2 * 2);
+}
+
+TEST(Simulator, VfmuSkipsFetchesWithCompressedB)
+{
+    // With 75% sparse B the compressed stream often has enough valid
+    // words buffered to skip GLB fetches entirely on some steps.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(25);
+    const std::int64_t m = 1, k = 64, n = 16;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomUnstructured(
+        TensorShape({{"K", k}, {"N", n}}), 0.75, rng);
+    MicrosimConfig cfg;
+    cfg.compress_b = true;
+    const auto result = HighlightSimulator(cfg).run(a, spec, b);
+    EXPECT_GT(result.stats.vfmu.skipped_fetches, 0);
+}
+
+} // namespace
+} // namespace highlight

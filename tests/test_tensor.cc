@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit tests for the tensor subsystem: shapes, dense tensors,
+ * fibertrees, rank transforms, and generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "tensor/dense_tensor.hh"
+#include "tensor/fibertree.hh"
+#include "tensor/generator.hh"
+#include "tensor/shape.hh"
+#include "tensor/transform.hh"
+
+namespace highlight
+{
+namespace
+{
+
+TensorShape
+crsShape()
+{
+    return TensorShape({{"C", 4}, {"R", 3}, {"S", 3}});
+}
+
+TEST(Shape, BasicProperties)
+{
+    const auto s = crsShape();
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.numel(), 36);
+    EXPECT_EQ(s.dim(0).name, "C");
+    EXPECT_EQ(s.indexOf("S"), 2u);
+    EXPECT_TRUE(s.has("R"));
+    EXPECT_FALSE(s.has("Z"));
+}
+
+TEST(Shape, StridesAreRowMajor)
+{
+    const auto strides = crsShape().strides();
+    ASSERT_EQ(strides.size(), 3u);
+    EXPECT_EQ(strides[0], 9);
+    EXPECT_EQ(strides[1], 3);
+    EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, FlattenUnflattenRoundTrip)
+{
+    const auto s = crsShape();
+    for (std::int64_t flat = 0; flat < s.numel(); ++flat) {
+        const auto idx = s.unflatten(flat);
+        EXPECT_EQ(s.flatIndex(idx), flat);
+    }
+}
+
+TEST(Shape, RejectsBadConstruction)
+{
+    EXPECT_THROW(TensorShape({{"C", 0}}), FatalError);
+    EXPECT_THROW(TensorShape({{"C", 2}, {"C", 3}}), FatalError);
+    EXPECT_THROW(TensorShape({{"", 2}}), FatalError);
+}
+
+TEST(Shape, OutOfBoundsIndexPanics)
+{
+    const auto s = crsShape();
+    EXPECT_THROW(s.flatIndex({4, 0, 0}), PanicError);
+    EXPECT_THROW(s.unflatten(36), PanicError);
+}
+
+TEST(Shape, StrPrintsNamesAndExtents)
+{
+    EXPECT_EQ(crsShape().str(), "[C:4, R:3, S:3]");
+}
+
+TEST(DenseTensor, ZeroInitialized)
+{
+    DenseTensor t(crsShape());
+    EXPECT_EQ(t.countZeros(), 36);
+    EXPECT_DOUBLE_EQ(t.sparsity(), 1.0);
+    EXPECT_DOUBLE_EQ(t.density(), 0.0);
+}
+
+TEST(DenseTensor, SetGetRoundTrip)
+{
+    DenseTensor t(crsShape());
+    t.set({1, 2, 0}, 5.0f);
+    EXPECT_FLOAT_EQ(t.at({1, 2, 0}), 5.0f);
+    EXPECT_EQ(t.countNonzeros(), 1);
+}
+
+TEST(DenseTensor, Matrix2dAccessors)
+{
+    auto m = DenseTensor::matrix(2, 3);
+    m.set2(1, 2, 7.0f);
+    EXPECT_FLOAT_EQ(m.at2(1, 2), 7.0f);
+    EXPECT_FLOAT_EQ(m.atFlat(5), 7.0f);
+}
+
+TEST(DenseTensor, DataSizeValidation)
+{
+    EXPECT_THROW(
+        DenseTensor(TensorShape({{"M", 2}, {"K", 2}}), {1.0f}),
+        FatalError);
+}
+
+TEST(DenseTensor, SparsityCounts)
+{
+    DenseTensor m(TensorShape({{"M", 1}, {"K", 4}}),
+                  {1.0f, 0.0f, 2.0f, 0.0f});
+    EXPECT_DOUBLE_EQ(m.sparsity(), 0.5);
+    EXPECT_DOUBLE_EQ(m.density(), 0.5);
+}
+
+TEST(DenseTensor, MaxAbsDiffAndEquals)
+{
+    DenseTensor a(TensorShape({{"M", 1}, {"K", 2}}), {1.0f, 2.0f});
+    DenseTensor b(TensorShape({{"M", 1}, {"K", 2}}), {1.0f, 2.5f});
+    EXPECT_TRUE(a.equals(a));
+    EXPECT_FALSE(a.equals(b));
+    EXPECT_NEAR(a.maxAbsDiff(b), 0.5, 1e-7);
+}
+
+TEST(DenseTensor, ReferenceGemmHandComputed)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    DenseTensor a(TensorShape({{"M", 2}, {"K", 2}}),
+                  {1.0f, 2.0f, 3.0f, 4.0f});
+    DenseTensor b(TensorShape({{"K", 2}, {"N", 2}}),
+                  {5.0f, 6.0f, 7.0f, 8.0f});
+    const auto c = referenceGemm(a, b);
+    EXPECT_FLOAT_EQ(c.at2(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at2(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(DenseTensor, ReferenceGemmRejectsMismatch)
+{
+    auto a = DenseTensor::matrix(2, 3);
+    auto b = DenseTensor::matrix(4, 2);
+    EXPECT_THROW(referenceGemm(a, b), FatalError);
+}
+
+TEST(Fibertree, DenseTensorHasFullTree)
+{
+    Rng rng;
+    const auto t = randomDense(crsShape(), rng);
+    const auto tree = Fibertree::fromDense(t);
+    EXPECT_EQ(tree.numRanks(), 3u);
+    EXPECT_EQ(tree.rankName(0), "S"); // leaf = innermost
+    EXPECT_EQ(tree.rankName(2), "C");
+    EXPECT_EQ(tree.nnz(), 36u);
+    EXPECT_EQ(tree.root().occupancy(), 4u); // all C coords present
+}
+
+TEST(Fibertree, RoundTripsDense)
+{
+    Rng rng;
+    const auto t = randomDense(crsShape(), rng);
+    EXPECT_TRUE(Fibertree::fromDense(t).toDense().equals(t));
+}
+
+TEST(Fibertree, RoundTripsSparse)
+{
+    Rng rng;
+    const auto t = randomUnstructured(crsShape(), 0.6, rng);
+    EXPECT_TRUE(Fibertree::fromDense(t).toDense().equals(t));
+}
+
+TEST(Fibertree, PrunedChannelRemovesSubtree)
+{
+    Rng rng;
+    auto t = randomDense(crsShape(), rng);
+    // Zero out channel 2 entirely: its C-coordinate must vanish.
+    for (std::int64_t r = 0; r < 3; ++r)
+        for (std::int64_t s = 0; s < 3; ++s)
+            t.set({2, r, s}, 0.0f);
+    const auto tree = Fibertree::fromDense(t);
+    EXPECT_EQ(tree.root().occupancy(), 3u);
+    for (std::int64_t c : tree.root().coords)
+        EXPECT_NE(c, 2);
+}
+
+TEST(Fibertree, OccupanciesReflectNnzPerFiber)
+{
+    DenseTensor m(TensorShape({{"M", 2}, {"K", 4}}),
+                  {1.0f, 0.0f, 2.0f, 0.0f, 0.0f, 0.0f, 0.0f, 3.0f});
+    const auto tree = Fibertree::fromDense(m);
+    const auto occ = tree.occupancies(0);
+    ASSERT_EQ(occ.size(), 2u);
+    EXPECT_EQ(occ[0], 2u);
+    EXPECT_EQ(occ[1], 1u);
+}
+
+TEST(Fibertree, StrListsCoordinates)
+{
+    DenseTensor m(TensorShape({{"M", 1}, {"K", 2}}), {0.0f, 5.0f});
+    const auto s = Fibertree::fromDense(m).str();
+    EXPECT_NE(s.find("K=1"), std::string::npos);
+    EXPECT_NE(s.find("5"), std::string::npos);
+}
+
+TEST(Transform, ReorderPermutesValues)
+{
+    Rng rng;
+    const auto t = randomDense(crsShape(), rng);
+    const auto r = reorder(t, {"R", "S", "C"});
+    EXPECT_EQ(r.shape().dim(0).name, "R");
+    for (std::int64_t c = 0; c < 4; ++c)
+        for (std::int64_t rr = 0; rr < 3; ++rr)
+            for (std::int64_t ss = 0; ss < 3; ++ss)
+                EXPECT_FLOAT_EQ(r.at({rr, ss, c}), t.at({c, rr, ss}));
+}
+
+TEST(Transform, ReorderRejectsBadPermutation)
+{
+    Rng rng;
+    const auto t = randomDense(crsShape(), rng);
+    EXPECT_THROW(reorder(t, {"C", "C", "R"}), FatalError);
+    EXPECT_THROW(reorder(t, {"C", "R"}), FatalError);
+}
+
+TEST(Transform, FlattenAdjacentDims)
+{
+    Rng rng;
+    const auto t = randomDense(crsShape(), rng);
+    const auto f = flatten(t, "R", "S");
+    EXPECT_EQ(f.shape().rank(), 2u);
+    EXPECT_EQ(f.shape().dim(1).name, "RS");
+    EXPECT_EQ(f.shape().dim(1).extent, 9);
+    EXPECT_FLOAT_EQ(f.at({1, 5}), t.at({1, 1, 2})); // 5 = 1*3+2
+}
+
+TEST(Transform, FlattenRequiresAdjacency)
+{
+    Rng rng;
+    const auto t = randomDense(crsShape(), rng);
+    EXPECT_THROW(flatten(t, "C", "S"), FatalError);
+    EXPECT_THROW(flatten(t, "S", "R"), FatalError);
+}
+
+TEST(Transform, PartitionSplitsDim)
+{
+    Rng rng;
+    const auto t = randomDense(TensorShape({{"C", 8}}), rng);
+    const auto p = partition(t, "C", 4);
+    EXPECT_EQ(p.shape().rank(), 2u);
+    EXPECT_EQ(p.shape().dim(0).name, "C1");
+    EXPECT_EQ(p.shape().dim(0).extent, 2);
+    EXPECT_EQ(p.shape().dim(1).name, "C0");
+    EXPECT_EQ(p.shape().dim(1).extent, 4);
+    EXPECT_FLOAT_EQ(p.at({1, 2}), t.at({6}));
+}
+
+TEST(Transform, PartitionRequiresDivisibility)
+{
+    Rng rng;
+    const auto t = randomDense(TensorShape({{"C", 6}}), rng);
+    EXPECT_THROW(partition(t, "C", 4), FatalError);
+}
+
+TEST(Transform, StcReorderPartitionPipeline)
+{
+    // The Fig 4(b) pipeline: [C,R,S] -> [R,S,C] -> flatten RS ->
+    // partition C into C1, C0 blocks of 4.
+    Rng rng;
+    const auto t = randomDense(crsShape(), rng);
+    auto v = reorder(t, {"R", "S", "C"});
+    v = flatten(v, "R", "S");
+    v = partition(v, "C", 4);
+    EXPECT_EQ(v.shape().dim(0).name, "RS");
+    EXPECT_EQ(v.shape().dim(1).name, "C1");
+    EXPECT_EQ(v.shape().dim(2).name, "C0");
+    EXPECT_FLOAT_EQ(v.at({4, 0, 3}), t.at({3, 1, 1}));
+}
+
+TEST(Transform, PadToExtendsWithZeros)
+{
+    Rng rng;
+    const auto t = randomDense(TensorShape({{"M", 2}, {"K", 6}}), rng);
+    const auto p = padTo(t, "K", 4);
+    EXPECT_EQ(p.shape().dim(1).extent, 8);
+    EXPECT_FLOAT_EQ(p.at2(0, 3), t.at2(0, 3));
+    EXPECT_FLOAT_EQ(p.at2(0, 6), 0.0f);
+    EXPECT_FLOAT_EQ(p.at2(1, 7), 0.0f);
+}
+
+TEST(Transform, PadToNoOpWhenAligned)
+{
+    Rng rng;
+    const auto t = randomDense(TensorShape({{"M", 2}, {"K", 8}}), rng);
+    EXPECT_TRUE(padTo(t, "K", 4).equals(t));
+}
+
+TEST(Generator, RandomDenseHasNoZeros)
+{
+    Rng rng;
+    const auto t = randomDense(TensorShape({{"M", 16}, {"K", 16}}), rng);
+    EXPECT_EQ(t.countZeros(), 0);
+}
+
+TEST(Generator, UnstructuredHitsExactSparsity)
+{
+    Rng rng;
+    const auto t = randomUnstructured(
+        TensorShape({{"M", 32}, {"K", 32}}), 0.75, rng);
+    EXPECT_EQ(t.countZeros(), 768); // 0.75 * 1024
+}
+
+TEST(Generator, UnstructuredRejectsBadSparsity)
+{
+    Rng rng;
+    EXPECT_THROW(
+        randomUnstructured(TensorShape({{"M", 2}}), 1.5, rng),
+        FatalError);
+}
+
+TEST(Generator, GhMatrixConformsPerBlock)
+{
+    Rng rng;
+    const auto t = randomGhMatrix(8, 32, 2, 4, rng);
+    for (std::int64_t r = 0; r < 8; ++r) {
+        for (std::int64_t b = 0; b < 8; ++b) {
+            int occ = 0;
+            for (int i = 0; i < 4; ++i)
+                occ += t.at2(r, b * 4 + i) != 0.0f ? 1 : 0;
+            EXPECT_EQ(occ, 2);
+        }
+    }
+}
+
+TEST(Generator, GhMatrixRejectsBadGeometry)
+{
+    Rng rng;
+    EXPECT_THROW(randomGhMatrix(2, 32, 5, 4, rng), FatalError);
+    EXPECT_THROW(randomGhMatrix(2, 30, 2, 4, rng), FatalError);
+}
+
+} // namespace
+} // namespace highlight
