@@ -13,6 +13,7 @@
 
 #include "common/table.hh"
 #include "core/evaluator.hh"
+#include "runtime_flags.hh"
 
 int
 main()
@@ -23,17 +24,24 @@ main()
     const auto suite = syntheticSuite();
     const auto designs = ev.standardLineup();
 
+    // One batched parallel evaluation of the whole design x workload
+    // matrix; the metric tables below just index into it.
+    const EvalMatrix matrix(ev, designs, suite);
+    const auto at = [&](std::size_t d, std::size_t w) -> const EvalResult & {
+        return matrix.at(d, w);
+    };
+
     auto print_metric = [&](const std::string &title, auto metric) {
         TextTable t("Fig 13: " + title + " (normalized to TC)");
         std::vector<std::string> header{"workload"};
         for (const Accelerator *d : designs)
             header.push_back(d->name());
         t.setHeader(header);
-        for (const auto &w : suite) {
-            const auto tc = evaluateBest(*designs[0], w);
-            std::vector<std::string> row{w.name};
-            for (const Accelerator *d : designs) {
-                const auto r = evaluateBest(*d, w);
+        for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+            const auto &tc = at(0, wi);
+            std::vector<std::string> row{suite[wi].name};
+            for (std::size_t di = 0; di < designs.size(); ++di) {
+                const auto &r = at(di, wi);
                 row.push_back(r.supported
                                   ? TextTable::fmt(metric(r) / metric(tc),
                                                    3)

@@ -5,32 +5,88 @@
  * headline: HighLight achieves the best geomean on every metric, with
  * geomean EDP gains of ~6.4x vs dense (up to 20.4x) and ~2.7x vs the
  * sparse baselines (up to 5.9x).
+ *
+ * The whole design x workload matrix goes through the batched
+ * parallel runtime. By default the driver also times a one-thread
+ * serial pass, verifies it is bit-identical, and reports the
+ * wall-clock speedup; `--serial` runs only the serial fallback.
  */
 
+#include <cstdlib>
 #include <iostream>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/evaluator.hh"
+#include "runtime_flags.hh"
+
+namespace
+{
+
+using namespace highlight;
+
+bool
+bitIdentical(const std::vector<EvalResult> &a,
+             const std::vector<EvalResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].cycles != b[i].cycles ||
+            a[i].totalEnergyPj() != b[i].totalEnergyPj() ||
+            a[i].supported != b[i].supported)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
+
+    const bool serial_only = parseSerialFlag(argc, argv);
+    ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
 
     Evaluator ev;
     const auto suite = syntheticSuite();
     const auto designs = ev.standardLineup();
+    const std::size_t nw = suite.size();
+
+    // Look designs up by name, not by lineup position, so a reordered
+    // or extended lineup cannot silently misattribute the headline
+    // numbers.
+    const auto indexOf = [&](const std::string &name) {
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            if (designs[i]->name() == name)
+                return i;
+        }
+        fatal(msgOf("fig14: design ", name, " not in lineup"));
+    };
+    const std::size_t tc_i = indexOf("TC");
+    const std::size_t hl_i = indexOf("HighLight");
+    const std::size_t sparse_i[] = {indexOf("STC"), indexOf("S2TA"),
+                                    indexOf("DSTC")};
+
+    const WallTimer timer;
+    const EvalMatrix matrix(ev, designs, suite);
+    const double sweep_seconds = timer.seconds();
+    const auto at = [&](std::size_t d, std::size_t w) -> const EvalResult & {
+        return matrix.at(d, w);
+    };
 
     TextTable t("Fig 14: geomean of normalized metrics "
                 "(over supported workloads; lower is better)");
     t.setHeader({"design", "latency", "energy", "EDP", "ED^2",
                  "#supported"});
-    for (const Accelerator *d : designs) {
+    for (std::size_t di = 0; di < designs.size(); ++di) {
         std::vector<double> lat, energy, edp, ed2;
-        for (const auto &w : suite) {
-            const auto tc = evaluateBest(*designs[0], w);
-            const auto r = evaluateBest(*d, w);
+        for (std::size_t wi = 0; wi < nw; ++wi) {
+            const auto &tc = at(tc_i, wi);
+            const auto &r = at(di, wi);
             if (!r.supported)
                 continue;
             const auto n = normalizeTo(r, tc);
@@ -39,7 +95,7 @@ main()
             edp.push_back(n.edp);
             ed2.push_back(n.ed2);
         }
-        t.addRow({d->name(), TextTable::fmt(geomean(lat), 3),
+        t.addRow({designs[di]->name(), TextTable::fmt(geomean(lat), 3),
                   TextTable::fmt(geomean(energy), 3),
                   TextTable::fmt(geomean(edp), 3),
                   TextTable::fmt(geomean(ed2), 3),
@@ -49,13 +105,13 @@ main()
 
     // The abstract's headline numbers.
     std::vector<double> vs_tc, vs_sparse_best;
-    for (const auto &w : suite) {
-        const auto tc = evaluateBest(*designs[0], w);
-        const auto hl = evaluateBest(ev.design("HighLight"), w);
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+        const auto &tc = at(tc_i, wi);
+        const auto &hl = at(hl_i, wi);
         vs_tc.push_back(tc.edp() / hl.edp());
         double best_sparse = 1e300;
-        for (const char *name : {"STC", "S2TA", "DSTC"}) {
-            const auto r = evaluateBest(ev.design(name), w);
+        for (std::size_t di : sparse_i) {
+            const auto &r = at(di, wi);
             if (r.supported)
                 best_sparse = std::min(best_sparse, r.edp());
         }
@@ -69,5 +125,35 @@ main()
               << TextTable::fmt(geomean(vs_sparse_best), 2) << "x, max "
               << TextTable::fmt(maxOf(vs_sparse_best), 2)
               << "x   (paper: 2.7x / 5.9x)\n";
-    return 0;
+
+    // Runtime report.
+    const auto stats = ev.cacheStats();
+    std::cout << "\n[runtime] threads="
+              << ThreadPool::global().numThreads() << " jobs="
+              << matrix.flat().size() << " cache hits=" << stats.hits
+              << " misses=" << stats.misses << "\n";
+    if (serial_only) {
+        std::cout << "[runtime] serial sweep: "
+                  << TextTable::fmt(sweep_seconds * 1e3, 2) << " ms\n";
+        return 0;
+    }
+    ThreadPool::setGlobalThreads(1);
+    const Evaluator ev_serial; // fresh cache for a fair pass
+    const WallTimer serial_timer;
+    const EvalMatrix serial_matrix(ev_serial, designs, suite);
+    const double serial_seconds = serial_timer.seconds();
+    ThreadPool::setGlobalThreads(0);
+    const bool identical =
+        bitIdentical(matrix.flat(), serial_matrix.flat());
+    std::cout << "[runtime] parallel sweep: "
+              << TextTable::fmt(sweep_seconds * 1e3, 2)
+              << " ms, serial sweep: "
+              << TextTable::fmt(serial_seconds * 1e3, 2)
+              << " ms, speedup: "
+              << TextTable::fmt(serial_seconds / sweep_seconds, 2)
+              << "x, bit-identical: " << (identical ? "yes" : "NO")
+              << "\n";
+    // A determinism regression must fail the process so CI's smoke
+    // run catches it.
+    return identical ? 0 : 1;
 }

@@ -5,6 +5,12 @@
  * approach, with the Pareto frontier marked. The paper's claim:
  * HighLight always sits on the frontier; S2TA cannot run the
  * attention models; DSTC can be worse than dense on the denser models.
+ *
+ * Every runDnn call fans its layers out over the parallel runtime and
+ * dedupes repeated layer shapes through the eval cache. By default
+ * the driver times the whole sweep serially too, verifies the results
+ * are bit-identical, and reports the wall-clock speedup; `--serial`
+ * runs only the one-thread fallback.
  */
 
 #include <iostream>
@@ -15,34 +21,72 @@
 #include "dnn/deit.hh"
 #include "dnn/resnet50.hh"
 #include "dnn/transformer.hh"
+#include "runtime_flags.hh"
 
 namespace
 {
 
 using namespace highlight;
 
-void
-runModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
+std::vector<DnnScenario>
+candidatesFor()
 {
-    struct Candidate
-    {
-        DnnScenario scenario;
-    };
-    std::vector<Candidate> candidates;
-    candidates.push_back({{"TC", PruningApproach::Dense, 0.0}});
+    std::vector<DnnScenario> candidates;
+    candidates.push_back({"TC", PruningApproach::Dense, 0.0});
     // Channel pruning runs on the dense accelerator with shrunken
     // layers — the classic co-design baseline.
     for (double s : {0.3, 0.5})
-        candidates.push_back({{"TC", PruningApproach::Channel, s}});
-    candidates.push_back({{"STC", PruningApproach::OneRankGh, 0.5}});
+        candidates.push_back({"TC", PruningApproach::Channel, s});
+    candidates.push_back({"STC", PruningApproach::OneRankGh, 0.5});
     for (double s : {0.5, 0.625, 0.75})
-        candidates.push_back({{"S2TA", PruningApproach::OneRankGh, s}});
+        candidates.push_back({"S2TA", PruningApproach::OneRankGh, s});
     for (double s : {0.5, 0.6, 0.7, 0.8, 0.9})
-        candidates.push_back(
-            {{"DSTC", PruningApproach::Unstructured, s}});
+        candidates.push_back({"DSTC", PruningApproach::Unstructured, s});
     for (double s : {0.5, 0.6, 2.0 / 3.0, 0.75})
-        candidates.push_back({{"HighLight", PruningApproach::Hss, s}});
+        candidates.push_back({"HighLight", PruningApproach::Hss, s});
+    return candidates;
+}
 
+/**
+ * Evaluate every candidate on every model; the flat result vector
+ * (model-major) is what the tables and the bit-identity check use.
+ */
+std::vector<DnnEvalResult>
+sweepAll(const Evaluator &ev)
+{
+    std::vector<DnnEvalResult> out;
+    const auto candidates = candidatesFor();
+    const std::pair<const DnnModel, DnnName> models[] = {
+        {resnet50Model(), DnnName::ResNet50},
+        {transformerBigModel(), DnnName::TransformerBig},
+        {deitSmallModel(), DnnName::DeitSmall},
+    };
+    for (const auto &[model, nm] : models) {
+        for (const auto &c : candidates)
+            out.push_back(ev.runDnn(model, nm, c));
+    }
+    return out;
+}
+
+bool
+bitIdentical(const std::vector<DnnEvalResult> &a,
+             const std::vector<DnnEvalResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].total_cycles != b[i].total_cycles ||
+            a[i].total_energy_pj != b[i].total_energy_pj ||
+            a[i].supported != b[i].supported)
+            return false;
+    }
+    return true;
+}
+
+void
+printModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
+{
+    const auto candidates = candidatesFor();
     const auto tc =
         ev.runDnn(model, nm, {"TC", PruningApproach::Dense, 0.0});
 
@@ -50,16 +94,19 @@ runModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
     std::vector<std::string> rows_design;
     std::vector<double> rows_sparsity;
     for (const auto &c : candidates) {
-        const auto r = ev.runDnn(model, nm, c.scenario);
+        const auto r = ev.runDnn(model, nm, c);
         if (!r.supported)
             continue;
-        std::string label = c.scenario.design;
-        if (c.scenario.approach == PruningApproach::Channel)
+        std::string label = c.design;
+        if (c.approach == PruningApproach::Channel)
             label += " (channel)";
         points.push_back({r.accuracy_loss, r.edp() / tc.edp(), label});
         rows_design.push_back(label);
-        rows_sparsity.push_back(c.scenario.weight_sparsity);
+        rows_sparsity.push_back(c.weight_sparsity);
     }
+
+    // One batched frontier sweep instead of a per-row recomputation.
+    const auto mask = frontierMask(points);
 
     TextTable t("Fig 15: " + model.name +
                 " (EDP normalized to dense TC)");
@@ -69,7 +116,7 @@ runModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
         t.addRow({rows_design[i], TextTable::fmt(rows_sparsity[i], 3),
                   TextTable::fmt(points[i].x, 2),
                   TextTable::fmt(points[i].y, 3),
-                  onFrontier(points, i) ? "YES" : ""});
+                  mask[i] ? "YES" : ""});
     }
     t.print(std::cout);
 
@@ -86,16 +133,52 @@ runModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool serial_only = parseSerialFlag(argc, argv);
+    ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
+
     Evaluator ev;
-    runModel(ev, resnet50Model(), DnnName::ResNet50);
-    runModel(ev, transformerBigModel(), DnnName::TransformerBig);
-    runModel(ev, deitSmallModel(), DnnName::DeitSmall);
+    const WallTimer timer;
+    const auto results = sweepAll(ev);
+    const double sweep_seconds = timer.seconds();
+
+    // The tables below replay the sweep against the warm cache.
+    printModel(ev, resnet50Model(), DnnName::ResNet50);
+    printModel(ev, transformerBigModel(), DnnName::TransformerBig);
+    printModel(ev, deitSmallModel(), DnnName::DeitSmall);
 
     std::cout << "Expected shape (paper Fig 15): HighLight on the "
                  "frontier for every model;\nS2TA absent from the "
                  "attention models; DSTC worse than dense at low "
                  "sparsity\non the denser models.\n";
-    return 0;
+
+    const auto stats = ev.cacheStats();
+    std::cout << "\n[runtime] threads="
+              << ThreadPool::global().numThreads() << " dnn evals="
+              << results.size() << " cache hits=" << stats.hits
+              << " misses=" << stats.misses << "\n";
+    if (serial_only) {
+        std::cout << "[runtime] serial sweep: "
+                  << TextTable::fmt(sweep_seconds * 1e3, 2) << " ms\n";
+        return 0;
+    }
+    ThreadPool::setGlobalThreads(1);
+    const Evaluator ev_serial; // fresh cache for a fair pass
+    const WallTimer serial_timer;
+    const auto serial_results = sweepAll(ev_serial);
+    const double serial_seconds = serial_timer.seconds();
+    ThreadPool::setGlobalThreads(0);
+    const bool identical = bitIdentical(results, serial_results);
+    std::cout << "[runtime] parallel sweep: "
+              << TextTable::fmt(sweep_seconds * 1e3, 2)
+              << " ms, serial sweep: "
+              << TextTable::fmt(serial_seconds * 1e3, 2)
+              << " ms, speedup: "
+              << TextTable::fmt(serial_seconds / sweep_seconds, 2)
+              << "x, bit-identical: " << (identical ? "yes" : "NO")
+              << "\n";
+    // A determinism regression must fail the process so CI's smoke
+    // run catches it.
+    return identical ? 0 : 1;
 }

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared runtime helpers for the figure drivers: a `--serial` flag
+ * that pins the global thread pool to one thread (the debugging
+ * fallback), a wall-clock timer so drivers can report the
+ * parallel-vs-serial speedup of the evaluation runtime, and the
+ * batched design x workload result matrix the sweep drivers share.
+ */
+
+#ifndef HIGHLIGHT_BENCH_RUNTIME_FLAGS_HH
+#define HIGHLIGHT_BENCH_RUNTIME_FLAGS_HH
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "runtime/thread_pool.hh"
+
+namespace highlight
+{
+
+/**
+ * A design x workload result matrix evaluated as one batch through
+ * the evaluator's parallel runtime.
+ */
+class EvalMatrix
+{
+  public:
+    EvalMatrix(const Evaluator &ev,
+               const std::vector<const Accelerator *> &designs,
+               const std::vector<GemmWorkload> &suite)
+        : num_workloads_(suite.size())
+    {
+        std::vector<EvalJob> jobs;
+        jobs.reserve(designs.size() * suite.size());
+        for (const Accelerator *d : designs) {
+            for (const auto &w : suite)
+                jobs.push_back({d, w});
+        }
+        results_ = ev.runBatch(jobs);
+    }
+
+    const EvalResult &
+    at(std::size_t design, std::size_t workload) const
+    {
+        return results_[design * num_workloads_ + workload];
+    }
+
+    const std::vector<EvalResult> &flat() const { return results_; }
+
+  private:
+    std::size_t num_workloads_;
+    std::vector<EvalResult> results_;
+};
+
+/** True when `--serial` appears among the arguments. */
+inline bool
+parseSerialFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--serial") == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_BENCH_RUNTIME_FLAGS_HH

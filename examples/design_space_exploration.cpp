@@ -25,8 +25,9 @@ main()
         std::cout << d << " ";
     std::cout << "\n\n";
 
-    // Candidate hardware configurations.
-    const HssDesignConfig configs[] = {
+    // Candidate hardware configurations, analyzed as one batch on the
+    // parallel runtime (results come back in input order).
+    const std::vector<HssDesignConfig> configs = {
         DesignSpaceExplorer::designS(),
         DesignSpaceExplorer::designSS(),
         {"HighLight (4:{4-8} x 2:{2-4})", highlightWeightSupport(),
@@ -36,12 +37,12 @@ main()
          2,
          1},
     };
+    const auto reports = explorer.analyzeMany(configs);
 
     TextTable t("HSS hardware candidates");
     t.setHeader({"design", "#ranks", "#degrees", "sparsest", "mux2",
                  "mux area (um^2)"});
-    for (const auto &c : configs) {
-        const auto r = explorer.analyze(c);
+    for (const auto &r : reports) {
         t.addRow({r.name, std::to_string(r.num_ranks),
                   std::to_string(r.degrees.size()),
                   TextTable::fmt(
@@ -53,7 +54,7 @@ main()
     t.print(std::cout);
 
     // Degree detail for the HighLight configuration.
-    const auto hl = explorer.analyze(configs[2]);
+    const auto &hl = reports[2];
     std::cout << "\nHighLight's supported operand-A degrees "
                  "(Sec 5.4 / Table 3):\n";
     TextTable d;

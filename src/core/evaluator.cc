@@ -56,7 +56,13 @@ EvalResult
 Evaluator::run(const std::string &design_name,
                const GemmWorkload &w) const
 {
-    return evaluateBest(design(design_name), w);
+    return cache_.evaluate(design(design_name), w);
+}
+
+std::vector<EvalResult>
+Evaluator::runBatch(const std::vector<EvalJob> &jobs) const
+{
+    return BatchRunner(&cache_).run(jobs);
 }
 
 namespace
@@ -139,14 +145,27 @@ Evaluator::runDnn(const DnnModel &model, DnnName accuracy_model,
 
     const auto suite = buildDnnWorkloads(model, scenario);
     const Accelerator &accel = design(scenario.design);
-    for (const auto &w : suite) {
-        EvalResult r = evaluateBest(accel, w);
+
+    // Evaluate all layers concurrently (deduped through the cache),
+    // then reduce serially in layer order: the accumulation below is
+    // the same floating-point sequence as the old serial loop.
+    std::vector<EvalJob> jobs;
+    jobs.reserve(suite.size());
+    for (const auto &w : suite)
+        jobs.push_back({&accel, w});
+    std::vector<EvalResult> results = runBatch(jobs);
+
+    for (EvalResult &r : results) {
         if (!r.supported) {
             // A design that cannot run every layer cannot run the
             // network (Fig 15: S2TA fails on attention models' dense
-            // layers).
+            // layers). First failing layer in layer order wins, as in
+            // the serial early-exit path.
             out.supported = false;
-            out.note = msgOf("layer ", w.name, ": ", r.note);
+            out.note = msgOf("layer ", r.workload, ": ", r.note);
+            out.per_layer.clear();
+            out.total_energy_pj = 0.0;
+            out.total_cycles = 0.0;
             return out;
         }
         out.total_energy_pj += r.totalEnergyPj();

@@ -19,6 +19,7 @@
 #include "accel/harness.hh"
 #include "accuracy/accuracy_model.hh"
 #include "dnn/layer.hh"
+#include "runtime/batch_runner.hh"
 
 namespace highlight
 {
@@ -63,9 +64,21 @@ class Evaluator
     /** Look up a design by name; fatal if absent. */
     const Accelerator &design(const std::string &name) const;
 
-    /** Evaluate one workload on one design with operand swapping. */
+    /**
+     * Evaluate one workload on one design with operand swapping
+     * (memoized through the evaluator's cache).
+     */
     EvalResult run(const std::string &design_name,
                    const GemmWorkload &w) const;
+
+    /**
+     * Evaluate a batch of heterogeneous (design, workload) jobs on
+     * the global thread pool through the cache. Results come back in
+     * input order and are bit-identical to evaluating each job
+     * serially, independent of the thread count.
+     */
+    std::vector<EvalResult> runBatch(
+        const std::vector<EvalJob> &jobs) const;
 
     /**
      * Build the per-layer workloads for a DNN under a scenario: the
@@ -76,12 +89,25 @@ class Evaluator
     std::vector<GemmWorkload> buildDnnWorkloads(
         const DnnModel &model, const DnnScenario &scenario) const;
 
-    /** Evaluate a DNN end to end under a scenario. */
+    /**
+     * Evaluate a DNN end to end under a scenario. Layers are
+     * evaluated concurrently on the global thread pool, repeated
+     * layer shapes are deduped through the cache, and the totals are
+     * accumulated serially in layer order, so the result is
+     * bit-identical to the serial path at any thread count.
+     */
     DnnEvalResult runDnn(const DnnModel &model, DnnName accuracy_model,
                          const DnnScenario &scenario) const;
 
+    /** Hit/miss counters of the memoization cache. */
+    EvalCacheStats cacheStats() const { return cache_.stats(); }
+
+    /** Drop all cached evaluations and reset the counters. */
+    void clearCache() const { cache_.clear(); }
+
   private:
     std::vector<std::unique_ptr<Accelerator>> owned_;
+    mutable EvalCache cache_;
 };
 
 } // namespace highlight

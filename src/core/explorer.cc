@@ -1,8 +1,10 @@
 #include "core/explorer.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.hh"
+#include "runtime/thread_pool.hh"
 
 namespace highlight
 {
@@ -62,50 +64,79 @@ DesignSpaceExplorer::designSS()
 }
 
 std::vector<HssDesignReport>
+DesignSpaceExplorer::analyzeMany(
+    const std::vector<HssDesignConfig> &configs) const
+{
+    return ThreadPool::global().parallelMap(
+        configs.size(),
+        [&](std::size_t i) { return analyze(configs[i]); });
+}
+
+namespace
+{
+
+/**
+ * Grow one rank count's per-rank H ranges breadth-first (the rank
+ * with the smallest Hmax grows first, keeping the ranks balanced —
+ * the whole point of multi-rank HSS) until the degree and density
+ * targets are met. Empty when the bounded search does not converge.
+ */
+std::optional<HssDesignConfig>
+searchRankConfig(int ranks, int min_degrees, double min_density)
+{
+    std::vector<RankSupport> supports(
+        static_cast<std::size_t>(ranks), RankSupport{2, 2, 2});
+    bool satisfied = false;
+    // Bound the search so a misconfiguration cannot loop forever.
+    for (int iter = 0; iter < 64 && !satisfied; ++iter) {
+        const auto degrees = enumerateDegrees(supports);
+        const double sparsest = degrees.back().density;
+        if (static_cast<int>(degrees.size()) >= min_degrees &&
+            sparsest <= min_density + 1e-12) {
+            satisfied = true;
+            break;
+        }
+        auto smallest = std::min_element(
+            supports.begin(), supports.end(),
+            [](const RankSupport &a, const RankSupport &b) {
+                return a.h_max < b.h_max;
+            });
+        ++smallest->h_max;
+    }
+    if (!satisfied)
+        return std::nullopt;
+    HssDesignConfig config;
+    config.name = std::to_string(ranks) + "-rank";
+    config.supports = supports;
+    config.num_pes = 2;
+    config.num_arrays = 1;
+    return config;
+}
+
+} // namespace
+
+std::vector<HssDesignReport>
 DesignSpaceExplorer::rankAblation(int min_degrees,
                                   double min_density) const
 {
-    std::vector<HssDesignReport> reports;
+    // Each rank count's search is independent: run them concurrently
+    // and collect in rank order. Warnings for non-converged searches
+    // are emitted serially afterwards so the output order is stable.
+    const auto found = ThreadPool::global().parallelMap(
+        std::size_t{3}, [&](std::size_t i) {
+            return searchRankConfig(static_cast<int>(i) + 1,
+                                    min_degrees, min_density);
+        });
 
-    // For each rank count, grow the per-rank H ranges breadth-first
-    // (largest Hmax first gets incremented last) until the degree and
-    // density targets are met.
-    for (int ranks = 1; ranks <= 3; ++ranks) {
-        std::vector<RankSupport> supports(
-            static_cast<std::size_t>(ranks), RankSupport{2, 2, 2});
-        bool satisfied = false;
-        // Bound the search so a misconfiguration cannot loop forever.
-        for (int iter = 0; iter < 64 && !satisfied; ++iter) {
-            const auto degrees = enumerateDegrees(supports);
-            const double sparsest = degrees.back().density;
-            if (static_cast<int>(degrees.size()) >= min_degrees &&
-                sparsest <= min_density + 1e-12) {
-                satisfied = true;
-                break;
-            }
-            // Grow the rank with the currently smallest Hmax (keeps
-            // the per-rank Hmax balanced, which is the whole point of
-            // multi-rank HSS).
-            auto smallest = std::min_element(
-                supports.begin(), supports.end(),
-                [](const RankSupport &a, const RankSupport &b) {
-                    return a.h_max < b.h_max;
-                });
-            ++smallest->h_max;
-        }
-        if (!satisfied) {
-            warn(msgOf("rankAblation: ", ranks,
+    std::vector<HssDesignConfig> configs;
+    for (std::size_t i = 0; i < found.size(); ++i) {
+        if (found[i])
+            configs.push_back(*found[i]);
+        else
+            warn(msgOf("rankAblation: ", i + 1,
                        "-rank search did not converge"));
-            continue;
-        }
-        HssDesignConfig config;
-        config.name = std::to_string(ranks) + "-rank";
-        config.supports = supports;
-        config.num_pes = 2;
-        config.num_arrays = 1;
-        reports.push_back(analyze(config));
     }
-    return reports;
+    return analyzeMany(configs);
 }
 
 } // namespace highlight

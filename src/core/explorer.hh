@@ -59,6 +59,14 @@ class DesignSpaceExplorer
     /** Analyze one configuration. */
     HssDesignReport analyze(const HssDesignConfig &config) const;
 
+    /**
+     * Analyze a batch of configurations on the global thread pool.
+     * Results come back in input order, bit-identical to calling
+     * analyze() serially on each config.
+     */
+    std::vector<HssDesignReport> analyzeMany(
+        const std::vector<HssDesignConfig> &configs) const;
+
     /** Fig 6's one-rank design S: 2:{2..16}, 2 PEs. */
     static HssDesignConfig designS();
 

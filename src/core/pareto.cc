@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "runtime/thread_pool.hh"
+
 namespace highlight
 {
 
@@ -16,17 +18,47 @@ dominates(const ParetoPoint &a, const ParetoPoint &b)
     return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
 }
 
+/** Point count below which the pool dispatch costs more than it saves. */
+constexpr std::size_t kParallelThreshold = 256;
+
+bool
+isDominated(const std::vector<ParetoPoint> &points, std::size_t i)
+{
+    for (std::size_t j = 0; j < points.size(); ++j) {
+        if (j != i && dominates(points[j], points[i]))
+            return true;
+    }
+    return false;
+}
+
 } // namespace
+
+std::vector<bool>
+frontierMask(const std::vector<ParetoPoint> &points)
+{
+    const std::size_t n = points.size();
+    std::vector<bool> mask(n, false);
+    if (n < kParallelThreshold) {
+        for (std::size_t i = 0; i < n; ++i)
+            mask[i] = !isDominated(points, i);
+        return mask;
+    }
+    // std::vector<bool> packs bits, so concurrent writes to mask[i]
+    // would race; compute into a byte vector and convert.
+    const std::vector<char> bytes = ThreadPool::global().parallelMap(
+        n, [&](std::size_t i) -> char { return !isDominated(points, i); });
+    for (std::size_t i = 0; i < n; ++i)
+        mask[i] = bytes[i] != 0;
+    return mask;
+}
 
 std::vector<std::size_t>
 paretoFrontier(const std::vector<ParetoPoint> &points)
 {
+    const auto mask = frontierMask(points);
     std::vector<std::size_t> frontier;
     for (std::size_t i = 0; i < points.size(); ++i) {
-        bool dominated = false;
-        for (std::size_t j = 0; j < points.size() && !dominated; ++j)
-            dominated = j != i && dominates(points[j], points[i]);
-        if (!dominated)
+        if (mask[i])
             frontier.push_back(i);
     }
     std::sort(frontier.begin(), frontier.end(),
@@ -41,9 +73,7 @@ paretoFrontier(const std::vector<ParetoPoint> &points)
 bool
 onFrontier(const std::vector<ParetoPoint> &points, std::size_t i)
 {
-    const auto frontier = paretoFrontier(points);
-    return std::find(frontier.begin(), frontier.end(), i) !=
-           frontier.end();
+    return frontierMask(points)[i];
 }
 
 } // namespace highlight

@@ -1,0 +1,79 @@
+#include "runtime/batch_runner.hh"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+BatchRunner::BatchRunner(EvalCache *cache, ThreadPool *pool)
+    : cache_(cache), pool_(pool ? pool : &ThreadPool::global())
+{
+}
+
+std::vector<EvalResult>
+BatchRunner::run(const std::vector<EvalJob> &jobs) const
+{
+    for (const auto &j : jobs) {
+        if (j.design == nullptr)
+            fatal("BatchRunner: job with null design");
+    }
+
+    if (cache_ == nullptr) {
+        // Uncached: evaluate every job positionally.
+        return pool_->parallelMap(jobs.size(), [&](std::size_t i) {
+            return evaluateBest(*jobs[i].design, jobs[i].workload);
+        });
+    }
+
+    // Pre-pass (serial, input order): resolve hits and collect each
+    // unique uncached key once. `source` maps every job index to the
+    // compute slot it will be served from (or SIZE_MAX for a direct
+    // cache hit already resolved).
+    std::vector<EvalResult> out(jobs.size());
+    std::vector<std::size_t> source(jobs.size(), SIZE_MAX);
+    std::vector<std::size_t> compute; ///< Job index per unique miss.
+    std::vector<std::string> compute_key;
+    std::unordered_map<std::string, std::size_t> pending;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::string key =
+            EvalCache::keyOf(jobs[i].design->name(), jobs[i].workload);
+        const auto it = pending.find(key);
+        if (it != pending.end()) {
+            // Duplicate within this batch: served from the single
+            // compute; counts as a hit.
+            source[i] = it->second;
+            cache_->noteHit();
+            continue;
+        }
+        if (cache_->lookup(key, jobs[i].workload.name, &out[i]))
+            continue;
+        pending.emplace(key, compute.size());
+        source[i] = compute.size();
+        compute.push_back(i);
+        compute_key.push_back(key);
+    }
+
+    // Evaluate the unique misses concurrently; slot order is fixed by
+    // the pre-pass so the results are thread-count independent.
+    const std::vector<EvalResult> fresh =
+        pool_->parallelMap(compute.size(), [&](std::size_t s) {
+            const EvalJob &j = jobs[compute[s]];
+            return evaluateBest(*j.design, j.workload);
+        });
+    for (std::size_t s = 0; s < fresh.size(); ++s)
+        cache_->insert(compute_key[s], fresh[s]);
+
+    // Scatter back in input order, patching each duplicate's name.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (source[i] == SIZE_MAX)
+            continue;
+        out[i] = fresh[source[i]];
+        out[i].workload = jobs[i].workload.name;
+    }
+    return out;
+}
+
+} // namespace highlight

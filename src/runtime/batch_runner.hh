@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Batched scheduling of heterogeneous evaluation jobs.
+ *
+ * A BatchRunner takes an ordered list of (design, workload) jobs,
+ * dedupes them against the EvalCache and within the batch, evaluates
+ * the unique misses on the thread pool, and scatters the results back
+ * in input order. Because each unique key is computed exactly once and
+ * the scatter is positional, the output — including the cache hit/miss
+ * counters — is bit-identical whether the pool has 1 thread or N.
+ */
+
+#ifndef HIGHLIGHT_RUNTIME_BATCH_RUNNER_HH
+#define HIGHLIGHT_RUNTIME_BATCH_RUNNER_HH
+
+#include <vector>
+
+#include "runtime/eval_cache.hh"
+#include "runtime/thread_pool.hh"
+
+namespace highlight
+{
+
+/** One evaluation job: a design applied to a workload. */
+struct EvalJob
+{
+    const Accelerator *design = nullptr;
+    GemmWorkload workload;
+};
+
+/**
+ * Schedules eval jobs across the pool through the cache.
+ */
+class BatchRunner
+{
+  public:
+    /**
+     * @param cache Memo table to dedupe through; nullptr disables
+     *        caching (every job is evaluated).
+     * @param pool Pool to run on; nullptr uses ThreadPool::global().
+     */
+    explicit BatchRunner(EvalCache *cache = nullptr,
+                         ThreadPool *pool = nullptr);
+
+    /**
+     * Evaluate every job, returning results in input order. Cache
+     * semantics: a job whose key is already cached — or that repeats
+     * an earlier job in this batch — counts as a hit; each unique
+     * uncached key counts as one miss and one evaluation.
+     */
+    std::vector<EvalResult> run(const std::vector<EvalJob> &jobs) const;
+
+  private:
+    EvalCache *cache_;
+    ThreadPool *pool_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_RUNTIME_BATCH_RUNNER_HH

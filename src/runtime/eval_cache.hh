@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memoization of analytical evaluations.
+ *
+ * The analytical engine is a pure function of (design, workload shape,
+ * operand sparsity): the workload's display name never influences the
+ * numbers. DNNs repeat layer shapes heavily (ResNet-50's residual
+ * stages, every transformer block), and the figure drivers re-evaluate
+ * the dense TC baseline per comparison, so memoizing on a canonical
+ * workload key collapses most of the work. Cached results are returned
+ * with the requesting workload's name patched in, making a cache hit
+ * indistinguishable from a fresh evaluation.
+ */
+
+#ifndef HIGHLIGHT_RUNTIME_EVAL_CACHE_HH
+#define HIGHLIGHT_RUNTIME_EVAL_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "accel/harness.hh"
+#include "accel/workload.hh"
+
+namespace highlight
+{
+
+/** Hit/miss counters (a hit includes within-batch dedupe). */
+struct EvalCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * Thread-safe (design, workload) -> EvalResult memo table.
+ */
+class EvalCache
+{
+  public:
+    /**
+     * Canonical cache key: design name, M/K/N, and each operand's
+     * kind, density (full precision) and HSS spec. Excludes the
+     * workload's display name.
+     */
+    static std::string keyOf(const std::string &design,
+                             const GemmWorkload &w);
+
+    /**
+     * Memoized evaluateBest(): returns the cached result (name
+     * patched to w.name) or computes, inserts, and returns it.
+     */
+    EvalResult evaluate(const Accelerator &accel, const GemmWorkload &w);
+
+    /** Copy of the cached result for key, name-patched; counts a hit.
+     *  Returns false (and counts a miss) when absent. */
+    bool lookup(const std::string &key, const std::string &workload_name,
+                EvalResult *out);
+
+    /** Insert a computed result (first insertion wins). */
+    void insert(const std::string &key, const EvalResult &r);
+
+    /** Count a hit without a lookup (within-batch dedupe). */
+    void noteHit();
+
+    EvalCacheStats stats() const;
+    std::size_t size() const;
+    void clear(); ///< Drops entries and resets the counters.
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, EvalResult> map_;
+    EvalCacheStats stats_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_RUNTIME_EVAL_CACHE_HH

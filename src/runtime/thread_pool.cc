@@ -1,0 +1,169 @@
+#include "runtime/thread_pool.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+namespace
+{
+
+/**
+ * Set while a pool worker (or the caller inside parallelFor) is
+ * executing job indices: nested parallelFor calls run inline instead
+ * of re-entering the pool, which would deadlock on the single current
+ * job slot.
+ */
+thread_local bool tls_in_parallel_region = false;
+
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mu;
+
+} // namespace
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("HIGHLIGHT_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+        warn(msgOf("HIGHLIGHT_THREADS=", env,
+                   " is not a positive integer; ignoring"));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>();
+    return *g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int num_threads)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    num_threads_ = num_threads > 0 ? num_threads : defaultThreadCount();
+    // The caller participates in every job, so spawn one fewer worker
+    // than the target concurrency.
+    for (int i = 1; i < num_threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::drain(Job &job)
+{
+    for (;;) {
+        const std::size_t i =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            break;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.err_mu);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        job.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_seq = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || (job_ && job_seq_ != seen_seq);
+            });
+            if (stop_)
+                return;
+            job = job_;
+            seen_seq = job_seq_;
+        }
+        tls_in_parallel_region = true;
+        drain(*job);
+        tls_in_parallel_region = false;
+        if (job->done.load(std::memory_order_acquire) >= job->n) {
+            // Bridge the mutex so the notify cannot slip between the
+            // waiter's predicate check and its sleep (lost wakeup).
+            { std::lock_guard<std::mutex> lock(mu_); }
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    // Serial fallback: a one-thread pool, a single item, or a nested
+    // call from inside a parallel region all run inline. Exceptions
+    // propagate directly.
+    if (num_threads_ <= 1 || n == 1 || tls_in_parallel_region) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Heap-shared so straggler workers holding a reference after the
+    // job completes never touch freed memory.
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = job;
+        ++job_seq_;
+    }
+    work_cv_.notify_all();
+
+    // The caller works too.
+    tls_in_parallel_region = true;
+    drain(*job);
+    tls_in_parallel_region = false;
+
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] {
+            return job->done.load(std::memory_order_acquire) >= job->n;
+        });
+        job_ = nullptr;
+    }
+
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace highlight

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A deterministic thread pool with parallel_for / parallel_map.
+ *
+ * The pool exists so the embarrassingly parallel layers of the
+ * evaluation pipeline (per-layer DNN evals, rank ablations, Pareto
+ * sweeps, figure drivers) can use every core while staying bit-exact
+ * with the serial code: work items are indexed, each index writes its
+ * result into its own slot, and all reductions happen afterwards in
+ * index order on the calling thread. There is no work stealing and no
+ * order-dependent accumulation, so the numeric output is independent
+ * of the thread count.
+ *
+ * Thread count resolution: an explicit constructor argument wins,
+ * otherwise the `HIGHLIGHT_THREADS` environment variable, otherwise
+ * std::thread::hardware_concurrency(). A count of 1 runs every task
+ * inline on the caller (the serial fallback path for debugging).
+ */
+
+#ifndef HIGHLIGHT_RUNTIME_THREAD_POOL_HH
+#define HIGHLIGHT_RUNTIME_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace highlight
+{
+
+/**
+ * Fixed-size pool of persistent worker threads.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; 0 resolves via
+     *        defaultThreadCount() (HIGHLIGHT_THREADS env override,
+     *        else hardware concurrency).
+     */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** The resolved thread count (>= 1). */
+    int numThreads() const { return num_threads_; }
+
+    /**
+     * HIGHLIGHT_THREADS if set to a positive integer, otherwise
+     * hardware concurrency (at least 1).
+     */
+    static int defaultThreadCount();
+
+    /**
+     * The process-wide pool shared by the evaluation pipeline.
+     * Rebuilt by setGlobalThreads().
+     */
+    static ThreadPool &global();
+
+    /**
+     * Rebuild the global pool with the given thread count (0 =
+     * default resolution). Used by the bench drivers' --serial flag
+     * and by tests; call only from single-threaded control flow.
+     */
+    static void setGlobalThreads(int num_threads);
+
+    /**
+     * Run fn(i) for every i in [0, n), blocking until all complete.
+     *
+     * The caller participates in the work. If any invocation throws,
+     * the first captured exception is rethrown here after every
+     * claimed index has finished; the pool stays usable. Nested calls
+     * from inside a worker run inline (serially) to avoid deadlock.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Deterministic map: out[i] = fn(i) for i in [0, n). The result
+     * type must be default-constructible; slots are written in place
+     * so the output order never depends on scheduling.
+     */
+    template <typename Fn>
+    auto
+    parallelMap(std::size_t n, Fn &&fn)
+        -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>>
+    {
+        using T = std::decay_t<decltype(fn(std::size_t{0}))>;
+        std::vector<T> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    /** One parallelFor invocation's shared state. */
+    struct Job
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::exception_ptr error; ///< First failure; guarded by err_mu.
+        std::mutex err_mu;
+    };
+
+    void workerLoop();
+    /** Claim and run indices of `job` until exhausted. */
+    static void drain(Job &job);
+
+    int num_threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< Signals a new job / stop.
+    std::condition_variable done_cv_; ///< Signals job completion.
+    std::shared_ptr<Job> job_;        ///< Current job (guarded by mu_).
+    std::uint64_t job_seq_ = 0;       ///< Bumped per job (guarded by mu_).
+    bool stop_ = false;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_RUNTIME_THREAD_POOL_HH

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit tests for the parallel evaluation runtime: the thread pool's
+ * determinism and exception safety, the eval cache's keying and
+ * hit/miss accounting, the batch runner's dedupe, and — the load-
+ * bearing guarantee — bit-identical results between the serial
+ * fallback and the N-thread path for runDnn, rankAblation, the
+ * Pareto sweep, and per-job-seeded microsim fidelity runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/random.hh"
+#include "core/evaluator.hh"
+#include "core/explorer.hh"
+#include "core/pareto.hh"
+#include "dnn/resnet50.hh"
+#include "dnn/transformer.hh"
+#include "microsim/simulator.hh"
+#include "runtime/batch_runner.hh"
+#include "runtime/eval_cache.hh"
+#include "runtime/thread_pool.hh"
+#include "sparsity/sparsify.hh"
+#include "tensor/generator.hh"
+
+namespace highlight
+{
+namespace
+{
+
+/** Restores the global pool to default resolution on scope exit. */
+struct GlobalPoolGuard
+{
+    ~GlobalPoolGuard() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4);
+    std::vector<std::atomic<int>> counts(1000);
+    pool.parallelFor(counts.size(),
+                     [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (const auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapIsPositional)
+{
+    ThreadPool pool(3);
+    const auto out = pool.parallelMap(
+        std::size_t{257}, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, SerialFallbackRunsInline)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    pool.parallelFor(5, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i)); // safe: inline, in order
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionIsRethrownAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(
+            pool.parallelFor(64,
+                             [&](std::size_t i) {
+                                 if (i % 7 == 3)
+                                     throw std::runtime_error("boom");
+                             }),
+            std::runtime_error);
+        // The pool must stay fully usable after a failed job.
+        std::atomic<int> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) {
+            sum.fetch_add(static_cast<int>(i));
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+    // Destructor (shutdown) after exceptions must join cleanly; the
+    // scope exit exercises it.
+}
+
+TEST(ThreadPool, EnvOverrideControlsDefaultThreadCount)
+{
+    // Save and restore any ambient override (CI runs the whole suite
+    // under HIGHLIGHT_THREADS=8; this test must not strip it).
+    const char *prev = std::getenv("HIGHLIGHT_THREADS");
+    const std::string saved = prev ? prev : "";
+
+    ASSERT_EQ(setenv("HIGHLIGHT_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3);
+    ASSERT_EQ(setenv("HIGHLIGHT_THREADS", "0", 1), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1); // ignored, falls back
+    ASSERT_EQ(unsetenv("HIGHLIGHT_THREADS"), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+
+    if (prev)
+        ASSERT_EQ(setenv("HIGHLIGHT_THREADS", saved.c_str(), 1), 0);
+}
+
+TEST(EvalCache, KeyIgnoresNameButNotShapeOrSparsity)
+{
+    GemmWorkload w;
+    w.name = "a";
+    w.m = w.k = w.n = 64;
+    w.a = OperandSparsity::dense();
+    w.b = OperandSparsity::unstructured(0.5);
+
+    GemmWorkload renamed = w;
+    renamed.name = "b";
+    EXPECT_EQ(EvalCache::keyOf("TC", w), EvalCache::keyOf("TC", renamed));
+    EXPECT_NE(EvalCache::keyOf("TC", w), EvalCache::keyOf("STC", w));
+
+    GemmWorkload reshaped = w;
+    reshaped.m = 65;
+    EXPECT_NE(EvalCache::keyOf("TC", w), EvalCache::keyOf("TC", reshaped));
+
+    GemmWorkload denser = w;
+    denser.b = OperandSparsity::unstructured(0.5000000001);
+    EXPECT_NE(EvalCache::keyOf("TC", w), EvalCache::keyOf("TC", denser));
+}
+
+TEST(EvalCache, HitReturnsPatchedNameAndCounts)
+{
+    const Evaluator ev;
+    EvalCache cache;
+    const Accelerator &tc = ev.design("TC");
+
+    GemmWorkload w;
+    w.name = "first";
+    w.m = w.k = w.n = 128;
+    const auto r1 = cache.evaluate(tc, w);
+    EXPECT_EQ(r1.workload, "first");
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    w.name = "second";
+    const auto r2 = cache.evaluate(tc, w);
+    EXPECT_EQ(r2.workload, "second");
+    EXPECT_EQ(r2.cycles, r1.cycles);
+    EXPECT_EQ(r2.totalEnergyPj(), r1.totalEnergyPj());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(BatchRunner, DedupesWithinBatchDeterministically)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+
+    GemmWorkload w;
+    w.m = w.k = w.n = 256;
+    std::vector<EvalJob> jobs;
+    for (int i = 0; i < 6; ++i) {
+        w.name = "copy-" + std::to_string(i);
+        jobs.push_back({&tc, w});
+    }
+
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EvalCache cache;
+        const auto results = BatchRunner(&cache, &pool).run(jobs);
+        ASSERT_EQ(results.size(), jobs.size());
+        // One compute, five in-batch hits — regardless of threads.
+        EXPECT_EQ(cache.stats().misses, 1u);
+        EXPECT_EQ(cache.stats().hits, 5u);
+        EXPECT_EQ(cache.size(), 1u);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].workload, jobs[i].workload.name);
+            EXPECT_EQ(results[i].cycles, results[0].cycles);
+        }
+    }
+}
+
+TEST(BatchRunner, NullCacheEvaluatesEveryJob)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    GemmWorkload w;
+    w.name = "plain";
+    w.m = w.k = w.n = 64;
+    ThreadPool pool(2);
+    const auto results =
+        BatchRunner(nullptr, &pool).run({{&tc, w}, {&tc, w}});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].cycles, results[1].cycles);
+}
+
+/** Full comparison of two DNN eval results, bit-exact. */
+void
+expectDnnBitIdentical(const DnnEvalResult &a, const DnnEvalResult &b)
+{
+    EXPECT_EQ(a.supported, b.supported);
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.total_energy_pj, b.total_energy_pj);
+    EXPECT_EQ(a.accuracy_loss, b.accuracy_loss);
+    ASSERT_EQ(a.per_layer.size(), b.per_layer.size());
+    for (std::size_t i = 0; i < a.per_layer.size(); ++i) {
+        EXPECT_EQ(a.per_layer[i].workload, b.per_layer[i].workload);
+        EXPECT_EQ(a.per_layer[i].cycles, b.per_layer[i].cycles);
+        EXPECT_EQ(a.per_layer[i].totalEnergyPj(),
+                  b.per_layer[i].totalEnergyPj());
+    }
+}
+
+TEST(ParallelEquivalence, RunDnnIsBitIdenticalAcrossThreadCounts)
+{
+    GlobalPoolGuard guard;
+    const DnnScenario scenarios[] = {
+        {"HighLight", PruningApproach::Hss, 0.75},
+        {"DSTC", PruningApproach::Unstructured, 0.8},
+        {"TC", PruningApproach::Dense, 0.0},
+    };
+    const auto model = resnet50Model();
+    for (const auto &sc : scenarios) {
+        ThreadPool::setGlobalThreads(1);
+        const Evaluator serial_ev;
+        const auto serial =
+            serial_ev.runDnn(model, DnnName::ResNet50, sc);
+
+        ThreadPool::setGlobalThreads(4);
+        const Evaluator parallel_ev;
+        const auto parallel =
+            parallel_ev.runDnn(model, DnnName::ResNet50, sc);
+
+        expectDnnBitIdentical(serial, parallel);
+        // The hit/miss accounting is deterministic too.
+        EXPECT_EQ(serial_ev.cacheStats().hits,
+                  parallel_ev.cacheStats().hits);
+        EXPECT_EQ(serial_ev.cacheStats().misses,
+                  parallel_ev.cacheStats().misses);
+    }
+}
+
+TEST(ParallelEquivalence, RunDnnUnsupportedMatchesSerialNote)
+{
+    GlobalPoolGuard guard;
+    // S2TA cannot run Transformer-Big's dense attention GEMMs; the
+    // parallel path must report the first failing layer in layer
+    // order, exactly like the serial early-exit did.
+    const DnnScenario sc{"S2TA", PruningApproach::OneRankGh, 0.5};
+    const auto model = transformerBigModel();
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial =
+        Evaluator().runDnn(model, DnnName::TransformerBig, sc);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel =
+        Evaluator().runDnn(model, DnnName::TransformerBig, sc);
+
+    EXPECT_FALSE(serial.supported);
+    EXPECT_FALSE(parallel.supported);
+    EXPECT_EQ(serial.note, parallel.note);
+}
+
+TEST(ParallelEquivalence, CacheDedupesRepeatedLayerShapes)
+{
+    GlobalPoolGuard guard;
+    ThreadPool::setGlobalThreads(4);
+    const Evaluator ev;
+    const auto model = resnet50Model();
+    const DnnScenario sc{"HighLight", PruningApproach::Hss, 0.75};
+
+    const auto first = ev.runDnn(model, DnnName::ResNet50, sc);
+    const auto s1 = ev.cacheStats();
+    // ResNet-50 repeats layer shapes across residual stages.
+    EXPECT_GT(s1.hits, 0u);
+    EXPECT_LT(s1.misses, model.layers.size());
+    EXPECT_EQ(s1.hits + s1.misses, model.layers.size());
+
+    // A repeat run is served entirely from the cache.
+    const auto second = ev.runDnn(model, DnnName::ResNet50, sc);
+    const auto s2 = ev.cacheStats();
+    EXPECT_EQ(s2.misses, s1.misses);
+    EXPECT_EQ(s2.hits, s1.hits + model.layers.size());
+    expectDnnBitIdentical(first, second);
+}
+
+TEST(ParallelEquivalence, RankAblationIsBitIdenticalAcrossThreadCounts)
+{
+    GlobalPoolGuard guard;
+    const DesignSpaceExplorer explorer;
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial = explorer.rankAblation(10, 0.25);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel = explorer.rankAblation(10, 0.25);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].name, parallel[i].name);
+        EXPECT_EQ(serial[i].hmax_per_rank, parallel[i].hmax_per_rank);
+        EXPECT_EQ(serial[i].total_mux2, parallel[i].total_mux2);
+        EXPECT_EQ(serial[i].mux_area_um2, parallel[i].mux_area_um2);
+        ASSERT_EQ(serial[i].degrees.size(), parallel[i].degrees.size());
+        for (std::size_t d = 0; d < serial[i].degrees.size(); ++d)
+            EXPECT_EQ(serial[i].degrees[d].density,
+                      parallel[i].degrees[d].density);
+    }
+}
+
+TEST(ParallelEquivalence, FrontierMaskIsThreadCountIndependent)
+{
+    GlobalPoolGuard guard;
+    // Enough points to cross the parallel-dispatch threshold.
+    Rng rng(42);
+    std::vector<ParetoPoint> points;
+    for (int i = 0; i < 600; ++i)
+        points.push_back({rng.uniform(), rng.uniform(), ""});
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial = frontierMask(points);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel = frontierMask(points);
+    EXPECT_EQ(serial, parallel);
+
+    // And the index list agrees with the mask.
+    const auto frontier = paretoFrontier(points);
+    for (std::size_t i : frontier)
+        EXPECT_TRUE(parallel[i]);
+}
+
+TEST(ParallelEquivalence, MicrosimPerJobSeedsAreThreadCountIndependent)
+{
+    GlobalPoolGuard guard;
+    // Microsim fidelity runs fan out with a per-job Rng derived from
+    // the base seed, so the generated operands — and therefore the
+    // simulated stats — cannot depend on scheduling.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 3)});
+    const std::uint64_t base_seed = 1000;
+    const auto simulate = [&](std::size_t job) {
+        Rng rng(base_seed + job); // derived per job, never shared
+        const std::int64_t m = 2, k = 24, n = 3;
+        const auto a = hssSparsify(
+            randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+        const auto b =
+            randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+        return HighlightSimulator(MicrosimConfig()).run(a, spec, b);
+    };
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial =
+        ThreadPool::global().parallelMap(std::size_t{6}, simulate);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel =
+        ThreadPool::global().parallelMap(std::size_t{6}, simulate);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].output.maxAbsDiff(parallel[i].output), 0.0);
+        EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles);
+        EXPECT_EQ(serial[i].stats.psum_updates,
+                  parallel[i].stats.psum_updates);
+        EXPECT_EQ(serial[i].stats.vfmu.shifts,
+                  parallel[i].stats.vfmu.shifts);
+    }
+}
+
+} // namespace
+} // namespace highlight
