@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bcompress.dir/bench/ablation_bcompress.cc.o"
+  "CMakeFiles/bench_ablation_bcompress.dir/bench/ablation_bcompress.cc.o.d"
+  "ablation_bcompress"
+  "ablation_bcompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bcompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ranks.dir/bench/ablation_ranks.cc.o"
+  "CMakeFiles/bench_ablation_ranks.dir/bench/ablation_ranks.cc.o.d"
+  "ablation_ranks"
+  "ablation_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_safs.dir/bench/ablation_safs.cc.o"
+  "CMakeFiles/bench_ablation_safs.dir/bench/ablation_safs.cc.o.d"
+  "ablation_safs"
+  "ablation_safs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_safs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_synthetic.dir/bench/fig13_synthetic.cc.o"
+  "CMakeFiles/bench_fig13_synthetic.dir/bench/fig13_synthetic.cc.o.d"
+  "fig13_synthetic"
+  "fig13_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

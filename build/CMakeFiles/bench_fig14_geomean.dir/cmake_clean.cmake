@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_geomean.dir/bench/fig14_geomean.cc.o"
+  "CMakeFiles/bench_fig14_geomean.dir/bench/fig14_geomean.cc.o.d"
+  "fig14_geomean"
+  "fig14_geomean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_pareto.dir/bench/fig15_pareto.cc.o"
+  "CMakeFiles/bench_fig15_pareto.dir/bench/fig15_pareto.cc.o.d"
+  "fig15_pareto"
+  "fig15_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_tax.dir/bench/fig16_tax.cc.o"
+  "CMakeFiles/bench_fig16_tax.dir/bench/fig16_tax.cc.o.d"
+  "fig16_tax"
+  "fig16_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_dsso.dir/bench/fig17_dsso.cc.o"
+  "CMakeFiles/bench_fig17_dsso.dir/bench/fig17_dsso.cc.o.d"
+  "fig17_dsso"
+  "fig17_dsso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_dsso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hss_designs.dir/bench/fig6_hss_designs.cc.o"
+  "CMakeFiles/bench_fig6_hss_designs.dir/bench/fig6_hss_designs.cc.o.d"
+  "fig6_hss_designs"
+  "fig6_hss_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hss_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

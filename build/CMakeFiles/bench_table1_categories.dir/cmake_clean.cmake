@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_categories.dir/bench/table1_categories.cc.o"
+  "CMakeFiles/bench_table1_categories.dir/bench/table1_categories.cc.o.d"
+  "table1_categories"
+  "table1_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

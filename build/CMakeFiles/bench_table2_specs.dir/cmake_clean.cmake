@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_specs.dir/bench/table2_specs.cc.o"
+  "CMakeFiles/bench_table2_specs.dir/bench/table2_specs.cc.o.d"
+  "table2_specs"
+  "table2_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

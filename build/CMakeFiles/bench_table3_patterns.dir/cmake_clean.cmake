@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_patterns.dir/bench/table3_patterns.cc.o"
+  "CMakeFiles/bench_table3_patterns.dir/bench/table3_patterns.cc.o.d"
+  "table3_patterns"
+  "table3_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_resources.dir/bench/table4_resources.cc.o"
+  "CMakeFiles/bench_table4_resources.dir/bench/table4_resources.cc.o.d"
+  "table4_resources"
+  "table4_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

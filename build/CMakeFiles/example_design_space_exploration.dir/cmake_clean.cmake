@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_space_exploration.dir/examples/design_space_exploration.cpp.o"
+  "CMakeFiles/example_design_space_exploration.dir/examples/design_space_exploration.cpp.o.d"
+  "design_space_exploration"
+  "design_space_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_space_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

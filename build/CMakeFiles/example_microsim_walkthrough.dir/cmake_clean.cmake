@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_microsim_walkthrough.dir/examples/microsim_walkthrough.cpp.o"
+  "CMakeFiles/example_microsim_walkthrough.dir/examples/microsim_walkthrough.cpp.o.d"
+  "microsim_walkthrough"
+  "microsim_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_microsim_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

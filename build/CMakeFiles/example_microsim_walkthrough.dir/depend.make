@@ -1,0 +1,2 @@
+# Empty dependencies file for example_microsim_walkthrough.
+# This may be replaced when dependencies are built.

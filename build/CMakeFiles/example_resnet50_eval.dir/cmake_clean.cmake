@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_resnet50_eval.dir/examples/resnet50_eval.cpp.o"
+  "CMakeFiles/example_resnet50_eval.dir/examples/resnet50_eval.cpp.o.d"
+  "resnet50_eval"
+  "resnet50_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_resnet50_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sparsify_and_inspect.dir/examples/sparsify_and_inspect.cpp.o"
+  "CMakeFiles/example_sparsify_and_inspect.dir/examples/sparsify_and_inspect.cpp.o.d"
+  "sparsify_and_inspect"
+  "sparsify_and_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sparsify_and_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sparsify_and_inspect.
+# This may be replaced when dependencies are built.

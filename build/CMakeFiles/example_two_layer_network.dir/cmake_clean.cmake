@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_two_layer_network.dir/examples/two_layer_network.cpp.o"
+  "CMakeFiles/example_two_layer_network.dir/examples/two_layer_network.cpp.o.d"
+  "two_layer_network"
+  "two_layer_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_two_layer_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

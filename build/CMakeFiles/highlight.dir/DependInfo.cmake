@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "CMakeFiles/highlight.dir/src/accel/accelerator.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/accelerator.cc.o.d"
+  "/root/repo/src/accel/dsso.cc" "CMakeFiles/highlight.dir/src/accel/dsso.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/dsso.cc.o.d"
+  "/root/repo/src/accel/dstc.cc" "CMakeFiles/highlight.dir/src/accel/dstc.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/dstc.cc.o.d"
+  "/root/repo/src/accel/harness.cc" "CMakeFiles/highlight.dir/src/accel/harness.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/harness.cc.o.d"
+  "/root/repo/src/accel/highlight.cc" "CMakeFiles/highlight.dir/src/accel/highlight.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/highlight.cc.o.d"
+  "/root/repo/src/accel/s2ta.cc" "CMakeFiles/highlight.dir/src/accel/s2ta.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/s2ta.cc.o.d"
+  "/root/repo/src/accel/stc.cc" "CMakeFiles/highlight.dir/src/accel/stc.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/stc.cc.o.d"
+  "/root/repo/src/accel/tc.cc" "CMakeFiles/highlight.dir/src/accel/tc.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/tc.cc.o.d"
+  "/root/repo/src/accel/workload.cc" "CMakeFiles/highlight.dir/src/accel/workload.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accel/workload.cc.o.d"
+  "/root/repo/src/accuracy/accuracy_model.cc" "CMakeFiles/highlight.dir/src/accuracy/accuracy_model.cc.o" "gcc" "CMakeFiles/highlight.dir/src/accuracy/accuracy_model.cc.o.d"
+  "/root/repo/src/arch/arch_spec.cc" "CMakeFiles/highlight.dir/src/arch/arch_spec.cc.o" "gcc" "CMakeFiles/highlight.dir/src/arch/arch_spec.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/highlight.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/highlight.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/highlight.dir/src/common/random.cc.o" "gcc" "CMakeFiles/highlight.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/highlight.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/highlight.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/highlight.dir/src/common/table.cc.o" "gcc" "CMakeFiles/highlight.dir/src/common/table.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "CMakeFiles/highlight.dir/src/core/evaluator.cc.o" "gcc" "CMakeFiles/highlight.dir/src/core/evaluator.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "CMakeFiles/highlight.dir/src/core/explorer.cc.o" "gcc" "CMakeFiles/highlight.dir/src/core/explorer.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "CMakeFiles/highlight.dir/src/core/pareto.cc.o" "gcc" "CMakeFiles/highlight.dir/src/core/pareto.cc.o.d"
+  "/root/repo/src/dataflow/loopnest.cc" "CMakeFiles/highlight.dir/src/dataflow/loopnest.cc.o" "gcc" "CMakeFiles/highlight.dir/src/dataflow/loopnest.cc.o.d"
+  "/root/repo/src/dataflow/mapping.cc" "CMakeFiles/highlight.dir/src/dataflow/mapping.cc.o" "gcc" "CMakeFiles/highlight.dir/src/dataflow/mapping.cc.o.d"
+  "/root/repo/src/dnn/deit.cc" "CMakeFiles/highlight.dir/src/dnn/deit.cc.o" "gcc" "CMakeFiles/highlight.dir/src/dnn/deit.cc.o.d"
+  "/root/repo/src/dnn/layer.cc" "CMakeFiles/highlight.dir/src/dnn/layer.cc.o" "gcc" "CMakeFiles/highlight.dir/src/dnn/layer.cc.o.d"
+  "/root/repo/src/dnn/resnet50.cc" "CMakeFiles/highlight.dir/src/dnn/resnet50.cc.o" "gcc" "CMakeFiles/highlight.dir/src/dnn/resnet50.cc.o.d"
+  "/root/repo/src/dnn/transformer.cc" "CMakeFiles/highlight.dir/src/dnn/transformer.cc.o" "gcc" "CMakeFiles/highlight.dir/src/dnn/transformer.cc.o.d"
+  "/root/repo/src/energy/components.cc" "CMakeFiles/highlight.dir/src/energy/components.cc.o" "gcc" "CMakeFiles/highlight.dir/src/energy/components.cc.o.d"
+  "/root/repo/src/energy/mux_model.cc" "CMakeFiles/highlight.dir/src/energy/mux_model.cc.o" "gcc" "CMakeFiles/highlight.dir/src/energy/mux_model.cc.o.d"
+  "/root/repo/src/energy/tech.cc" "CMakeFiles/highlight.dir/src/energy/tech.cc.o" "gcc" "CMakeFiles/highlight.dir/src/energy/tech.cc.o.d"
+  "/root/repo/src/format/bitmask.cc" "CMakeFiles/highlight.dir/src/format/bitmask.cc.o" "gcc" "CMakeFiles/highlight.dir/src/format/bitmask.cc.o.d"
+  "/root/repo/src/format/csr.cc" "CMakeFiles/highlight.dir/src/format/csr.cc.o" "gcc" "CMakeFiles/highlight.dir/src/format/csr.cc.o.d"
+  "/root/repo/src/format/hierarchical_cp.cc" "CMakeFiles/highlight.dir/src/format/hierarchical_cp.cc.o" "gcc" "CMakeFiles/highlight.dir/src/format/hierarchical_cp.cc.o.d"
+  "/root/repo/src/format/operand_b.cc" "CMakeFiles/highlight.dir/src/format/operand_b.cc.o" "gcc" "CMakeFiles/highlight.dir/src/format/operand_b.cc.o.d"
+  "/root/repo/src/format/rle.cc" "CMakeFiles/highlight.dir/src/format/rle.cc.o" "gcc" "CMakeFiles/highlight.dir/src/format/rle.cc.o.d"
+  "/root/repo/src/microsim/compression_unit.cc" "CMakeFiles/highlight.dir/src/microsim/compression_unit.cc.o" "gcc" "CMakeFiles/highlight.dir/src/microsim/compression_unit.cc.o.d"
+  "/root/repo/src/microsim/dsso_sim.cc" "CMakeFiles/highlight.dir/src/microsim/dsso_sim.cc.o" "gcc" "CMakeFiles/highlight.dir/src/microsim/dsso_sim.cc.o.d"
+  "/root/repo/src/microsim/energy_adapter.cc" "CMakeFiles/highlight.dir/src/microsim/energy_adapter.cc.o" "gcc" "CMakeFiles/highlight.dir/src/microsim/energy_adapter.cc.o.d"
+  "/root/repo/src/microsim/glb.cc" "CMakeFiles/highlight.dir/src/microsim/glb.cc.o" "gcc" "CMakeFiles/highlight.dir/src/microsim/glb.cc.o.d"
+  "/root/repo/src/microsim/layer_chain.cc" "CMakeFiles/highlight.dir/src/microsim/layer_chain.cc.o" "gcc" "CMakeFiles/highlight.dir/src/microsim/layer_chain.cc.o.d"
+  "/root/repo/src/microsim/pe.cc" "CMakeFiles/highlight.dir/src/microsim/pe.cc.o" "gcc" "CMakeFiles/highlight.dir/src/microsim/pe.cc.o.d"
+  "/root/repo/src/microsim/simulator.cc" "CMakeFiles/highlight.dir/src/microsim/simulator.cc.o" "gcc" "CMakeFiles/highlight.dir/src/microsim/simulator.cc.o.d"
+  "/root/repo/src/microsim/vfmu.cc" "CMakeFiles/highlight.dir/src/microsim/vfmu.cc.o" "gcc" "CMakeFiles/highlight.dir/src/microsim/vfmu.cc.o.d"
+  "/root/repo/src/model/density.cc" "CMakeFiles/highlight.dir/src/model/density.cc.o" "gcc" "CMakeFiles/highlight.dir/src/model/density.cc.o.d"
+  "/root/repo/src/model/engine.cc" "CMakeFiles/highlight.dir/src/model/engine.cc.o" "gcc" "CMakeFiles/highlight.dir/src/model/engine.cc.o.d"
+  "/root/repo/src/model/result.cc" "CMakeFiles/highlight.dir/src/model/result.cc.o" "gcc" "CMakeFiles/highlight.dir/src/model/result.cc.o.d"
+  "/root/repo/src/runtime/batch_runner.cc" "CMakeFiles/highlight.dir/src/runtime/batch_runner.cc.o" "gcc" "CMakeFiles/highlight.dir/src/runtime/batch_runner.cc.o.d"
+  "/root/repo/src/runtime/eval_cache.cc" "CMakeFiles/highlight.dir/src/runtime/eval_cache.cc.o" "gcc" "CMakeFiles/highlight.dir/src/runtime/eval_cache.cc.o.d"
+  "/root/repo/src/runtime/thread_pool.cc" "CMakeFiles/highlight.dir/src/runtime/thread_pool.cc.o" "gcc" "CMakeFiles/highlight.dir/src/runtime/thread_pool.cc.o.d"
+  "/root/repo/src/sparsity/conformance.cc" "CMakeFiles/highlight.dir/src/sparsity/conformance.cc.o" "gcc" "CMakeFiles/highlight.dir/src/sparsity/conformance.cc.o.d"
+  "/root/repo/src/sparsity/gh_pattern.cc" "CMakeFiles/highlight.dir/src/sparsity/gh_pattern.cc.o" "gcc" "CMakeFiles/highlight.dir/src/sparsity/gh_pattern.cc.o.d"
+  "/root/repo/src/sparsity/hss.cc" "CMakeFiles/highlight.dir/src/sparsity/hss.cc.o" "gcc" "CMakeFiles/highlight.dir/src/sparsity/hss.cc.o.d"
+  "/root/repo/src/sparsity/rank_rule.cc" "CMakeFiles/highlight.dir/src/sparsity/rank_rule.cc.o" "gcc" "CMakeFiles/highlight.dir/src/sparsity/rank_rule.cc.o.d"
+  "/root/repo/src/sparsity/sparsify.cc" "CMakeFiles/highlight.dir/src/sparsity/sparsify.cc.o" "gcc" "CMakeFiles/highlight.dir/src/sparsity/sparsify.cc.o.d"
+  "/root/repo/src/sparsity/spec.cc" "CMakeFiles/highlight.dir/src/sparsity/spec.cc.o" "gcc" "CMakeFiles/highlight.dir/src/sparsity/spec.cc.o.d"
+  "/root/repo/src/tensor/dense_tensor.cc" "CMakeFiles/highlight.dir/src/tensor/dense_tensor.cc.o" "gcc" "CMakeFiles/highlight.dir/src/tensor/dense_tensor.cc.o.d"
+  "/root/repo/src/tensor/fibertree.cc" "CMakeFiles/highlight.dir/src/tensor/fibertree.cc.o" "gcc" "CMakeFiles/highlight.dir/src/tensor/fibertree.cc.o.d"
+  "/root/repo/src/tensor/generator.cc" "CMakeFiles/highlight.dir/src/tensor/generator.cc.o" "gcc" "CMakeFiles/highlight.dir/src/tensor/generator.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "CMakeFiles/highlight.dir/src/tensor/shape.cc.o" "gcc" "CMakeFiles/highlight.dir/src/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/transform.cc" "CMakeFiles/highlight.dir/src/tensor/transform.cc.o" "gcc" "CMakeFiles/highlight.dir/src/tensor/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+CMakeFiles/highlight.dir/src/energy/tech.cc.o: \
+ /root/repo/src/energy/tech.cc /usr/include/stdc-predef.h \
+ /root/repo/src/energy/tech.hh

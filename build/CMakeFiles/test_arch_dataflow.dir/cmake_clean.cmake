@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_dataflow.dir/tests/test_arch_dataflow.cc.o"
+  "CMakeFiles/test_arch_dataflow.dir/tests/test_arch_dataflow.cc.o.d"
+  "test_arch_dataflow"
+  "test_arch_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_energy.dir/tests/test_chain_energy.cc.o"
+  "CMakeFiles/test_chain_energy.dir/tests/test_chain_energy.cc.o.d"
+  "test_chain_energy"
+  "test_chain_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage_extra.dir/tests/test_coverage_extra.cc.o"
+  "CMakeFiles/test_coverage_extra.dir/tests/test_coverage_extra.cc.o.d"
+  "test_coverage_extra"
+  "test_coverage_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

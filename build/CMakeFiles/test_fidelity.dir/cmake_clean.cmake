@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fidelity.dir/tests/test_fidelity.cc.o"
+  "CMakeFiles/test_fidelity.dir/tests/test_fidelity.cc.o.d"
+  "test_fidelity"
+  "test_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

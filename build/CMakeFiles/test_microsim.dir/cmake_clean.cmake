@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microsim.dir/tests/test_microsim.cc.o"
+  "CMakeFiles/test_microsim.dir/tests/test_microsim.cc.o.d"
+  "test_microsim"
+  "test_microsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparsity.dir/tests/test_sparsity.cc.o"
+  "CMakeFiles/test_sparsity.dir/tests/test_sparsity.cc.o.d"
+  "test_sparsity"
+  "test_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
