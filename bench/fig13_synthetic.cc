@@ -16,9 +16,13 @@
 #include "runtime_flags.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
+
+    const bool serial_only = parseSerialFlag(argc, argv);
+    ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
+    const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     Evaluator ev;
     const auto suite = syntheticSuite();
@@ -63,5 +67,11 @@ main()
                  "blind to B sparsity;\nDSTC pays its accumulation tax "
                  "at low sparsity; S2TA unsupported on dense A;\n"
                  "HighLight best (or tied-best) EDP in every cell.\n";
+
+    if (!json_path.empty() &&
+        !writeResultsJson(json_path, matrix.flat())) {
+        std::cerr << "fig13: cannot write " << json_path << "\n";
+        return 1;
+    }
     return 0;
 }

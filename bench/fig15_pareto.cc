@@ -137,6 +137,7 @@ main(int argc, char **argv)
 {
     const bool serial_only = parseSerialFlag(argc, argv);
     ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
+    const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     Evaluator ev;
     const WallTimer timer;
@@ -157,7 +158,12 @@ main(int argc, char **argv)
     std::cout << "\n[runtime] threads="
               << ThreadPool::global().numThreads() << " dnn evals="
               << results.size() << " cache hits=" << stats.hits
-              << " misses=" << stats.misses << "\n";
+              << " misses=" << stats.misses << " hit rate="
+              << TextTable::fmt(stats.hitRate() * 100.0, 1) << "%\n";
+    if (!json_path.empty() && !writeDnnResultsJson(json_path, results)) {
+        std::cerr << "fig15: cannot write " << json_path << "\n";
+        return 1;
+    }
     if (serial_only) {
         std::cout << "[runtime] serial sweep: "
                   << TextTable::fmt(sweep_seconds * 1e3, 2) << " ms\n";

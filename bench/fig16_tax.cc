@@ -10,11 +10,14 @@
 
 #include "common/table.hh"
 #include "core/evaluator.hh"
+#include "runtime_flags.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
+
+    ThreadPool::setGlobalThreads(parseSerialFlag(argc, argv) ? 1 : 0);
 
     Evaluator ev;
 
@@ -36,8 +39,15 @@ main()
         header.push_back(c);
     header.push_back("total");
     e.setHeader(header);
-    for (const Accelerator *d : ev.standardLineup()) {
-        const auto r = evaluateBest(*d, w);
+    // One batched parallel evaluation of the lineup on the workload.
+    const auto lineup = ev.standardLineup();
+    std::vector<EvalJob> jobs;
+    for (const Accelerator *d : lineup)
+        jobs.push_back({d, w});
+    const auto results = ev.runBatch(jobs);
+    for (std::size_t di = 0; di < lineup.size(); ++di) {
+        const Accelerator *d = lineup[di];
+        const auto &r = results[di];
         std::vector<std::string> row{d->name()};
         if (!r.supported) {
             for (std::size_t i = 1; i < header.size(); ++i)

@@ -16,6 +16,7 @@
 #include "core/evaluator.hh"
 #include "dnn/resnet50.hh"
 #include "dnn/transformer.hh"
+#include "runtime_flags.hh"
 
 namespace
 {
@@ -63,8 +64,10 @@ runModel(const Evaluator &ev, const DnnModel &model, DnnName nm,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ThreadPool::setGlobalThreads(parseSerialFlag(argc, argv) ? 1 : 0);
+
     Evaluator ev;
     // Transformer-Big: moderate prunability, near-dense activations.
     // HSS's degree flexibility lets HighLight prune to 62.5% within

@@ -10,15 +10,22 @@
 
 #include "common/table.hh"
 #include "core/explorer.hh"
+#include "runtime_flags.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
 
+    ThreadPool::setGlobalThreads(parseSerialFlag(argc, argv) ? 1 : 0);
+
+    // Both designs analyzed as one batch on the parallel runtime
+    // (bit-identical to serial analyze() calls).
     DesignSpaceExplorer explorer;
-    const auto s = explorer.analyze(DesignSpaceExplorer::designS());
-    const auto ss = explorer.analyze(DesignSpaceExplorer::designSS());
+    const auto reports = explorer.analyzeMany(
+        {DesignSpaceExplorer::designS(), DesignSpaceExplorer::designSS()});
+    const auto &s = reports[0];
+    const auto &ss = reports[1];
 
     // --- Fig 6(a): design attributes + latency per degree ---
     TextTable attrs("Fig 6(a): design attributes");

@@ -2,9 +2,13 @@
  * @file
  * Shared runtime helpers for the figure drivers: a `--serial` flag
  * that pins the global thread pool to one thread (the debugging
- * fallback), a wall-clock timer so drivers can report the
- * parallel-vs-serial speedup of the evaluation runtime, and the
- * batched design x workload result matrix the sweep drivers share.
+ * fallback), `--json PATH` / `--cache-file PATH` option parsing, a
+ * wall-clock timer so drivers can report the parallel-vs-serial
+ * speedup of the evaluation runtime, the batched design x workload
+ * result matrix the sweep drivers share, and a machine-readable JSON
+ * dump of results (full-precision doubles, so a byte-compare of two
+ * dumps is a bit-identity check — the smoke ctests diff the serial
+ * and parallel dumps of every sweep driver).
  */
 
 #ifndef HIGHLIGHT_BENCH_RUNTIME_FLAGS_HH
@@ -12,6 +16,9 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <string>
 #include <vector>
 
 #include "core/evaluator.hh"
@@ -63,6 +70,81 @@ parseSerialFlag(int argc, char **argv)
             return true;
     }
     return false;
+}
+
+/** Value of `<flag> PATH` (e.g. --json out.json); "" when absent. */
+inline std::string
+parseOptionValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    }
+    return "";
+}
+
+/** A quoted JSON string (escapes backslash and double-quote). */
+inline std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Dump eval results as a JSON array. Doubles print with max_digits10
+ * so two dumps are byte-identical iff the results are bit-identical.
+ */
+inline bool
+writeResultsJson(const std::string &path,
+                 const std::vector<EvalResult> &results)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << std::setprecision(17);
+    out << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const EvalResult &r = results[i];
+        out << "  {\"design\": " << jsonQuote(r.design)
+            << ", \"workload\": " << jsonQuote(r.workload)
+            << ", \"supported\": " << (r.supported ? "true" : "false")
+            << ", \"cycles\": " << r.cycles
+            << ", \"energy_pj\": " << r.totalEnergyPj()
+            << ", \"edp\": " << r.edp() << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+}
+
+/** As writeResultsJson, for whole-DNN sweep results. */
+inline bool
+writeDnnResultsJson(const std::string &path,
+                    const std::vector<DnnEvalResult> &results)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << std::setprecision(17);
+    out << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const DnnEvalResult &r = results[i];
+        out << "  {\"design\": " << jsonQuote(r.design)
+            << ", \"supported\": " << (r.supported ? "true" : "false")
+            << ", \"accuracy_loss\": " << r.accuracy_loss
+            << ", \"total_cycles\": " << r.total_cycles
+            << ", \"total_energy_pj\": " << r.total_energy_pj << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
 }
 
 /** Monotonic wall-clock stopwatch. */

@@ -1,0 +1,44 @@
+# Smoke-compare a figure driver: run it in parallel mode and with
+# --serial, then byte-compare the two --json dumps. The dumps print
+# doubles at max_digits10, so identical files <=> bit-identical
+# results — this is the ctest-level serial-vs-parallel determinism
+# check for every sweep driver.
+#
+# Usage:
+#   cmake -DDRIVER=<exe> -DOUTDIR=<dir> -DNAME=<tag> -P compare_driver.cmake
+
+foreach(var DRIVER OUTDIR NAME)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compare_driver.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(par_json "${OUTDIR}/${NAME}_parallel.json")
+set(ser_json "${OUTDIR}/${NAME}_serial.json")
+
+execute_process(COMMAND "${DRIVER}" --json "${par_json}"
+                RESULT_VARIABLE par_rc OUTPUT_QUIET)
+if(NOT par_rc EQUAL 0)
+  message(FATAL_ERROR "${NAME}: parallel run failed (rc=${par_rc})")
+endif()
+
+execute_process(COMMAND "${DRIVER}" --serial --json "${ser_json}"
+                RESULT_VARIABLE ser_rc OUTPUT_QUIET)
+if(NOT ser_rc EQUAL 0)
+  message(FATAL_ERROR "${NAME}: --serial run failed (rc=${ser_rc})")
+endif()
+
+foreach(f "${par_json}" "${ser_json}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "${NAME}: missing JSON dump ${f}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${par_json}" "${ser_json}"
+                RESULT_VARIABLE differ)
+if(NOT differ EQUAL 0)
+  message(FATAL_ERROR
+          "${NAME}: parallel and serial JSON dumps differ — the "
+          "bit-identical serial-vs-parallel guarantee is broken")
+endif()

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The async evaluation service, end to end: submit a sweep of
+ * (design, workload) jobs without blocking, stream results as they
+ * land with drain(), batch with input-order collection through
+ * Evaluator::runBatch, and make the eval cache bounded + persistent
+ * so a rerun of this program starts warm.
+ *
+ * Run it twice to see the persistence: the second run reports a 100%
+ * cache hit rate and evaluates nothing.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/evaluator.hh"
+
+int
+main()
+{
+    using namespace highlight;
+
+    // A bounded, persistent cache: at most 256 resident entries (LRU
+    // eviction) and an on-disk memo loaded now / saved on flush.
+    EvalCacheConfig cache_cfg;
+    cache_cfg.capacity = 256;
+    cache_cfg.file = "async_eval_service.evalcache";
+    Evaluator ev(cache_cfg);
+
+    // A small sweep: every standard design on a few synthetic GEMMs.
+    std::vector<EvalJob> jobs;
+    for (const Accelerator *design : ev.standardLineup()) {
+        for (const double density : {1.0, 0.5, 0.25}) {
+            GemmWorkload w;
+            w.name = design->name() + " @ B=" +
+                     std::to_string(static_cast<int>(density * 100)) +
+                     "%";
+            w.m = w.k = w.n = 512;
+            w.a = OperandSparsity::dense();
+            w.b = density < 1.0 ? OperandSparsity::unstructured(density)
+                                : OperandSparsity::dense();
+            jobs.push_back({design, w});
+        }
+    }
+
+    // --- Async path: submit everything, stream results as they land.
+    EvalService &service = ev.service();
+    const auto tickets = service.submitBatch(jobs);
+    std::cout << "submitted " << tickets.size()
+              << " jobs; streaming results as they land:\n";
+    std::size_t landed = 0;
+    service.drain([&](EvalService::Ticket, const EvalResult &r) {
+        // Completion order is scheduling-dependent — that is the
+        // point: start consuming before the sweep finishes.
+        ++landed;
+        std::cout << "  [" << landed << "/" << tickets.size() << "] "
+                  << r.workload << ": "
+                  << (r.supported ? TextTable::fmt(r.cycles, 0) +
+                                        " cycles"
+                                  : "unsupported")
+                  << "\n";
+    });
+
+    // --- Batch path: same jobs, input-order results (all cache hits
+    // now, so this is instant).
+    const auto ordered = ev.runBatch(jobs);
+    std::cout << "\nrunBatch returned " << ordered.size()
+              << " results in input order; first = "
+              << ordered.front().workload << "\n";
+
+    const auto s = ev.cacheStats();
+    std::cout << "\ncache: " << s.hits << " hits, " << s.misses
+              << " misses (hit rate "
+              << TextTable::fmt(s.hitRate() * 100.0, 1) << "%), "
+              << s.evictions << " evictions\n";
+
+    // Save the memo for the next invocation of this program.
+    if (ev.flushCache())
+        std::cout << "saved cache to " << cache_cfg.file
+                  << " — rerun me to start warm\n";
+    return 0;
+}

@@ -55,20 +55,9 @@ SuiteResult::geomeanEdp() const
     return geomean(edps);
 }
 
-std::vector<SuiteResult>
-evaluateSuite(const std::vector<const Accelerator *> &designs,
-              const std::vector<GemmWorkload> &suite)
-{
-    std::vector<SuiteResult> all;
-    for (const Accelerator *design : designs) {
-        SuiteResult sr;
-        sr.design = design->name();
-        for (const auto &w : suite)
-            sr.results.push_back(evaluateBest(*design, w));
-        all.push_back(std::move(sr));
-    }
-    return all;
-}
+// evaluateSuite lives in src/runtime/suite_runner.cc: it fans the
+// design x workload matrix out through the batched parallel runtime,
+// which layers above accel/.
 
 std::vector<std::unique_ptr<Accelerator>>
 standardDesigns()

@@ -38,6 +38,11 @@ struct SuiteResult
 
 /**
  * Evaluate a set of designs across a workload suite (with swapping).
+ *
+ * Defined in src/runtime/suite_runner.cc: the whole design x workload
+ * matrix runs as one batch on the parallel evaluation runtime, deduped
+ * through a suite-local EvalCache. Results are in (design, workload)
+ * input order and bit-identical to evaluating each cell serially.
  */
 std::vector<SuiteResult> evaluateSuite(
     const std::vector<const Accelerator *> &designs,

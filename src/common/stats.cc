@@ -78,8 +78,14 @@ binomialPmf(int n, int k, double p)
     if (p >= 1.0)
         return k == n ? 1.0 : 0.0;
     // log C(n,k) via lgamma keeps the computation stable for large n.
-    const double log_choose = std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
-                              std::lgamma(n - k + 1.0);
+    // lgamma_r, not std::lgamma: the latter writes the global signgam
+    // and the evaluation runtime calls this from concurrent workers.
+    const auto lgamma_ts = [](double x) {
+        int sign = 0;
+        return ::lgamma_r(x, &sign);
+    };
+    const double log_choose = lgamma_ts(n + 1.0) - lgamma_ts(k + 1.0) -
+                              lgamma_ts(n - k + 1.0);
     const double log_pmf = log_choose + k * std::log(p) +
                            (n - k) * std::log1p(-p);
     return std::exp(log_pmf);

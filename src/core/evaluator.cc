@@ -16,7 +16,12 @@ DnnEvalResult::edp() const
     return total_energy_pj * 1e-12 * seconds;
 }
 
-Evaluator::Evaluator()
+Evaluator::Evaluator() : Evaluator(EvalCacheConfig::fromEnv())
+{
+}
+
+Evaluator::Evaluator(const EvalCacheConfig &cache_config)
+    : cache_(cache_config)
 {
     owned_ = standardDesigns();
     owned_.push_back(std::make_unique<DssoAccel>());
@@ -56,13 +61,44 @@ EvalResult
 Evaluator::run(const std::string &design_name,
                const GemmWorkload &w) const
 {
-    return cache_.evaluate(design(design_name), w);
+    // Through the service, not cache_.evaluate() directly, so a run()
+    // racing a runBatch() with the same key shares the in-flight
+    // computation and the exactly-one-miss-per-unique-key stats
+    // contract holds across every entry point.
+    return runner().run({{&design(design_name), w}}).front();
+}
+
+BatchRunner &
+Evaluator::runner() const
+{
+    // Lazy so the worker count reflects the global pool (and thus any
+    // --serial / HIGHLIGHT_THREADS pin) at first use, not at
+    // construction.
+    std::lock_guard<std::mutex> lock(runner_mu_);
+    if (!runner_)
+        runner_ = std::make_unique<BatchRunner>(&cache_);
+    return *runner_;
 }
 
 std::vector<EvalResult>
 Evaluator::runBatch(const std::vector<EvalJob> &jobs) const
 {
-    return BatchRunner(&cache_).run(jobs);
+    return runner().run(jobs);
+}
+
+std::vector<EvalResult>
+Evaluator::runBatch(
+    const std::vector<EvalJob> &jobs,
+    const std::function<void(std::size_t, const EvalResult &)> &on_result)
+    const
+{
+    return runner().run(jobs, on_result);
+}
+
+EvalService &
+Evaluator::service() const
+{
+    return runner().service();
 }
 
 namespace

@@ -12,7 +12,9 @@
 #ifndef HIGHLIGHT_CORE_EVALUATOR_HH
 #define HIGHLIGHT_CORE_EVALUATOR_HH
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,8 +54,15 @@ struct DnnEvalResult
 class Evaluator
 {
   public:
-    /** Builds TC, STC, S2TA, DSTC, HighLight and DSSO. */
+    /**
+     * Builds TC, STC, S2TA, DSTC, HighLight and DSSO. The memo cache
+     * is configured from the environment (HIGHLIGHT_CACHE_CAP bounds
+     * it, HIGHLIGHT_CACHE_FILE makes it persistent and pre-loads it).
+     */
     Evaluator();
+
+    /** Same lineup with an explicit cache configuration. */
+    explicit Evaluator(const EvalCacheConfig &cache_config);
 
     /** All designs (stable order: TC, STC, S2TA, DSTC, HighLight, DSSO). */
     std::vector<const Accelerator *> designs() const;
@@ -66,19 +75,43 @@ class Evaluator
 
     /**
      * Evaluate one workload on one design with operand swapping
-     * (memoized through the evaluator's cache).
+     * (memoized through the evaluator's cache). Routed through the
+     * shared async service — starting its worker crew on first use —
+     * so a run() racing a runBatch() on the same key shares the
+     * in-flight evaluation and the cache stats stay exact.
      */
     EvalResult run(const std::string &design_name,
                    const GemmWorkload &w) const;
 
     /**
      * Evaluate a batch of heterogeneous (design, workload) jobs on
-     * the global thread pool through the cache. Results come back in
-     * input order and are bit-identical to evaluating each job
-     * serially, independent of the thread count.
+     * the evaluator's async service through the cache. Results come
+     * back in input order and are bit-identical to evaluating each
+     * job serially, independent of the worker count.
      */
     std::vector<EvalResult> runBatch(
         const std::vector<EvalJob> &jobs) const;
+
+    /**
+     * Streaming runBatch: additionally calls on_result(index, result)
+     * as each job lands (in completion order). The returned vector is
+     * still in input order. Unlike the blocking runBatch(), a
+     * streaming call needs exclusive use of this Evaluator's service:
+     * its drain claims every outstanding ticket, so it must not
+     * overlap any other runBatch()/run()/service() activity on the
+     * same Evaluator (panics on a foreign ticket).
+     */
+    std::vector<EvalResult> runBatch(
+        const std::vector<EvalJob> &jobs,
+        const std::function<void(std::size_t, const EvalResult &)>
+            &on_result) const;
+
+    /**
+     * The evaluator's async evaluation service: submit(EvalJob) now,
+     * wait()/tryNext()/drain() later. Lazily started with the global
+     * thread pool's worker count at first use.
+     */
+    EvalService &service() const;
 
     /**
      * Build the per-layer workloads for a DNN under a scenario: the
@@ -99,15 +132,23 @@ class Evaluator
     DnnEvalResult runDnn(const DnnModel &model, DnnName accuracy_model,
                          const DnnScenario &scenario) const;
 
-    /** Hit/miss counters of the memoization cache. */
+    /** Hit/miss/eviction counters of the memoization cache. */
     EvalCacheStats cacheStats() const { return cache_.stats(); }
+
+    /** Save the cache to its configured persistence file (if any). */
+    bool flushCache() const { return cache_.flush(); }
 
     /** Drop all cached evaluations and reset the counters. */
     void clearCache() const { cache_.clear(); }
 
   private:
+    /** The lazily-started batch runner backing runBatch()/service(). */
+    BatchRunner &runner() const;
+
     std::vector<std::unique_ptr<Accelerator>> owned_;
     mutable EvalCache cache_;
+    mutable std::mutex runner_mu_; ///< Guards runner_ creation.
+    mutable std::unique_ptr<BatchRunner> runner_;
 };
 
 } // namespace highlight

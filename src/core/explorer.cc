@@ -1,6 +1,7 @@
 #include "core/explorer.hh"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
 
 #include "common/logging.hh"
@@ -67,9 +68,32 @@ std::vector<HssDesignReport>
 DesignSpaceExplorer::analyzeMany(
     const std::vector<HssDesignConfig> &configs) const
 {
+    // Grain 1: per-config cost varies with rank count, so fine
+    // claiming balances better than chunks here.
     return ThreadPool::global().parallelMap(
         configs.size(),
-        [&](std::size_t i) { return analyze(configs[i]); });
+        [&](std::size_t i) { return analyze(configs[i]); }, 1);
+}
+
+std::vector<HssDesignReport>
+DesignSpaceExplorer::analyzeMany(
+    const std::vector<HssDesignConfig> &configs,
+    const std::function<void(std::size_t, const HssDesignReport &)>
+        &on_report) const
+{
+    std::vector<HssDesignReport> out(configs.size());
+    std::mutex report_mu;
+    ThreadPool::global().parallelFor(
+        configs.size(),
+        [&](std::size_t i) {
+            out[i] = analyze(configs[i]);
+            // Stream the landed report; serialized so callbacks never
+            // overlap even though their order is scheduling-dependent.
+            std::lock_guard<std::mutex> lock(report_mu);
+            on_report(i, out[i]);
+        },
+        1);
+    return out;
 }
 
 namespace

@@ -13,6 +13,7 @@
 #ifndef HIGHLIGHT_CORE_EXPLORER_HH
 #define HIGHLIGHT_CORE_EXPLORER_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,19 @@ class DesignSpaceExplorer
      */
     std::vector<HssDesignReport> analyzeMany(
         const std::vector<HssDesignConfig> &configs) const;
+
+    /**
+     * Streaming analyzeMany: on_report(index, report) fires as each
+     * config's analysis lands (on whichever worker produced it, under
+     * an internal lock — callbacks never overlap). The returned
+     * vector is still in input order and bit-identical to the
+     * non-streaming overload; only the callback order is
+     * scheduling-dependent.
+     */
+    std::vector<HssDesignReport> analyzeMany(
+        const std::vector<HssDesignConfig> &configs,
+        const std::function<void(std::size_t, const HssDesignReport &)>
+            &on_report) const;
 
     /** Fig 6's one-rank design S: 2:{2..16}, 2 PEs. */
     static HssDesignConfig designS();

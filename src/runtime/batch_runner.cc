@@ -1,6 +1,5 @@
 #include "runtime/batch_runner.hh"
 
-#include <cstdint>
 #include <unordered_map>
 
 #include "common/logging.hh"
@@ -9,69 +8,105 @@ namespace highlight
 {
 
 BatchRunner::BatchRunner(EvalCache *cache, ThreadPool *pool)
-    : cache_(cache), pool_(pool ? pool : &ThreadPool::global())
+    : service_(std::make_unique<EvalService>(
+          cache, (pool ? pool : &ThreadPool::global())->numThreads()))
 {
 }
 
+BatchRunner::~BatchRunner() = default;
+
+namespace
+{
+
+/**
+ * wait() on every ticket even after a failure, so an errored job can
+ * never leave the rest of its batch unclaimed in the service (leaked
+ * results, and a later drain() would trip over the foreign tickets).
+ * The first exception is rethrown once everything is claimed.
+ */
 std::vector<EvalResult>
-BatchRunner::run(const std::vector<EvalJob> &jobs) const
+claimAll(EvalService &service,
+         const std::vector<EvalService::Ticket> &tickets)
+{
+    std::vector<EvalResult> out;
+    out.reserve(tickets.size());
+    std::exception_ptr first_error;
+    for (const auto t : tickets) {
+        try {
+            out.push_back(service.wait(t));
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+            out.emplace_back();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return out;
+}
+
+/**
+ * Reject bad jobs before anything is submitted: a mid-batch fatal
+ * from EvalService::submit would leave the already-submitted tickets
+ * unclaimed in the (possibly shared, persistent) service.
+ */
+void
+validate(const std::vector<EvalJob> &jobs)
 {
     for (const auto &j : jobs) {
         if (j.design == nullptr)
             fatal("BatchRunner: job with null design");
     }
+}
 
-    if (cache_ == nullptr) {
-        // Uncached: evaluate every job positionally.
-        return pool_->parallelMap(jobs.size(), [&](std::size_t i) {
-            return evaluateBest(*jobs[i].design, jobs[i].workload);
-        });
-    }
+} // namespace
 
-    // Pre-pass (serial, input order): resolve hits and collect each
-    // unique uncached key once. `source` maps every job index to the
-    // compute slot it will be served from (or SIZE_MAX for a direct
-    // cache hit already resolved).
+std::vector<EvalResult>
+BatchRunner::run(const std::vector<EvalJob> &jobs) const
+{
+    // Submit in input order (the service's dedupe accounting happens
+    // on this thread, so the hit/miss counters are deterministic),
+    // then collect by ticket in input order.
+    validate(jobs);
+    return claimAll(*service_, service_->submitBatch(jobs));
+}
+
+std::vector<EvalResult>
+BatchRunner::run(
+    const std::vector<EvalJob> &jobs,
+    const std::function<void(std::size_t, const EvalResult &)> &on_result)
+    const
+{
+    validate(jobs);
+    const auto tickets = service_->submitBatch(jobs);
+    std::unordered_map<EvalService::Ticket, std::size_t> index_of;
+    index_of.reserve(tickets.size());
+    for (std::size_t i = 0; i < tickets.size(); ++i)
+        index_of.emplace(tickets[i], i);
+
     std::vector<EvalResult> out(jobs.size());
-    std::vector<std::size_t> source(jobs.size(), SIZE_MAX);
-    std::vector<std::size_t> compute; ///< Job index per unique miss.
-    std::vector<std::string> compute_key;
-    std::unordered_map<std::string, std::size_t> pending;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const std::string key =
-            EvalCache::keyOf(jobs[i].design->name(), jobs[i].workload);
-        const auto it = pending.find(key);
-        if (it != pending.end()) {
-            // Duplicate within this batch: served from the single
-            // compute; counts as a hit.
-            source[i] = it->second;
-            cache_->noteHit();
-            continue;
-        }
-        if (cache_->lookup(key, jobs[i].workload.name, &out[i]))
-            continue;
-        pending.emplace(key, compute.size());
-        source[i] = compute.size();
-        compute.push_back(i);
-        compute_key.push_back(key);
-    }
-
-    // Evaluate the unique misses concurrently; slot order is fixed by
-    // the pre-pass so the results are thread-count independent.
-    const std::vector<EvalResult> fresh =
-        pool_->parallelMap(compute.size(), [&](std::size_t s) {
-            const EvalJob &j = jobs[compute[s]];
-            return evaluateBest(*j.design, j.workload);
+    try {
+        service_->drain([&](EvalService::Ticket t, const EvalResult &r) {
+            const auto it = index_of.find(t);
+            if (it == index_of.end())
+                panic(msgOf("BatchRunner: drained foreign ticket ", t,
+                            " — streaming run() needs exclusive use "
+                            "of the service"));
+            out[it->second] = r;
+            on_result(it->second, r);
         });
-    for (std::size_t s = 0; s < fresh.size(); ++s)
-        cache_->insert(compute_key[s], fresh[s]);
-
-    // Scatter back in input order, patching each duplicate's name.
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        if (source[i] == SIZE_MAX)
-            continue;
-        out[i] = fresh[source[i]];
-        out[i].workload = jobs[i].workload.name;
+    } catch (...) {
+        // An errored job stops the drain; claim this batch's
+        // remaining tickets before propagating so nothing leaks into
+        // the (possibly shared, persistent) service.
+        for (const auto t : tickets) {
+            try {
+                service_->wait(t);
+            } catch (...) {
+                // Already claimed by the drain, or the same error.
+            }
+        }
+        throw;
     }
     return out;
 }

@@ -2,34 +2,34 @@
  * @file
  * Batched scheduling of heterogeneous evaluation jobs.
  *
- * A BatchRunner takes an ordered list of (design, workload) jobs,
- * dedupes them against the EvalCache and within the batch, evaluates
- * the unique misses on the thread pool, and scatters the results back
- * in input order. Because each unique key is computed exactly once and
- * the scatter is positional, the output — including the cache hit/miss
- * counters — is bit-identical whether the pool has 1 thread or N.
+ * A BatchRunner is the synchronous, order-preserving front of the
+ * async EvalService: it submits an ordered list of (design, workload)
+ * jobs — which the service dedupes against the EvalCache and among
+ * in-flight submissions — and collects the results back in input
+ * order. Because each unique key is computed exactly once and results
+ * are collected by ticket, the output — including the cache hit/miss
+ * counters — is bit-identical whether the service runs 1 worker or N.
+ *
+ * The streaming overload additionally invokes a callback per result
+ * as it lands (in completion order, which is scheduling-dependent),
+ * so a caller can start consuming while the tail is still computing.
  */
 
 #ifndef HIGHLIGHT_RUNTIME_BATCH_RUNNER_HH
 #define HIGHLIGHT_RUNTIME_BATCH_RUNNER_HH
 
+#include <functional>
+#include <memory>
 #include <vector>
 
-#include "runtime/eval_cache.hh"
+#include "runtime/eval_service.hh"
 #include "runtime/thread_pool.hh"
 
 namespace highlight
 {
 
-/** One evaluation job: a design applied to a workload. */
-struct EvalJob
-{
-    const Accelerator *design = nullptr;
-    GemmWorkload workload;
-};
-
 /**
- * Schedules eval jobs across the pool through the cache.
+ * Schedules eval jobs through a persistent EvalService.
  */
 class BatchRunner
 {
@@ -37,10 +37,15 @@ class BatchRunner
     /**
      * @param cache Memo table to dedupe through; nullptr disables
      *        caching (every job is evaluated).
-     * @param pool Pool to run on; nullptr uses ThreadPool::global().
+     * @param pool Sizes the worker crew (numThreads()); nullptr uses
+     *        ThreadPool::global().
      */
     explicit BatchRunner(EvalCache *cache = nullptr,
                          ThreadPool *pool = nullptr);
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner &) = delete;
+    BatchRunner &operator=(const BatchRunner &) = delete;
 
     /**
      * Evaluate every job, returning results in input order. Cache
@@ -50,9 +55,26 @@ class BatchRunner
      */
     std::vector<EvalResult> run(const std::vector<EvalJob> &jobs) const;
 
+    /**
+     * Same contract, but additionally streams each result through
+     * on_result(job_index, result) the moment it lands. The callback
+     * runs on the draining (calling) thread; its invocation order is
+     * scheduling-dependent even though the returned vector is not.
+     * Needs exclusive use of the runner's service while it drains:
+     * concurrent blocking run() calls (safe with each other) or
+     * direct service() submissions would hand this drain foreign
+     * tickets, which is a panic.
+     */
+    std::vector<EvalResult> run(
+        const std::vector<EvalJob> &jobs,
+        const std::function<void(std::size_t, const EvalResult &)>
+            &on_result) const;
+
+    /** The underlying async service (for direct submit/drain use). */
+    EvalService &service() const { return *service_; }
+
   private:
-    EvalCache *cache_;
-    ThreadPool *pool_;
+    std::unique_ptr<EvalService> service_;
 };
 
 } // namespace highlight

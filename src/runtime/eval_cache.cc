@@ -1,7 +1,13 @@
 #include "runtime/eval_cache.hh"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include "common/logging.hh"
 
 namespace highlight
 {
@@ -26,7 +32,130 @@ appendOperand(std::ostringstream &oss, const OperandSparsity &s)
     }
 }
 
+/** First line of a persisted cache file. */
+std::string
+fileHeader()
+{
+    return msgOf("highlight-evalcache v", EvalCache::kFileVersion);
+}
+
+/**
+ * Print a double so that reloading reproduces the exact bit pattern:
+ * hexfloat is lossless for finite values.
+ */
+std::string
+exactDouble(double v)
+{
+    std::ostringstream oss;
+    oss << std::hexfloat << v;
+    return oss.str();
+}
+
+/**
+ * Parse a hexfloat (or any strtod-accepted) double. istream hexfloat
+ * extraction is unreliable in libstdc++, so go through strtod.
+ */
+bool
+parseDouble(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+/** "prefix rest-of-line" split; false when the prefix does not match. */
+bool
+takeField(const std::string &line, const std::string &prefix,
+          std::string *rest)
+{
+    if (line.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    if (line.size() == prefix.size()) {
+        rest->clear();
+        return true;
+    }
+    if (line[prefix.size()] != ' ')
+        return false;
+    *rest = line.substr(prefix.size() + 1);
+    return true;
+}
+
+/**
+ * Parse "<count>" then count lines of "<hexfloat> <name>" into a
+ * breakdown. Component names may contain spaces, so the value comes
+ * first and the name is the rest of the line.
+ */
+bool
+parseBreakdown(std::istream &in, std::size_t count,
+               std::vector<BreakdownEntry> *out)
+{
+    out->clear();
+    std::string line;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        const auto space = line.find(' ');
+        if (space == std::string::npos)
+            return false;
+        BreakdownEntry e;
+        e.name = line.substr(space + 1);
+        if (!parseDouble(line.substr(0, space), &e.value))
+            return false;
+        out->push_back(std::move(e));
+    }
+    return true;
+}
+
+bool
+parseCount(const std::string &s, std::size_t *out)
+{
+    // Digits only: strtoull would silently wrap "-1" to 2^64-1 and
+    // accept leading whitespace/'+'.
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+}
+
 } // namespace
+
+EvalCacheConfig
+EvalCacheConfig::fromEnv()
+{
+    EvalCacheConfig cfg;
+    if (const char *cap = std::getenv("HIGHLIGHT_CACHE_CAP")) {
+        // Full-string validation: atol("1e6") would silently cap the
+        // cache at 1 entry.
+        std::size_t v = 0;
+        if (parseCount(cap, &v) && v > 0)
+            cfg.capacity = v;
+        else
+            warn(msgOf("HIGHLIGHT_CACHE_CAP=", cap,
+                       " is not a positive integer; cache unbounded"));
+    }
+    if (const char *file = std::getenv("HIGHLIGHT_CACHE_FILE"))
+        cfg.file = file;
+    return cfg;
+}
+
+EvalCache::EvalCache(const EvalCacheConfig &config)
+    : capacity_(config.capacity), file_(config.file)
+{
+    if (!file_.empty())
+        loadFile(file_); // cold start on any failure — by design
+}
+
+EvalCache::~EvalCache()
+{
+    if (!file_.empty())
+        flush(); // best effort; an explicit flush() reports failures
+}
 
 std::string
 EvalCache::keyOf(const std::string &design, const GemmWorkload &w)
@@ -62,7 +191,9 @@ EvalCache::lookup(const std::string &key, const std::string &workload_name,
         return false;
     }
     ++stats_.hits;
-    *out = it->second;
+    // Refresh recency: a touched entry moves to the hot end.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *out = it->second->result;
     out->workload = workload_name;
     return true;
 }
@@ -71,7 +202,12 @@ void
 EvalCache::insert(const std::string &key, const EvalResult &r)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    map_.emplace(key, r);
+    if (map_.find(key) != map_.end())
+        return; // first insertion wins
+    lru_.push_front(Entry{key, r});
+    map_.emplace(key, lru_.begin());
+    ++stats_.insertions;
+    evictOverCapacityLocked();
 }
 
 void
@@ -79,6 +215,148 @@ EvalCache::noteHit()
 {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.hits;
+}
+
+std::size_t
+EvalCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+}
+
+void
+EvalCache::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity;
+    evictOverCapacityLocked();
+}
+
+void
+EvalCache::evictOverCapacityLocked()
+{
+    if (capacity_ == 0)
+        return;
+    while (lru_.size() > capacity_) {
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+bool
+EvalCache::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    std::string line;
+    if (!std::getline(in, line) || line != fileHeader())
+        return false; // stale version / not a cache file
+
+    std::size_t count = 0;
+    if (!std::getline(in, line) || !parseCount(line, &count))
+        return false;
+
+    // Parse everything into a staging list first so a corrupt tail
+    // cannot leave the cache half-merged. The reserve is clamped: the
+    // count came from the (possibly corrupt) file, and a garbage
+    // value must degrade into a failed parse below, not an OOM here.
+    std::vector<Entry> staged;
+    staged.reserve(std::min<std::size_t>(count, 4096));
+    for (std::size_t i = 0; i < count; ++i) {
+        Entry e;
+        std::string field;
+        if (!std::getline(in, line) || !takeField(line, "key", &e.key) ||
+            e.key.empty())
+            return false;
+        if (!std::getline(in, line) ||
+            !takeField(line, "design", &e.result.design))
+            return false;
+        if (!std::getline(in, line) ||
+            !takeField(line, "workload", &e.result.workload))
+            return false;
+        if (!std::getline(in, line) ||
+            !takeField(line, "supported", &field) ||
+            (field != "0" && field != "1"))
+            return false;
+        e.result.supported = field == "1";
+        if (!std::getline(in, line) ||
+            !takeField(line, "note", &e.result.note))
+            return false;
+        if (!std::getline(in, line) || !takeField(line, "cycles", &field) ||
+            !parseDouble(field, &e.result.cycles))
+            return false;
+        if (!std::getline(in, line) || !takeField(line, "clock", &field) ||
+            !parseDouble(field, &e.result.clock_mhz))
+            return false;
+        std::size_t n = 0;
+        if (!std::getline(in, line) || !takeField(line, "energy", &field) ||
+            !parseCount(field, &n) ||
+            !parseBreakdown(in, n, &e.result.energy_pj))
+            return false;
+        if (!std::getline(in, line) || !takeField(line, "area", &field) ||
+            !parseCount(field, &n) ||
+            !parseBreakdown(in, n, &e.result.area_um2))
+            return false;
+        if (!std::getline(in, line) || line != "end")
+            return false;
+        staged.push_back(std::move(e));
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // The file stores entries hot-first; appending in file order keeps
+    // that recency ranking for entries not already resident.
+    for (auto &e : staged) {
+        if (map_.find(e.key) != map_.end())
+            continue;
+        lru_.push_back(std::move(e));
+        map_.emplace(std::prev(lru_.end())->key, std::prev(lru_.end()));
+    }
+    evictOverCapacityLocked();
+    return true;
+}
+
+bool
+EvalCache::saveFile(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << fileHeader() << "\n" << lru_.size() << "\n";
+    for (const auto &e : lru_) {
+        const EvalResult &r = e.result;
+        out << "key " << e.key << "\n";
+        out << "design " << r.design << "\n";
+        out << "workload " << r.workload << "\n";
+        out << "supported " << (r.supported ? 1 : 0) << "\n";
+        out << "note " << r.note << "\n";
+        out << "cycles " << exactDouble(r.cycles) << "\n";
+        out << "clock " << exactDouble(r.clock_mhz) << "\n";
+        out << "energy " << r.energy_pj.size() << "\n";
+        for (const auto &b : r.energy_pj)
+            out << exactDouble(b.value) << " " << b.name << "\n";
+        out << "area " << r.area_um2.size() << "\n";
+        for (const auto &b : r.area_um2)
+            out << exactDouble(b.value) << " " << b.name << "\n";
+        out << "end\n";
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+EvalCache::flush() const
+{
+    std::string file;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        file = file_;
+    }
+    if (file.empty())
+        return false;
+    return saveFile(file);
 }
 
 EvalCacheStats
@@ -92,13 +370,25 @@ std::size_t
 EvalCache::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return map_.size();
+    return lru_.size();
+}
+
+std::vector<std::string>
+EvalCache::keysMruFirst() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> keys;
+    keys.reserve(lru_.size());
+    for (const auto &e : lru_)
+        keys.push_back(e.key);
+    return keys;
 }
 
 void
 EvalCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
     map_.clear();
     stats_ = EvalCacheStats();
 }

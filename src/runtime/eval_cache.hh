@@ -10,15 +10,26 @@
  * workload key collapses most of the work. Cached results are returned
  * with the requesting workload's name patched in, making a cache hit
  * indistinguishable from a fresh evaluation.
+ *
+ * For long-running service use the table is bounded: an LRU list
+ * orders entries by last touch and inserts past the capacity evict
+ * from the cold end. For incremental figure regeneration the table is
+ * persistent: a versioned text file (hexfloat-exact doubles) can be
+ * loaded at construction and saved with flush(), so a second driver
+ * invocation starts warm. A file whose version or key schema does not
+ * match — or that is truncated or corrupted — is ignored wholesale;
+ * the cache simply starts cold.
  */
 
 #ifndef HIGHLIGHT_RUNTIME_EVAL_CACHE_HH
 #define HIGHLIGHT_RUNTIME_EVAL_CACHE_HH
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "accel/harness.hh"
 #include "accel/workload.hh"
@@ -26,19 +37,71 @@
 namespace highlight
 {
 
-/** Hit/miss counters (a hit includes within-batch dedupe). */
+/**
+ * Cache counters. All counters are updated under the same lock as the
+ * map itself, so they are exact (not merely approximate) under
+ * concurrent BatchRunner / EvalService use: every lookup is counted as
+ * exactly one hit or one miss, and hits + misses == lookups() always
+ * holds, at any thread count.
+ */
 struct EvalCacheStats
 {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;       ///< Lookup hits + dedupe noteHit()s.
+    std::uint64_t misses = 0;     ///< Lookup misses.
+    std::uint64_t insertions = 0; ///< Fresh entries added by insert().
+    std::uint64_t evictions = 0;  ///< Entries dropped by the LRU bound.
+
+    /** Total lookups (every one is a hit or a miss). */
+    std::uint64_t lookups() const { return hits + misses; }
+
+    /** hits / lookups, 0 when nothing was looked up. */
+    double hitRate() const
+    {
+        const std::uint64_t n = lookups();
+        return n == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(n);
+    }
+};
+
+/** Construction knobs; fromEnv() reads the process environment. */
+struct EvalCacheConfig
+{
+    /** Max resident entries; 0 = unbounded. */
+    std::size_t capacity = 0;
+
+    /** Persistence file; empty = in-memory only. */
+    std::string file;
+
+    /**
+     * HIGHLIGHT_CACHE_CAP (positive integer, else unbounded) and
+     * HIGHLIGHT_CACHE_FILE (path, else no persistence).
+     */
+    static EvalCacheConfig fromEnv();
 };
 
 /**
- * Thread-safe (design, workload) -> EvalResult memo table.
+ * Thread-safe (design, workload) -> EvalResult memo table with LRU
+ * eviction and optional on-disk persistence.
  */
 class EvalCache
 {
   public:
+    /**
+     * Bumped whenever the file layout or the keyOf() schema changes;
+     * a persisted cache from another version is ignored on load.
+     */
+    static constexpr int kFileVersion = 1;
+
+    EvalCache() = default;
+
+    /** Applies the config and loads the file (if set and valid). */
+    explicit EvalCache(const EvalCacheConfig &config);
+
+    /** Best-effort flush() when a persistence file is configured, so
+     *  HIGHLIGHT_CACHE_FILE persists even for drivers that never call
+     *  flush() explicitly. */
+    ~EvalCache();
+
     /**
      * Canonical cache key: design name, M/K/N, and each operand's
      * kind, density (full precision) and HSS spec. Excludes the
@@ -53,24 +116,68 @@ class EvalCache
      */
     EvalResult evaluate(const Accelerator &accel, const GemmWorkload &w);
 
-    /** Copy of the cached result for key, name-patched; counts a hit.
-     *  Returns false (and counts a miss) when absent. */
+    /** Copy of the cached result for key, name-patched; counts a hit
+     *  and refreshes the entry's LRU position. Returns false (and
+     *  counts a miss) when absent. */
     bool lookup(const std::string &key, const std::string &workload_name,
                 EvalResult *out);
 
-    /** Insert a computed result (first insertion wins). */
+    /** Insert a computed result (first insertion wins). The new entry
+     *  is most-recently-used; over-capacity entries evict coldest
+     *  first. */
     void insert(const std::string &key, const EvalResult &r);
 
-    /** Count a hit without a lookup (within-batch dedupe). */
+    /** Count a hit without a lookup (within-batch / in-flight dedupe). */
     void noteHit();
+
+    /** Max resident entries (0 = unbounded). */
+    std::size_t capacity() const;
+
+    /** Change the bound; shrinking evicts coldest entries now. */
+    void setCapacity(std::size_t capacity);
+
+    /**
+     * Merge a persisted cache file. Loaded entries keep the file's
+     * recency order (first entry = most recent) and count as neither
+     * hits, misses nor insertions. Returns false — leaving the cache
+     * untouched — when the file is missing, has a version or key-
+     * schema mismatch (stale), or fails to parse (corrupt).
+     */
+    bool loadFile(const std::string &path);
+
+    /** Write every resident entry, most-recently-used first. */
+    bool saveFile(const std::string &path) const;
+
+    /**
+     * Save to the configured persistence file; false when no file is
+     * configured or the write fails.
+     */
+    bool flush() const;
 
     EvalCacheStats stats() const;
     std::size_t size() const;
+
+    /** Resident keys, most-recently-used first (LRU inspection). */
+    std::vector<std::string> keysMruFirst() const;
+
     void clear(); ///< Drops entries and resets the counters.
 
   private:
+    struct Entry
+    {
+        std::string key;
+        EvalResult result;
+    };
+
+    /** Drop cold entries until size <= capacity (lock held). */
+    void evictOverCapacityLocked();
+
     mutable std::mutex mu_;
-    std::unordered_map<std::string, EvalResult> map_;
+    /** Front = most recently used. */
+    std::list<Entry> lru_;
+    std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+    std::size_t capacity_ = 0; ///< 0 = unbounded.
+    std::string file_;         ///< Persistence target; empty = none.
     EvalCacheStats stats_;
 };
 

@@ -1,0 +1,288 @@
+#include "runtime/eval_service.hh"
+
+#include "common/logging.hh"
+#include "runtime/thread_pool.hh"
+
+namespace highlight
+{
+
+EvalService::EvalService(EvalCache *cache, int num_workers)
+    : cache_(cache)
+{
+    num_workers_ = num_workers > 0 ? num_workers
+                                   : ThreadPool::global().numThreads();
+    workers_.reserve(static_cast<std::size_t>(num_workers_));
+    for (int i = 0; i < num_workers_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+EvalService::~EvalService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+EvalService::Ticket
+EvalService::submit(const EvalJob &job)
+{
+    if (job.design == nullptr)
+        fatal("EvalService: job with null design");
+
+    // The key is a pure function of the job; build it outside the lock.
+    const std::string key =
+        cache_ ? EvalCache::keyOf(job.design->name(), job.workload)
+               : std::string();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    const Ticket ticket = next_ticket_++;
+    ++unclaimed_;
+    open_.insert(ticket);
+
+    if (cache_) {
+        // Tier 1: another ticket is computing this key — attach to it
+        // (counts a hit; the evaluation is shared). Checked before
+        // the cache so the lookup's miss counter stays exact: under
+        // mu_ an in-flight key is never in the cache yet (workers
+        // insert and retire the in-flight entry atomically).
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            it->second.emplace_back(ticket, job.workload.name);
+            cache_->noteHit();
+            return ticket;
+        }
+        // Tier 2: already cached — lands immediately (counts a hit).
+        EvalResult r;
+        if (cache_->lookup(key, job.workload.name, &r)) {
+            completeLocked(ticket, std::move(r));
+            return ticket;
+        }
+        // Tier 3: unique miss (the lookup above already counted it) —
+        // queue one computation.
+        inflight_.emplace(
+            key, std::vector<std::pair<Ticket, std::string>>{
+                     {ticket, job.workload.name}});
+    }
+    ComputeTask task;
+    task.key = key;
+    task.job = job;
+    task.ticket = ticket;
+    queue_.push_back(std::move(task));
+    lock.unlock();
+    work_cv_.notify_one();
+    return ticket;
+}
+
+std::vector<EvalService::Ticket>
+EvalService::submitBatch(const std::vector<EvalJob> &jobs)
+{
+    std::vector<Ticket> tickets;
+    tickets.reserve(jobs.size());
+    for (const auto &job : jobs)
+        tickets.push_back(submit(job));
+    return tickets;
+}
+
+void
+EvalService::workerLoop()
+{
+    for (;;) {
+        ComputeTask task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock,
+                          [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to finish
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+
+        EvalResult result;
+        std::exception_ptr err;
+        try {
+            result = evaluateBest(*task.job.design, task.job.workload);
+        } catch (...) {
+            err = std::current_exception();
+        }
+
+        std::unique_lock<std::mutex> lock(mu_);
+        if (cache_ && !task.key.empty()) {
+            if (!err)
+                cache_->insert(task.key, result);
+            // Serve every ticket that attached while we computed.
+            auto node = inflight_.extract(task.key);
+            for (const auto &[ticket, name] : node.mapped()) {
+                if (err) {
+                    failLocked(ticket, err);
+                    continue;
+                }
+                EvalResult r = result;
+                r.workload = name;
+                completeLocked(ticket, std::move(r));
+            }
+        } else if (err) {
+            failLocked(task.ticket, err);
+        } else {
+            completeLocked(task.ticket, std::move(result));
+        }
+        lock.unlock();
+        complete_cv_.notify_all();
+    }
+}
+
+void
+EvalService::completeLocked(Ticket ticket, EvalResult result)
+{
+    landed_.emplace(ticket, std::move(result));
+    completion_order_.push_back(ticket);
+    complete_cv_.notify_all();
+}
+
+void
+EvalService::failLocked(Ticket ticket, std::exception_ptr err)
+{
+    errored_.emplace(ticket, std::move(err));
+    completion_order_.push_back(ticket);
+    complete_cv_.notify_all();
+}
+
+std::exception_ptr
+EvalService::takeErrorLocked(Ticket ticket)
+{
+    const auto it = errored_.find(ticket);
+    if (it == errored_.end())
+        return nullptr;
+    std::exception_ptr err = std::move(it->second);
+    errored_.erase(it);
+    return err;
+}
+
+bool
+EvalService::popCompletionLocked(Completed *out, std::exception_ptr *err)
+{
+    // completion_order_ may lead with tickets already claimed by
+    // wait() — skip those lazily — or tickets a wait() is currently
+    // blocked on, which belong to that waiter and must never be
+    // handed to a drain()/tryNext() consumer (the waiter claims them
+    // from landed_ directly, so dropping the order entry is safe).
+    while (!completion_order_.empty()) {
+        const Ticket t = completion_order_.front();
+        const auto it = landed_.find(t);
+        const bool failed = errored_.find(t) != errored_.end();
+        if ((it == landed_.end() && !failed) ||
+            reserved_.find(t) != reserved_.end()) {
+            completion_order_.pop_front();
+            continue;
+        }
+        completion_order_.pop_front();
+        open_.erase(t);
+        --unclaimed_;
+        out->ticket = t;
+        if (failed) {
+            *err = takeErrorLocked(t);
+            return true;
+        }
+        out->result = std::move(it->second);
+        landed_.erase(it);
+        return true;
+    }
+    return false;
+}
+
+EvalResult
+EvalService::wait(Ticket ticket)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (open_.find(ticket) == open_.end())
+        fatal(msgOf("EvalService::wait: ticket ", ticket,
+                    " is unknown or already claimed"));
+    // Reserve the ticket so a concurrent drain()/tryNext() cannot
+    // claim it out from under this blocked waiter.
+    reserved_.insert(ticket);
+    complete_cv_.wait(lock, [&] {
+        return landed_.find(ticket) != landed_.end() ||
+               errored_.find(ticket) != errored_.end();
+    });
+    reserved_.erase(ticket);
+    open_.erase(ticket);
+    --unclaimed_;
+    // A drain()er may be blocked until every ticket is claimed.
+    complete_cv_.notify_all();
+    std::exception_ptr err = takeErrorLocked(ticket);
+    EvalResult r;
+    if (!err) {
+        const auto it = landed_.find(ticket);
+        r = std::move(it->second);
+        landed_.erase(it);
+    }
+    // Drop the leading order entries this claim (and earlier ones)
+    // made stale, so a wait()-only consumer — the dominant BatchRunner
+    // path — cannot grow completion_order_ without bound over a
+    // persistent service's lifetime.
+    while (!completion_order_.empty()) {
+        const Ticket t = completion_order_.front();
+        if (landed_.find(t) != landed_.end() ||
+            errored_.find(t) != errored_.end())
+            break; // still claimable: belongs to tryNext()/drain()
+        completion_order_.pop_front();
+    }
+    if (err)
+        std::rethrow_exception(err);
+    return r;
+}
+
+bool
+EvalService::tryNext(Completed *out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    std::exception_ptr err;
+    if (!popCompletionLocked(out, &err))
+        return false;
+    complete_cv_.notify_all();
+    if (err)
+        std::rethrow_exception(err);
+    return true;
+}
+
+std::size_t
+EvalService::drain(
+    const std::function<void(Ticket, const EvalResult &)> &on_result)
+{
+    std::size_t streamed = 0;
+    for (;;) {
+        Completed c;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            complete_cv_.wait(lock, [&] {
+                return unclaimed_ == 0 || !completion_order_.empty();
+            });
+            std::exception_ptr err;
+            if (!popCompletionLocked(&c, &err)) {
+                if (unclaimed_ == 0)
+                    return streamed;
+                continue; // stale completion entries; keep waiting
+            }
+            // An errored ticket stops the drain; already-streamed
+            // results stay streamed and the rest remain claimable.
+            if (err)
+                std::rethrow_exception(err);
+        }
+        // Callback outside the lock so it may submit() or wait().
+        on_result(c.ticket, c.result);
+        ++streamed;
+    }
+}
+
+std::size_t
+EvalService::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return unclaimed_;
+}
+
+} // namespace highlight

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The asynchronous evaluation service.
+ *
+ * Callers submit(EvalJob) and immediately get back a ticket; worker
+ * threads compute the evaluations and results can be consumed three
+ * ways: wait(ticket) for one job, tryNext() to poll the completion
+ * stream, or drain(callback) to stream every outstanding result as it
+ * lands. This is the front-end the ROADMAP's "async/streaming batch
+ * API" item asked for: a design-space sweep can keep submitting while
+ * earlier results are already being consumed.
+ *
+ * Dedupe happens at submission time on the caller's thread, under one
+ * lock, in three tiers:
+ *   1. in-flight hit — another ticket is already computing the same
+ *      key, so this ticket just attaches to it (counts a hit);
+ *   2. cache hit — the result is completed immediately (counts a hit);
+ *   3. miss — the job is queued for a worker (counts a miss).
+ * Because the tiers are resolved in submission order on the submitting
+ * thread, the hit/miss accounting is exact and deterministic: each
+ * unique key costs exactly one miss and one evaluation no matter how
+ * many workers race, which the concurrency stress tests assert.
+ *
+ * Evaluations are pure functions of the job, so per-ticket results are
+ * bit-identical at any worker count; only the completion *order* is
+ * scheduling-dependent. Callers that need input order (BatchRunner)
+ * collect by ticket.
+ *
+ * A job whose evaluation throws fails only its own tickets: the
+ * exception is rethrown to whichever consumer claims each affected
+ * ticket (wait, tryNext or drain), and the service stays fully usable
+ * for everything else — mirroring ThreadPool's pool-survives-
+ * exceptions contract.
+ *
+ * Workers are dedicated threads, intentionally separate from the
+ * global ThreadPool (whose single-job parallelFor design cannot queue
+ * independent tasks). The crew is sized from the pool's thread count
+ * and persists for the service's lifetime, so per-batch spawn cost is
+ * paid once per Evaluator / BatchRunner, not per job.
+ */
+
+#ifndef HIGHLIGHT_RUNTIME_EVAL_SERVICE_HH
+#define HIGHLIGHT_RUNTIME_EVAL_SERVICE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/eval_cache.hh"
+
+namespace highlight
+{
+
+/** One evaluation job: a design applied to a workload. */
+struct EvalJob
+{
+    const Accelerator *design = nullptr;
+    GemmWorkload workload;
+};
+
+/**
+ * Async submit/drain evaluation front-end over a worker crew.
+ */
+class EvalService
+{
+  public:
+    /** Identifies one submission; monotonically increasing from 0. */
+    using Ticket = std::uint64_t;
+
+    /** One landed result, tagged with its submission ticket. */
+    struct Completed
+    {
+        Ticket ticket = 0;
+        EvalResult result;
+    };
+
+    /**
+     * @param cache Memo table for dedupe; nullptr disables caching
+     *        (every submission is evaluated, no in-flight sharing).
+     * @param num_workers Worker threads; 0 resolves to the global
+     *        thread pool's count, so HIGHLIGHT_THREADS and the bench
+     *        drivers' --serial pin apply here too.
+     */
+    explicit EvalService(EvalCache *cache = nullptr, int num_workers = 0);
+
+    /** Joins the workers; outstanding jobs are finished first. */
+    ~EvalService();
+
+    EvalService(const EvalService &) = delete;
+    EvalService &operator=(const EvalService &) = delete;
+
+    int numWorkers() const { return num_workers_; }
+
+    /** Queue one evaluation; never blocks on the computation. */
+    Ticket submit(const EvalJob &job);
+
+    /** submit() each job in order; returns the tickets in order. */
+    std::vector<Ticket> submitBatch(const std::vector<EvalJob> &jobs);
+
+    /**
+     * Block until the ticket's result lands and return it. Each
+     * ticket's result can be claimed once (by wait, tryNext or drain);
+     * waiting twice on the same ticket is a fatal error.
+     */
+    EvalResult wait(Ticket ticket);
+
+    /**
+     * Pop one landed-but-unclaimed result, oldest completion first.
+     * Non-blocking; false when nothing has landed.
+     */
+    bool tryNext(Completed *out);
+
+    /**
+     * Stream every outstanding result: blocks until all submitted
+     * tickets have been claimed, invoking on_result for each (in
+     * completion order, which is scheduling-dependent) as they land.
+     * Tickets a concurrent wait() call is blocked on belong to that
+     * waiter: drain() waits for them to be claimed but never streams
+     * them. Returns the number of results streamed here.
+     */
+    std::size_t drain(
+        const std::function<void(Ticket, const EvalResult &)> &on_result);
+
+    /** Submitted-but-unclaimed ticket count (queued, running or landed). */
+    std::size_t pendingCount() const;
+
+  private:
+    /** A queued computation. */
+    struct ComputeTask
+    {
+        std::string key; ///< Empty when caching is disabled.
+        EvalJob job;
+        /** The submitting ticket; for cached tasks the authoritative
+         *  waiter list lives in inflight_ (it can grow while the task
+         *  is queued or running). */
+        Ticket ticket = 0;
+    };
+
+    void workerLoop();
+
+    /** Mark a ticket completed and wake consumers (lock held). */
+    void completeLocked(Ticket ticket, EvalResult result);
+
+    /** Mark a ticket failed with `err` and wake consumers (lock held). */
+    void failLocked(Ticket ticket, std::exception_ptr err);
+
+    /** Claim an errored ticket's exception; null when not errored
+     *  (lock held). */
+    std::exception_ptr takeErrorLocked(Ticket ticket);
+
+    /** Pop the oldest unclaimed completion (lock held). For an
+     *  errored ticket, *err is set (and out->result left default). */
+    bool popCompletionLocked(Completed *out, std::exception_ptr *err);
+
+    EvalCache *cache_;
+    int num_workers_ = 1;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;     ///< Queue non-empty / stop.
+    std::condition_variable complete_cv_; ///< A result landed.
+    std::deque<ComputeTask> queue_;
+    /** key -> (ticket, requested workload name) list of every
+     *  submission served by that key's single queued/running compute. */
+    std::unordered_map<std::string,
+                       std::vector<std::pair<Ticket, std::string>>>
+        inflight_;
+    /** Landed, unclaimed results by ticket. */
+    std::unordered_map<Ticket, EvalResult> landed_;
+    /** Submitted tickets not yet claimed (detects double-claims). */
+    std::unordered_set<Ticket> open_;
+    /** Tickets a wait() call is blocked on; tryNext()/drain() must
+     *  not hand these to another consumer. */
+    std::unordered_set<Ticket> reserved_;
+    /** Tickets in completion order for tryNext()/drain(). */
+    std::deque<Ticket> completion_order_;
+    /** Tickets whose evaluation threw; the exception is rethrown to
+     *  whichever consumer claims the ticket. Errors are per-ticket so
+     *  one bad job never poisons the service for later submissions. */
+    std::unordered_map<Ticket, std::exception_ptr> errored_;
+    Ticket next_ticket_ = 0;
+    std::size_t unclaimed_ = 0; ///< Submitted minus claimed.
+    bool stop_ = false;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_RUNTIME_EVAL_SERVICE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * evaluateSuite (declared in accel/harness.hh) implemented on the
+ * parallel evaluation runtime. It lives here, not in accel/harness.cc,
+ * because the runtime layers above accel/: the harness owns the
+ * fairness rules (evaluateBest), while the scheduling of a whole
+ * design x workload matrix belongs to the runtime.
+ */
+
+#include "accel/harness.hh"
+#include "runtime/batch_runner.hh"
+
+namespace highlight
+{
+
+std::vector<SuiteResult>
+evaluateSuite(const std::vector<const Accelerator *> &designs,
+              const std::vector<GemmWorkload> &suite)
+{
+    // One flat batch, design-major; a suite-local cache dedupes
+    // repeated (design, shape, sparsity) cells within the matrix.
+    // The runner spawns its worker crew for this call only — a few
+    // hundred microseconds, amortized over the whole matrix; callers
+    // that sweep repeatedly should prefer Evaluator::runBatch, whose
+    // service (and cache) persist across batches.
+    std::vector<EvalJob> jobs;
+    jobs.reserve(designs.size() * suite.size());
+    for (const Accelerator *design : designs) {
+        for (const auto &w : suite)
+            jobs.push_back({design, w});
+    }
+    EvalCache cache;
+    const std::vector<EvalResult> flat = BatchRunner(&cache).run(jobs);
+
+    std::vector<SuiteResult> all;
+    all.reserve(designs.size());
+    std::size_t i = 0;
+    for (const Accelerator *design : designs) {
+        SuiteResult sr;
+        sr.design = design->name();
+        sr.results.assign(flat.begin() + static_cast<std::ptrdiff_t>(i),
+                          flat.begin() +
+                              static_cast<std::ptrdiff_t>(i + suite.size()));
+        i += suite.size();
+        all.push_back(std::move(sr));
+    }
+    return all;
+}
+
+} // namespace highlight

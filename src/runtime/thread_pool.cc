@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 
@@ -78,18 +79,23 @@ void
 ThreadPool::drain(Job &job)
 {
     for (;;) {
-        const std::size_t i =
-            job.next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= job.n)
+        // Claim a contiguous block of `grain` indices per fetch_add;
+        // one atomic op amortizes over the whole block.
+        const std::size_t begin =
+            job.next.fetch_add(job.grain, std::memory_order_relaxed);
+        if (begin >= job.n)
             break;
-        try {
-            (*job.fn)(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(job.err_mu);
-            if (!job.error)
-                job.error = std::current_exception();
+        const std::size_t end = std::min(begin + job.grain, job.n);
+        for (std::size_t i = begin; i < end; ++i) {
+            try {
+                (*job.fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.err_mu);
+                if (!job.error)
+                    job.error = std::current_exception();
+            }
         }
-        job.done.fetch_add(1, std::memory_order_acq_rel);
+        job.done.fetch_add(end - begin, std::memory_order_acq_rel);
     }
 }
 
@@ -121,9 +127,18 @@ ThreadPool::workerLoop()
     }
 }
 
+std::size_t
+ThreadPool::autoGrain(std::size_t n) const
+{
+    const std::size_t per_thread =
+        n / (8 * static_cast<std::size_t>(num_threads_));
+    return std::min<std::size_t>(64, std::max<std::size_t>(1, per_thread));
+}
+
 void
 ThreadPool::parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)> &fn)
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t grain)
 {
     if (n == 0)
         return;
@@ -142,6 +157,7 @@ ThreadPool::parallelFor(std::size_t n,
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->n = n;
+    job->grain = grain > 0 ? grain : autoGrain(n);
     {
         std::lock_guard<std::mutex> lock(mu_);
         job_ = job;

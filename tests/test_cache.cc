@@ -1,0 +1,328 @@
+/**
+ * @file
+ * EvalCache LRU and persistence properties: the capacity invariant,
+ * eviction order, exact stats accounting, and the on-disk round trip
+ * including corrupted and stale cache files. The async/stress
+ * coverage lives in test_async.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "runtime/eval_cache.hh"
+
+namespace highlight
+{
+namespace
+{
+
+GemmWorkload
+makeWorkload(const std::string &name, std::int64_t m)
+{
+    GemmWorkload w;
+    w.name = name;
+    w.m = m;
+    w.k = 64;
+    w.n = 64;
+    w.a = OperandSparsity::dense();
+    w.b = OperandSparsity::unstructured(0.5);
+    return w;
+}
+
+/** A scratch file path removed on scope exit. */
+struct TempFile
+{
+    explicit TempFile(const std::string &name)
+        : path(::testing::TempDir() + name)
+    {
+        std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+void
+expectBitIdentical(const EvalResult &a, const EvalResult &b)
+{
+    EXPECT_EQ(a.design, b.design);
+    EXPECT_EQ(a.supported, b.supported);
+    EXPECT_EQ(a.note, b.note);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.clock_mhz, b.clock_mhz);
+    ASSERT_EQ(a.energy_pj.size(), b.energy_pj.size());
+    for (std::size_t i = 0; i < a.energy_pj.size(); ++i) {
+        EXPECT_EQ(a.energy_pj[i].name, b.energy_pj[i].name);
+        EXPECT_EQ(a.energy_pj[i].value, b.energy_pj[i].value);
+    }
+    ASSERT_EQ(a.area_um2.size(), b.area_um2.size());
+    for (std::size_t i = 0; i < a.area_um2.size(); ++i) {
+        EXPECT_EQ(a.area_um2[i].name, b.area_um2[i].name);
+        EXPECT_EQ(a.area_um2[i].value, b.area_um2[i].value);
+    }
+}
+
+TEST(CacheLru, CapacityInvariantHoldsUnderInserts)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    EvalCache cache;
+    cache.setCapacity(4);
+    EXPECT_EQ(cache.capacity(), 4u);
+
+    for (int i = 0; i < 10; ++i) {
+        cache.evaluate(tc, makeWorkload("w", 8 + i));
+        EXPECT_LE(cache.size(), 4u); // never exceeded, even transiently
+    }
+    const auto s = cache.stats();
+    EXPECT_EQ(s.insertions, 10u);
+    EXPECT_EQ(s.evictions, 6u);
+    EXPECT_EQ(s.misses, 10u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(CacheLru, EvictionDropsColdestAndLookupRefreshes)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    EvalCache cache;
+    cache.setCapacity(3);
+
+    const auto wa = makeWorkload("a", 8);
+    const auto wb = makeWorkload("b", 16);
+    const auto wc = makeWorkload("c", 24);
+    const auto wd = makeWorkload("d", 32);
+    const std::string ka = EvalCache::keyOf("TC", wa);
+    const std::string kb = EvalCache::keyOf("TC", wb);
+    const std::string kc = EvalCache::keyOf("TC", wc);
+    const std::string kd = EvalCache::keyOf("TC", wd);
+
+    cache.evaluate(tc, wa);
+    cache.evaluate(tc, wb);
+    cache.evaluate(tc, wc);
+    EXPECT_EQ(cache.keysMruFirst(), (std::vector<std::string>{kc, kb, ka}));
+
+    // Touching `a` makes `b` the coldest entry …
+    EvalResult r;
+    EXPECT_TRUE(cache.lookup(ka, "a2", &r));
+    EXPECT_EQ(r.workload, "a2");
+    EXPECT_EQ(cache.keysMruFirst(), (std::vector<std::string>{ka, kc, kb}));
+
+    // … so inserting `d` evicts `b`, not `a`.
+    cache.evaluate(tc, wd);
+    EXPECT_EQ(cache.keysMruFirst(), (std::vector<std::string>{kd, ka, kc}));
+    EXPECT_FALSE(cache.lookup(kb, "b", &r));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheLru, StatsAreExactAndConsistent)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    EvalCache cache;
+
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 5; ++i)
+            cache.evaluate(tc, makeWorkload("w", 8 + i));
+    }
+    cache.noteHit();
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, 5u);
+    EXPECT_EQ(s.hits, 11u); // 2 warm rounds x 5 + noteHit
+    EXPECT_EQ(s.lookups(), s.hits + s.misses);
+    EXPECT_EQ(s.insertions, 5u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 11.0 / 16.0);
+}
+
+TEST(CacheLru, ShrinkingCapacityEvictsImmediately)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    EvalCache cache;
+    for (int i = 0; i < 6; ++i)
+        cache.evaluate(tc, makeWorkload("w", 8 + i));
+    ASSERT_EQ(cache.size(), 6u);
+    cache.setCapacity(2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 4u);
+    // The two survivors are the most recently inserted.
+    const auto keys = cache.keysMruFirst();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], EvalCache::keyOf("TC", makeWorkload("w", 13)));
+    EXPECT_EQ(keys[1], EvalCache::keyOf("TC", makeWorkload("w", 12)));
+}
+
+TEST(CachePersist, RoundTripIsBitIdenticalAndKeepsRecencyOrder)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    const Accelerator &hl = ev.design("HighLight");
+    const Accelerator &s2ta = ev.design("S2TA");
+    TempFile file("cache_roundtrip.evalcache");
+
+    EvalCache cache;
+    cache.evaluate(tc, makeWorkload("plain", 64));
+    GemmWorkload hss = makeWorkload("structured", 128);
+    hss.a = OperandSparsity::structured(
+        HssSpec({GhPattern(2, 4), GhPattern(2, 3)}));
+    cache.evaluate(hl, hss);
+    // An unsupported result (with its note) must survive the trip too.
+    GemmWorkload dense = makeWorkload("dense", 32);
+    dense.b = OperandSparsity::dense();
+    cache.evaluate(s2ta, dense);
+    ASSERT_EQ(cache.size(), 3u);
+    ASSERT_TRUE(cache.saveFile(file.path));
+
+    EvalCache loaded;
+    ASSERT_TRUE(loaded.loadFile(file.path));
+    EXPECT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded.keysMruFirst(), cache.keysMruFirst());
+    // Loading counts neither hits nor misses nor insertions.
+    EXPECT_EQ(loaded.stats().lookups(), 0u);
+    EXPECT_EQ(loaded.stats().insertions, 0u);
+
+    std::vector<std::pair<const Accelerator *, GemmWorkload>> cases;
+    cases.emplace_back(&tc, makeWorkload("plain", 64));
+    cases.emplace_back(&hl, hss);
+    cases.emplace_back(&s2ta, dense);
+    for (const auto &[accel, w] : cases) {
+        EvalResult orig, reloaded;
+        const auto key = EvalCache::keyOf(accel->name(), w);
+        ASSERT_TRUE(cache.lookup(key, w.name, &orig)) << key;
+        ASSERT_TRUE(loaded.lookup(key, w.name, &reloaded)) << key;
+        expectBitIdentical(orig, reloaded);
+    }
+}
+
+TEST(CachePersist, ConfigLoadsOnConstructAndSavesOnFlush)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    TempFile file("cache_config.evalcache");
+
+    EvalCacheConfig cfg;
+    cfg.file = file.path;
+    {
+        EvalCache cache(cfg); // no file yet: cold start
+        EXPECT_EQ(cache.size(), 0u);
+        cache.evaluate(tc, makeWorkload("w", 64));
+        ASSERT_TRUE(cache.flush());
+    }
+    EvalCache warm(cfg);
+    EXPECT_EQ(warm.size(), 1u);
+    EvalResult r;
+    EXPECT_TRUE(warm.lookup(EvalCache::keyOf("TC", makeWorkload("w", 64)),
+                            "w", &r));
+
+    // No configured file -> flush refuses.
+    EvalCache unconfigured;
+    EXPECT_FALSE(unconfigured.flush());
+}
+
+TEST(CachePersist, CapacityAppliesToLoadedEntries)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    TempFile file("cache_cap.evalcache");
+
+    EvalCache cache;
+    for (int i = 0; i < 5; ++i)
+        cache.evaluate(tc, makeWorkload("w", 8 + i));
+    ASSERT_TRUE(cache.saveFile(file.path));
+
+    EvalCacheConfig cfg;
+    cfg.file = file.path;
+    cfg.capacity = 2;
+    EvalCache bounded(cfg);
+    EXPECT_EQ(bounded.size(), 2u);
+    // The hottest (first-in-file) entries survive.
+    const auto all_keys = cache.keysMruFirst();
+    EXPECT_EQ(bounded.keysMruFirst(),
+              std::vector<std::string>(all_keys.begin(),
+                                       all_keys.begin() + 2));
+}
+
+TEST(CachePersist, MissingCorruptAndStaleFilesAreIgnored)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+
+    EvalCache cache;
+    EXPECT_FALSE(cache.loadFile("/nonexistent/path/x.evalcache"));
+
+    // Garbage header.
+    TempFile garbage("cache_garbage.evalcache");
+    {
+        std::ofstream out(garbage.path);
+        out << "not a cache file\nat all\n";
+    }
+    EXPECT_FALSE(cache.loadFile(garbage.path));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Stale version header.
+    TempFile stale("cache_stale.evalcache");
+    {
+        std::ofstream out(stale.path);
+        out << "highlight-evalcache v999\n1\nkey bogus\n";
+    }
+    EXPECT_FALSE(cache.loadFile(stale.path));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // A huge (corrupt) entry count must fail the parse, not OOM.
+    TempFile hugecount("cache_hugecount.evalcache");
+    {
+        std::ofstream out(hugecount.path);
+        out << "highlight-evalcache v1\n18446744073709551615\n";
+    }
+    EXPECT_FALSE(cache.loadFile(hugecount.path));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Truncated valid file: parse must fail wholesale, not half-load.
+    TempFile truncated("cache_truncated.evalcache");
+    {
+        EvalCache full;
+        for (int i = 0; i < 3; ++i)
+            full.evaluate(tc, makeWorkload("w", 8 + i));
+        ASSERT_TRUE(full.saveFile(truncated.path));
+        std::ifstream in(truncated.path);
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        in.close();
+        std::ofstream out(truncated.path, std::ios::trunc);
+        out << content.substr(0, content.size() / 2);
+    }
+    EXPECT_FALSE(cache.loadFile(truncated.path));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Corrupted number field.
+    TempFile corrupt("cache_corrupt.evalcache");
+    {
+        EvalCache full;
+        full.evaluate(tc, makeWorkload("w", 64));
+        ASSERT_TRUE(full.saveFile(corrupt.path));
+        std::ifstream in(corrupt.path);
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        in.close();
+        const auto pos = content.find("cycles ");
+        ASSERT_NE(pos, std::string::npos);
+        content.replace(pos, 7, "cycles @");
+        std::ofstream out(corrupt.path, std::ios::trunc);
+        out << content;
+    }
+    EXPECT_FALSE(cache.loadFile(corrupt.path));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // After all the rejections the cache still works.
+    cache.evaluate(tc, makeWorkload("w", 64));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+} // namespace
+} // namespace highlight

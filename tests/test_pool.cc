@@ -1,0 +1,149 @@
+/**
+ * @file
+ * ThreadPool edge cases: degenerate ranges, grain-size chunking,
+ * nested-call handling, and the HIGHLIGHT_THREADS=1 serial
+ * equivalence. The determinism-under-load coverage lives in
+ * test_runtime.cc; this file pins down the boundary behavior that a
+ * chunked claimer could silently get wrong (an off-by-one in block
+ * claiming loses or repeats tail indices).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hh"
+
+namespace highlight
+{
+namespace
+{
+
+/** Counts how often each index in [0, n) ran. */
+std::vector<int>
+coverage(ThreadPool &pool, std::size_t n, std::size_t grain)
+{
+    std::vector<std::atomic<int>> counts(n);
+    pool.parallelFor(
+        n, [&](std::size_t i) { counts[i].fetch_add(1); }, grain);
+    std::vector<int> out;
+    out.reserve(n);
+    for (const auto &c : counts)
+        out.push_back(c.load());
+    return out;
+}
+
+TEST(PoolEdge, ZeroLengthRangeIsANoOp)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { calls.fetch_add(1); });
+    pool.parallelFor(0, [&](std::size_t) { calls.fetch_add(1); }, 1000);
+    EXPECT_EQ(calls.load(), 0);
+    // The pool stays usable after the no-op.
+    EXPECT_EQ(coverage(pool, 8, 0), std::vector<int>(8, 1));
+}
+
+TEST(PoolEdge, SingleElementRangeRunsInlineOnCaller)
+{
+    ThreadPool pool(4);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ran_on = std::this_thread::get_id();
+    });
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(PoolEdge, GrainLargerThanRangeCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    for (const std::size_t n : {2u, 7u, 63u}) {
+        EXPECT_EQ(coverage(pool, n, n * 10), std::vector<int>(n, 1))
+            << "n=" << n;
+    }
+}
+
+TEST(PoolEdge, EveryGrainCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    for (const std::size_t grain : {0u, 1u, 2u, 3u, 64u, 333u, 999u,
+                                    1000u, 1001u}) {
+        EXPECT_EQ(coverage(pool, n, grain), std::vector<int>(n, 1))
+            << "grain=" << grain;
+    }
+}
+
+TEST(PoolEdge, GrainDoesNotChangeParallelMapResults)
+{
+    ThreadPool pool(4);
+    const auto f = [](std::size_t i) { return 3.0 * i + 1.0; };
+    const auto baseline = pool.parallelMap(std::size_t{513}, f, 1);
+    for (const std::size_t grain : {0u, 7u, 64u, 1024u})
+        EXPECT_EQ(pool.parallelMap(std::size_t{513}, f, grain), baseline)
+            << "grain=" << grain;
+}
+
+TEST(PoolEdge, AutoGrainIsBoundedAndScalesWithRange)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.autoGrain(0), 1u);
+    EXPECT_EQ(pool.autoGrain(1), 1u);
+    EXPECT_EQ(pool.autoGrain(32), 1u); // fewer than 8 claims per thread
+    EXPECT_EQ(pool.autoGrain(1024), 32u);
+    EXPECT_EQ(pool.autoGrain(3200), 64u);    // capped at 64
+    EXPECT_EQ(pool.autoGrain(1 << 20), 64u); // capped at 64
+    ThreadPool serial(1);
+    EXPECT_GE(serial.autoGrain(1000), 1u);
+}
+
+TEST(PoolEdge, NestedCallRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    const std::size_t outer = 16, inner = 32;
+    std::vector<std::atomic<int>> counts(outer * inner);
+    pool.parallelFor(outer, [&](std::size_t i) {
+        // A nested call must not re-enter the pool (single job slot):
+        // it runs inline on this worker, serially and in order.
+        std::size_t seen = 0;
+        pool.parallelFor(inner, [&](std::size_t j) {
+            EXPECT_EQ(j, seen++); // inline => strictly in order
+            counts[i * inner + j].fetch_add(1);
+        });
+        EXPECT_EQ(seen, inner);
+    });
+    for (const auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(PoolEdge, HighlightThreads1MatchesMultiThreadedResults)
+{
+    const char *prev = std::getenv("HIGHLIGHT_THREADS");
+    const std::string saved = prev ? prev : "";
+
+    ASSERT_EQ(setenv("HIGHLIGHT_THREADS", "1", 1), 0);
+    ThreadPool env_serial(0); // resolves via the env override
+    EXPECT_EQ(env_serial.numThreads(), 1);
+
+    ThreadPool parallel(4);
+    const auto f = [](std::size_t i) {
+        return static_cast<double>(i * i) * 0.125 + 1.0;
+    };
+    const auto a = env_serial.parallelMap(std::size_t{777}, f);
+    const auto b = parallel.parallelMap(std::size_t{777}, f);
+    EXPECT_EQ(a, b);
+
+    if (prev)
+        ASSERT_EQ(setenv("HIGHLIGHT_THREADS", saved.c_str(), 1), 0);
+    else
+        ASSERT_EQ(unsetenv("HIGHLIGHT_THREADS"), 0);
+}
+
+} // namespace
+} // namespace highlight
