@@ -11,12 +11,23 @@
  * the driver times the whole sweep serially too, verifies the results
  * are bit-identical, and reports the wall-clock speedup; `--serial`
  * runs only the one-thread fallback.
+ *
+ * `--prune` switches to the early-exit sweep: candidates are
+ * submitted to the async service lowest-accuracy-loss first at
+ * descending priority, and as soon as a completed candidate
+ * dominates another's growing EDP lower bound, the dominated
+ * candidate's queued layer evaluations are *cancelled* instead of
+ * computed. The reclaimed work is reported as "evaluations saved";
+ * the frontier is provably unchanged, which `--frontier-json` makes
+ * checkable: the pruned and exhaustive dumps are byte-identical
+ * (a smoke ctest asserts this, serial and parallel).
  */
 
 #include <iostream>
 
 #include "common/table.hh"
 #include "core/evaluator.hh"
+#include "core/explorer.hh"
 #include "core/pareto.hh"
 #include "dnn/deit.hh"
 #include "dnn/resnet50.hh"
@@ -47,6 +58,29 @@ candidatesFor()
     return candidates;
 }
 
+std::string
+labelOf(const DnnScenario &c)
+{
+    std::string label = c.design;
+    if (c.approach == PruningApproach::Channel)
+        label += " (channel)";
+    return label;
+}
+
+struct ModelCase
+{
+    DnnModel model;
+    DnnName nm;
+};
+
+std::vector<ModelCase>
+modelCases()
+{
+    return {{resnet50Model(), DnnName::ResNet50},
+            {transformerBigModel(), DnnName::TransformerBig},
+            {deitSmallModel(), DnnName::DeitSmall}};
+}
+
 /**
  * Evaluate every candidate on every model; the flat result vector
  * (model-major) is what the tables and the bit-identity check use.
@@ -56,12 +90,7 @@ sweepAll(const Evaluator &ev)
 {
     std::vector<DnnEvalResult> out;
     const auto candidates = candidatesFor();
-    const std::pair<const DnnModel, DnnName> models[] = {
-        {resnet50Model(), DnnName::ResNet50},
-        {transformerBigModel(), DnnName::TransformerBig},
-        {deitSmallModel(), DnnName::DeitSmall},
-    };
-    for (const auto &[model, nm] : models) {
+    for (const auto &[model, nm] : modelCases()) {
         for (const auto &c : candidates)
             out.push_back(ev.runDnn(model, nm, c));
     }
@@ -83,7 +112,8 @@ bitIdentical(const std::vector<DnnEvalResult> &a,
     return true;
 }
 
-void
+/** Print one model's table; returns its frontier entries for --json. */
+std::vector<FrontierEntry>
 printModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
 {
     const auto candidates = candidatesFor();
@@ -97,11 +127,9 @@ printModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
         const auto r = ev.runDnn(model, nm, c);
         if (!r.supported)
             continue;
-        std::string label = c.design;
-        if (c.approach == PruningApproach::Channel)
-            label += " (channel)";
-        points.push_back({r.accuracy_loss, r.edp() / tc.edp(), label});
-        rows_design.push_back(label);
+        points.push_back(
+            {r.accuracy_loss, r.edp() / tc.edp(), labelOf(c)});
+        rows_design.push_back(labelOf(c));
         rows_sparsity.push_back(c.weight_sparsity);
     }
 
@@ -128,6 +156,91 @@ printModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
                   << " (cannot process the purely dense attention "
                      "GEMMs)\n";
     std::cout << "\n";
+
+    std::vector<FrontierEntry> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (mask[i])
+            frontier.push_back({model.name, points[i].label,
+                                points[i].x, points[i].y});
+    }
+    return frontier;
+}
+
+/**
+ * The --prune path: one Pareto-pruned sweep per model through the
+ * explorer's cancellation-backed paretoSweep. Returns the frontier
+ * entries (byte-identical values to the exhaustive path).
+ */
+std::vector<FrontierEntry>
+prunedModelSweep(const Evaluator &ev, const DesignSpaceExplorer &ex,
+                 const DnnModel &model, DnnName nm,
+                 ParetoSweepStats *total_stats)
+{
+    const auto scenarios = candidatesFor();
+    std::vector<ParetoCandidate> candidates;
+    candidates.reserve(scenarios.size());
+    for (const auto &c : scenarios) {
+        ParetoCandidate cand;
+        cand.label = labelOf(c);
+        cand.x = AccuracyModel::loss(nm, c.approach, c.weight_sparsity);
+        const Accelerator &accel = ev.design(c.design);
+        for (auto &w : ev.buildDnnWorkloads(model, c))
+            cand.jobs.push_back({&accel, w});
+        // The dense-TC baseline normalizes every EDP below; it must
+        // complete unconditionally (it is also the lowest-x point, so
+        // it would never be pruned anyway).
+        cand.never_prune =
+            c.design == "TC" && c.approach == PruningApproach::Dense;
+        candidates.push_back(std::move(cand));
+    }
+
+    const auto sweep = ex.paretoSweep(ev, candidates, /*prune=*/true);
+    total_stats->jobs_submitted += sweep.stats.jobs_submitted;
+    total_stats->jobs_skipped += sweep.stats.jobs_skipped;
+    total_stats->tickets_cancelled += sweep.stats.tickets_cancelled;
+    total_stats->evaluations_saved += sweep.stats.evaluations_saved;
+
+    const double tc_edp = sweep.outcomes.front().edp();
+    std::vector<ParetoPoint> points;
+    for (const auto &oc : sweep.outcomes) {
+        if (oc.completed && oc.supported)
+            points.push_back({oc.x, oc.edp() / tc_edp, oc.label});
+    }
+    const auto mask = frontierMask(points);
+
+    TextTable t("Fig 15 (pruned sweep): " + model.name +
+                " (EDP normalized to dense TC)");
+    t.setHeader({"design", "accuracy loss", "norm. EDP",
+                 "on Pareto frontier"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        t.addRow({points[i].label, TextTable::fmt(points[i].x, 2),
+                  TextTable::fmt(points[i].y, 3),
+                  mask[i] ? "YES" : ""});
+    }
+    t.print(std::cout);
+    std::size_t pruned = 0;
+    for (const auto &oc : sweep.outcomes) {
+        if (oc.pruned) {
+            ++pruned;
+            std::cout << "  pruned: " << oc.label << " (" << oc.note
+                      << ")\n";
+        }
+    }
+    std::cout << "  [prune] candidates pruned=" << pruned
+              << " jobs submitted=" << sweep.stats.jobs_submitted
+              << " skipped=" << sweep.stats.jobs_skipped
+              << " tickets cancelled="
+              << sweep.stats.tickets_cancelled
+              << " queued evals dropped="
+              << sweep.stats.evaluations_saved << "\n\n";
+
+    std::vector<FrontierEntry> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (mask[i])
+            frontier.push_back({model.name, points[i].label,
+                                points[i].x, points[i].y});
+    }
+    return frontier;
 }
 
 } // namespace
@@ -136,8 +249,56 @@ int
 main(int argc, char **argv)
 {
     const bool serial_only = parseSerialFlag(argc, argv);
+    const bool prune = parseFlag(argc, argv, "--prune");
     ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
     const std::string json_path = parseOptionValue(argc, argv, "--json");
+    const std::string frontier_path =
+        parseOptionValue(argc, argv, "--frontier-json");
+
+    if (prune) {
+        // Early-exit sweep on a cold cache: every saved evaluation is
+        // work the exhaustive run would actually have done.
+        Evaluator ev;
+        const DesignSpaceExplorer ex;
+        const WallTimer timer;
+        std::vector<FrontierEntry> frontier;
+        ParetoSweepStats stats;
+        for (const auto &[model, nm] : modelCases()) {
+            const auto f = prunedModelSweep(ev, ex, model, nm, &stats);
+            frontier.insert(frontier.end(), f.begin(), f.end());
+        }
+        std::cout << "[prune] total: jobs submitted="
+                  << stats.jobs_submitted << " skipped="
+                  << stats.jobs_skipped << " tickets cancelled="
+                  << stats.tickets_cancelled
+                  << " queued evals dropped="
+                  << stats.evaluations_saved
+                  << " evaluations saved=" << stats.reclaimed()
+                  << " ("
+                  << TextTable::fmt(timer.seconds() * 1e3, 2)
+                  << " ms, threads="
+                  << ThreadPool::global().numThreads() << ")\n";
+        if (!json_path.empty()) {
+            // Fail loudly: silently skipping the requested dump would
+            // hand a downstream script a missing (or stale) file.
+            std::cerr << "fig15: --json is unavailable with --prune "
+                         "(pruned candidates have no totals); use "
+                         "--frontier-json\n";
+            return 1;
+        }
+        if (!frontier_path.empty() &&
+            !writeFrontierJson(frontier_path, frontier)) {
+            std::cerr << "fig15: cannot write " << frontier_path
+                      << "\n";
+            return 1;
+        }
+        if (stats.reclaimed() == 0) {
+            std::cerr << "fig15: --prune saved no evaluations — "
+                         "pruning never reclaimed any work\n";
+            return 1;
+        }
+        return 0;
+    }
 
     Evaluator ev;
     const WallTimer timer;
@@ -145,9 +306,11 @@ main(int argc, char **argv)
     const double sweep_seconds = timer.seconds();
 
     // The tables below replay the sweep against the warm cache.
-    printModel(ev, resnet50Model(), DnnName::ResNet50);
-    printModel(ev, transformerBigModel(), DnnName::TransformerBig);
-    printModel(ev, deitSmallModel(), DnnName::DeitSmall);
+    std::vector<FrontierEntry> frontier;
+    for (const auto &[model, nm] : modelCases()) {
+        const auto f = printModel(ev, model, nm);
+        frontier.insert(frontier.end(), f.begin(), f.end());
+    }
 
     std::cout << "Expected shape (paper Fig 15): HighLight on the "
                  "frontier for every model;\nS2TA absent from the "
@@ -162,6 +325,11 @@ main(int argc, char **argv)
               << TextTable::fmt(stats.hitRate() * 100.0, 1) << "%\n";
     if (!json_path.empty() && !writeDnnResultsJson(json_path, results)) {
         std::cerr << "fig15: cannot write " << json_path << "\n";
+        return 1;
+    }
+    if (!frontier_path.empty() &&
+        !writeFrontierJson(frontier_path, frontier)) {
+        std::cerr << "fig15: cannot write " << frontier_path << "\n";
         return 1;
     }
     if (serial_only) {

@@ -61,15 +61,22 @@ class EvalMatrix
     std::vector<EvalResult> results_;
 };
 
+/** True when `flag` appears among the arguments. */
+inline bool
+parseFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
 /** True when `--serial` appears among the arguments. */
 inline bool
 parseSerialFlag(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--serial") == 0)
-            return true;
-    }
-    return false;
+    return parseFlag(argc, argv, "--serial");
 }
 
 /** Value of `<flag> PATH` (e.g. --json out.json); "" when absent. */
@@ -142,6 +149,42 @@ writeDnnResultsJson(const std::string &path,
             << ", \"total_cycles\": " << r.total_cycles
             << ", \"total_energy_pj\": " << r.total_energy_pj << "}"
             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+}
+
+/** One Pareto-frontier point of a fig15-style sweep. */
+struct FrontierEntry
+{
+    std::string model;
+    std::string design;
+    double accuracy_loss = 0.0;
+    double norm_edp = 0.0;
+};
+
+/**
+ * Dump frontier points as a JSON array (full-precision doubles, same
+ * byte-compare property as writeResultsJson). The pruned and
+ * exhaustive fig15 runs must produce byte-identical files — that is
+ * the soundness check for Pareto pruning, asserted by a smoke ctest.
+ */
+inline bool
+writeFrontierJson(const std::string &path,
+                  const std::vector<FrontierEntry> &frontier)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << std::setprecision(17);
+    out << "[\n";
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const FrontierEntry &f = frontier[i];
+        out << "  {\"model\": " << jsonQuote(f.model)
+            << ", \"design\": " << jsonQuote(f.design)
+            << ", \"accuracy_loss\": " << f.accuracy_loss
+            << ", \"norm_edp\": " << f.norm_edp << "}"
+            << (i + 1 < frontier.size() ? "," : "") << "\n";
     }
     out << "]\n";
     return static_cast<bool>(out);

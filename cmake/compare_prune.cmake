@@ -1,0 +1,67 @@
+# Smoke-check that Pareto pruning / speculative shedding changes no
+# reported output:
+#
+#   MODE=frontier (fig15): run the driver exhaustively and with
+#     --prune (parallel and serial); all three --frontier-json dumps
+#     must be byte-identical. The --prune runs additionally exit
+#     nonzero unless pruning actually reclaimed work, so this test
+#     also asserts "evaluations saved > 0".
+#
+#   MODE=json (fig17): run the driver with and without --prune; the
+#     --json dumps (the tabulated, non-speculative degrees) must be
+#     byte-identical — cancelAll() shedding the speculative tail may
+#     not perturb the consumed results.
+#
+# Usage:
+#   cmake -DDRIVER=<exe> -DOUTDIR=<dir> -DNAME=<tag> -DMODE=<mode>
+#         -P compare_prune.cmake
+
+foreach(var DRIVER OUTDIR NAME MODE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compare_prune.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+function(run_driver outvar)
+  execute_process(COMMAND "${DRIVER}" ${ARGN}
+                  RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${NAME}: '${DRIVER} ${ARGN}' failed (rc=${rc})")
+  endif()
+endfunction()
+
+function(must_match a b what)
+  foreach(f "${a}" "${b}")
+    if(NOT EXISTS "${f}")
+      message(FATAL_ERROR "${NAME}: missing dump ${f}")
+    endif()
+  endforeach()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${a}" "${b}"
+                  RESULT_VARIABLE differ)
+  if(NOT differ EQUAL 0)
+    message(FATAL_ERROR
+            "${NAME}: ${what} dumps differ — pruning changed the "
+            "reported output")
+  endif()
+endfunction()
+
+if(MODE STREQUAL "frontier")
+  set(exh "${OUTDIR}/${NAME}_exhaustive_frontier.json")
+  set(par "${OUTDIR}/${NAME}_pruned_frontier.json")
+  set(ser "${OUTDIR}/${NAME}_pruned_serial_frontier.json")
+  run_driver(ignored --serial --frontier-json "${exh}")
+  run_driver(ignored --prune --frontier-json "${par}")
+  run_driver(ignored --serial --prune --frontier-json "${ser}")
+  must_match("${exh}" "${par}" "exhaustive-vs-pruned frontier")
+  must_match("${exh}" "${ser}" "exhaustive-vs-pruned-serial frontier")
+elseif(MODE STREQUAL "json")
+  set(plain "${OUTDIR}/${NAME}_plain.json")
+  set(pruned "${OUTDIR}/${NAME}_pruned.json")
+  run_driver(ignored --json "${plain}")
+  run_driver(ignored --prune --json "${pruned}")
+  must_match("${plain}" "${pruned}" "plain-vs-pruned result")
+else()
+  message(FATAL_ERROR "compare_prune.cmake: unknown MODE=${MODE}")
+endif()

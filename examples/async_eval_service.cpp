@@ -3,8 +3,10 @@
  * The async evaluation service, end to end: submit a sweep of
  * (design, workload) jobs without blocking, stream results as they
  * land with drain(), batch with input-order collection through
- * Evaluator::runBatch, and make the eval cache bounded + persistent
- * so a rerun of this program starts warm.
+ * Evaluator::runBatch, prioritize an urgent request over a bulk
+ * sweep, shed a speculative sweep with cancelAll(), and make the
+ * eval cache bounded + persistent so a rerun of this program starts
+ * warm.
  *
  * Run it twice to see the persistence: the second run reports a 100%
  * cache hit rate and evaluates nothing.
@@ -69,6 +71,39 @@ main()
     std::cout << "\nrunBatch returned " << ordered.size()
               << " results in input order; first = "
               << ordered.front().workload << "\n";
+
+    // --- Priorities + cancellation: queue a speculative low-priority
+    // sweep behind an urgent high-priority request, then abandon the
+    // speculation. The urgent job overtakes the whole backlog; the
+    // still-queued speculative evaluations never run at all.
+    std::vector<EvalService::Ticket> speculative;
+    for (int m = 1; m <= 64; ++m) {
+        GemmWorkload w;
+        w.name = "speculative m=" + std::to_string(m * 64);
+        w.m = m * 64;
+        w.k = w.n = 256;
+        w.a = OperandSparsity::dense();
+        w.b = OperandSparsity::unstructured(0.3);
+        speculative.push_back(
+            service.submit({jobs.front().design, w}, /*priority=*/-1));
+    }
+    GemmWorkload urgent;
+    urgent.name = "urgent";
+    urgent.m = urgent.k = urgent.n = 384;
+    urgent.a = OperandSparsity::dense();
+    urgent.b = OperandSparsity::unstructured(0.25);
+    const auto urgent_ticket =
+        service.submit({jobs.front().design, urgent}, /*priority=*/10);
+    const EvalResult urgent_result = service.wait(urgent_ticket);
+    const std::size_t shed = service.cancelAll(); // abandon the rest
+    std::cout << "\nurgent job done (" << urgent_result.workload
+              << ", " << TextTable::fmt(urgent_result.cycles, 0)
+              << " cycles) ahead of " << speculative.size()
+              << " speculative jobs; shed " << shed
+              << " unclaimed tickets (" << service.evaluationsSaved()
+              << " still queued — those never evaluated at all; the "
+                 "rest were\nalready computed by otherwise-idle "
+                 "workers and simply discarded)\n";
 
     const auto s = ev.cacheStats();
     std::cout << "\ncache: " << s.hits << " hits, " << s.misses

@@ -95,6 +95,28 @@ Evaluator::runBatch(
     return runner().run(jobs, on_result);
 }
 
+std::vector<EvalResult>
+Evaluator::runBatch(
+    const std::vector<EvalJob> &jobs,
+    const std::function<void(std::size_t, const EvalResult &,
+                             BatchRunner::Stream &)> &on_result,
+    int priority) const
+{
+    return runner().run(jobs, on_result, priority);
+}
+
+EvalService::Ticket
+Evaluator::submit(const EvalJob &job, int priority) const
+{
+    return service().submit(job, priority);
+}
+
+bool
+Evaluator::cancel(EvalService::Ticket ticket) const
+{
+    return service().cancel(ticket);
+}
+
 EvalService &
 Evaluator::service() const
 {

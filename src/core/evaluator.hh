@@ -107,9 +107,38 @@ class Evaluator
             &on_result) const;
 
     /**
-     * The evaluator's async evaluation service: submit(EvalJob) now,
-     * wait()/tryNext()/drain() later. Lazily started with the global
-     * thread pool's worker count at first use.
+     * Cancellable streaming runBatch: the callback's Stream
+     * controller can drop still-pending jobs mid-batch (queued
+     * evaluations never run). Cancelled slots come back as
+     * unsupported placeholders with note "cancelled". Same
+     * exclusive-use caveat as the streaming overload.
+     */
+    std::vector<EvalResult> runBatch(
+        const std::vector<EvalJob> &jobs,
+        const std::function<void(std::size_t, const EvalResult &,
+                                 BatchRunner::Stream &)> &on_result,
+        int priority = 0) const;
+
+    /**
+     * Submit one job to the persistent service without blocking;
+     * higher priority jobs are evaluated first. Claim the result
+     * later with service().wait(ticket) (or tryNext/drain).
+     */
+    EvalService::Ticket submit(const EvalJob &job,
+                               int priority = 0) const;
+
+    /**
+     * Cancel a submitted-but-unclaimed ticket on the persistent
+     * service (see EvalService::cancel for the exact semantics).
+     */
+    bool cancel(EvalService::Ticket ticket) const;
+
+    /**
+     * The evaluator's async evaluation service: submit(EvalJob) now
+     * (optionally with priority/deadline), wait()/tryNext()/drain()
+     * later, cancel()/cancelAll() to shed abandoned work. Lazily
+     * started with the global thread pool's worker count at first
+     * use.
      */
     EvalService &service() const;
 

@@ -15,6 +15,26 @@ BatchRunner::BatchRunner(EvalCache *cache, ThreadPool *pool)
 
 BatchRunner::~BatchRunner() = default;
 
+bool
+BatchRunner::Stream::cancel(std::size_t index)
+{
+    if (index >= tickets_.size() || state_[index] != kPending)
+        return false;
+    if (!service_.cancel(tickets_[index]))
+        return false;
+    state_[index] = kCancelled;
+    return true;
+}
+
+std::size_t
+BatchRunner::Stream::cancelRemaining()
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < tickets_.size(); ++i)
+        count += cancel(i) ? 1 : 0;
+    return count;
+}
+
 namespace
 {
 
@@ -62,13 +82,13 @@ validate(const std::vector<EvalJob> &jobs)
 } // namespace
 
 std::vector<EvalResult>
-BatchRunner::run(const std::vector<EvalJob> &jobs) const
+BatchRunner::run(const std::vector<EvalJob> &jobs, int priority) const
 {
     // Submit in input order (the service's dedupe accounting happens
     // on this thread, so the hit/miss counters are deterministic),
     // then collect by ticket in input order.
     validate(jobs);
-    return claimAll(*service_, service_->submitBatch(jobs));
+    return claimAll(*service_, service_->submitBatch(jobs, priority));
 }
 
 std::vector<EvalResult>
@@ -77,14 +97,31 @@ BatchRunner::run(
     const std::function<void(std::size_t, const EvalResult &)> &on_result)
     const
 {
+    return run(
+        jobs,
+        [&](std::size_t i, const EvalResult &r, Stream &) {
+            on_result(i, r);
+        },
+        /*priority=*/0);
+}
+
+std::vector<EvalResult>
+BatchRunner::run(
+    const std::vector<EvalJob> &jobs,
+    const std::function<void(std::size_t, const EvalResult &, Stream &)>
+        &on_result,
+    int priority) const
+{
     validate(jobs);
-    const auto tickets = service_->submitBatch(jobs);
+    const auto tickets = service_->submitBatch(jobs, priority);
     std::unordered_map<EvalService::Ticket, std::size_t> index_of;
     index_of.reserve(tickets.size());
     for (std::size_t i = 0; i < tickets.size(); ++i)
         index_of.emplace(tickets[i], i);
 
     std::vector<EvalResult> out(jobs.size());
+    std::vector<char> state(jobs.size(), Stream::kPending);
+    Stream stream(*service_, tickets, state);
     try {
         service_->drain([&](EvalService::Ticket t, const EvalResult &r) {
             const auto it = index_of.find(t);
@@ -92,21 +129,32 @@ BatchRunner::run(
                 panic(msgOf("BatchRunner: drained foreign ticket ", t,
                             " — streaming run() needs exclusive use "
                             "of the service"));
+            state[it->second] = Stream::kStreamed;
             out[it->second] = r;
-            on_result(it->second, r);
+            on_result(it->second, r, stream);
         });
     } catch (...) {
         // An errored job stops the drain; claim this batch's
         // remaining tickets before propagating so nothing leaks into
-        // the (possibly shared, persistent) service.
+        // the (possibly shared, persistent) service. Cancelled
+        // tickets are already claimed — their wait() below fatals
+        // and is swallowed like an already-drained one.
         for (const auto t : tickets) {
             try {
                 service_->wait(t);
             } catch (...) {
-                // Already claimed by the drain, or the same error.
+                // Already claimed by the drain/cancel, or the error.
             }
         }
         throw;
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (state[i] != Stream::kCancelled)
+            continue;
+        out[i].design = jobs[i].design->name();
+        out[i].workload = jobs[i].workload.name;
+        out[i].supported = false;
+        out[i].note = "cancelled";
     }
     return out;
 }

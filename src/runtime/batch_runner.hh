@@ -13,6 +13,10 @@
  * The streaming overload additionally invokes a callback per result
  * as it lands (in completion order, which is scheduling-dependent),
  * so a caller can start consuming while the tail is still computing.
+ * The cancellable variant hands the callback a Stream controller that
+ * can drop still-pending jobs mid-batch — the early-exit hook the
+ * Pareto-pruned sweeps use: once a landed result proves the rest of a
+ * candidate's jobs useless, they are cancelled instead of computed.
  */
 
 #ifndef HIGHLIGHT_RUNTIME_BATCH_RUNNER_HH
@@ -35,6 +39,40 @@ class BatchRunner
 {
   public:
     /**
+     * Mid-batch cancellation controller handed to the cancellable
+     * streaming run()'s callback. Only valid during that callback
+     * (it runs on the draining thread; no synchronization needed).
+     */
+    class Stream
+    {
+      public:
+        /**
+         * Cancel job `index`: a queued evaluation is dropped before
+         * running, a running or landed one has its result discarded.
+         * False when the job was already streamed (or cancelled).
+         * The returned vector's slot for a cancelled job holds an
+         * unsupported placeholder result with note "cancelled".
+         */
+        bool cancel(std::size_t index);
+
+        /** cancel() every job not yet streamed; returns the count. */
+        std::size_t cancelRemaining();
+
+      private:
+        friend class BatchRunner;
+        enum : char { kPending = 0, kStreamed = 1, kCancelled = 2 };
+        Stream(EvalService &service,
+               const std::vector<EvalService::Ticket> &tickets,
+               std::vector<char> &state)
+            : service_(service), tickets_(tickets), state_(state)
+        {
+        }
+        EvalService &service_;
+        const std::vector<EvalService::Ticket> &tickets_;
+        std::vector<char> &state_;
+    };
+
+    /**
      * @param cache Memo table to dedupe through; nullptr disables
      *        caching (every job is evaluated).
      * @param pool Sizes the worker crew (numThreads()); nullptr uses
@@ -51,9 +89,11 @@ class BatchRunner
      * Evaluate every job, returning results in input order. Cache
      * semantics: a job whose key is already cached — or that repeats
      * an earlier job in this batch — counts as a hit; each unique
-     * uncached key counts as one miss and one evaluation.
+     * uncached key counts as one miss and one evaluation. `priority`
+     * orders this batch against other work on the shared service.
      */
-    std::vector<EvalResult> run(const std::vector<EvalJob> &jobs) const;
+    std::vector<EvalResult> run(const std::vector<EvalJob> &jobs,
+                                int priority = 0) const;
 
     /**
      * Same contract, but additionally streams each result through
@@ -69,6 +109,21 @@ class BatchRunner
         const std::vector<EvalJob> &jobs,
         const std::function<void(std::size_t, const EvalResult &)>
             &on_result) const;
+
+    /**
+     * Cancellable streaming run: the callback additionally receives a
+     * Stream controller whose cancel(index)/cancelRemaining() drop
+     * still-pending jobs — queued evaluations never run (reclaimed
+     * worker time is visible in service().evaluationsSaved()).
+     * Cancelled slots in the returned vector hold an unsupported
+     * placeholder with note "cancelled". Same exclusive-use caveat as
+     * the streaming overload above.
+     */
+    std::vector<EvalResult> run(
+        const std::vector<EvalJob> &jobs,
+        const std::function<void(std::size_t, const EvalResult &,
+                                 Stream &)> &on_result,
+        int priority = 0) const;
 
     /** The underlying async service (for direct submit/drain use). */
     EvalService &service() const { return *service_; }

@@ -1,12 +1,18 @@
 #include "runtime/eval_cache.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
+#include <unistd.h>
+
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace highlight
@@ -129,16 +135,14 @@ EvalCacheConfig
 EvalCacheConfig::fromEnv()
 {
     EvalCacheConfig cfg;
-    if (const char *cap = std::getenv("HIGHLIGHT_CACHE_CAP")) {
-        // Full-string validation: atol("1e6") would silently cap the
-        // cache at 1 entry.
-        std::size_t v = 0;
-        if (parseCount(cap, &v) && v > 0)
-            cfg.capacity = v;
-        else
-            warn(msgOf("HIGHLIGHT_CACHE_CAP=", cap,
-                       " is not a positive integer; cache unbounded"));
-    }
+    // Strict full-string validation (shared with HIGHLIGHT_THREADS):
+    // atol("1e6") would silently cap the cache at 1 entry, and
+    // strtoull("-1") would wrap to a practically unbounded 2^64-1.
+    // Invalid values warn and leave the cache unbounded.
+    cfg.capacity = static_cast<std::size_t>(positiveIntFromEnv(
+        "HIGHLIGHT_CACHE_CAP",
+        /*max_value=*/std::numeric_limits<long long>::max(),
+        /*fallback=*/0));
     if (const char *file = std::getenv("HIGHLIGHT_CACHE_FILE"))
         cfg.file = file;
     return cfg;
@@ -322,28 +326,50 @@ bool
 EvalCache::saveFile(const std::string &path) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << fileHeader() << "\n" << lru_.size() << "\n";
-    for (const auto &e : lru_) {
-        const EvalResult &r = e.result;
-        out << "key " << e.key << "\n";
-        out << "design " << r.design << "\n";
-        out << "workload " << r.workload << "\n";
-        out << "supported " << (r.supported ? 1 : 0) << "\n";
-        out << "note " << r.note << "\n";
-        out << "cycles " << exactDouble(r.cycles) << "\n";
-        out << "clock " << exactDouble(r.clock_mhz) << "\n";
-        out << "energy " << r.energy_pj.size() << "\n";
-        for (const auto &b : r.energy_pj)
-            out << exactDouble(b.value) << " " << b.name << "\n";
-        out << "area " << r.area_um2.size() << "\n";
-        for (const auto &b : r.area_um2)
-            out << exactDouble(b.value) << " " << b.name << "\n";
-        out << "end\n";
+    // Write to a temp file in the same directory, then atomically
+    // rename over the target: a crash (or a concurrent driver
+    // flushing the same file) mid-write can never leave a truncated
+    // half-file at `path` for the next run to silently discard as
+    // corrupt. The pid + process-wide counter keep concurrent
+    // writers' temp files apart both across processes and across
+    // caches within one process; last rename wins with a complete
+    // file either way.
+    static std::atomic<std::uint64_t> save_seq{0};
+    const std::string tmp = msgOf(path, ".tmp.", ::getpid(), ".",
+                                  save_seq.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << fileHeader() << "\n" << lru_.size() << "\n";
+        for (const auto &e : lru_) {
+            const EvalResult &r = e.result;
+            out << "key " << e.key << "\n";
+            out << "design " << r.design << "\n";
+            out << "workload " << r.workload << "\n";
+            out << "supported " << (r.supported ? 1 : 0) << "\n";
+            out << "note " << r.note << "\n";
+            out << "cycles " << exactDouble(r.cycles) << "\n";
+            out << "clock " << exactDouble(r.clock_mhz) << "\n";
+            out << "energy " << r.energy_pj.size() << "\n";
+            for (const auto &b : r.energy_pj)
+                out << exactDouble(b.value) << " " << b.name << "\n";
+            out << "area " << r.area_um2.size() << "\n";
+            for (const auto &b : r.area_um2)
+                out << exactDouble(b.value) << " " << b.name << "\n";
+            out << "end\n";
+        }
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
     }
-    return static_cast<bool>(out);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool

@@ -145,7 +145,10 @@ class EvalCache
      */
     bool loadFile(const std::string &path);
 
-    /** Write every resident entry, most-recently-used first. */
+    /** Write every resident entry, most-recently-used first. The
+     *  write is atomic: a temp file in the same directory is renamed
+     *  over `path`, so a crash or concurrent flush never leaves a
+     *  truncated file for the next run to discard. */
     bool saveFile(const std::string &path) const;
 
     /**

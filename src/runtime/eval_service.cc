@@ -1,5 +1,7 @@
 #include "runtime/eval_service.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "runtime/thread_pool.hh"
 
@@ -25,10 +27,24 @@ EvalService::~EvalService()
     work_cv_.notify_all();
     for (auto &w : workers_)
         w.join();
+    // Workers are joined: no lock needed. A driver that submitted,
+    // errored and never claimed must not silently lose the failures.
+    if (!errored_.empty())
+        warn(msgOf("EvalService destroyed with ", errored_.size(),
+                   " unclaimed errored ticket(s); the stored "
+                   "evaluation failure(s) were never observed"));
 }
 
 EvalService::Ticket
-EvalService::submit(const EvalJob &job)
+EvalService::submit(const EvalJob &job, int priority)
+{
+    SubmitOptions options;
+    options.priority = priority;
+    return submit(job, options);
+}
+
+EvalService::Ticket
+EvalService::submit(const EvalJob &job, const SubmitOptions &options)
 {
     if (job.design == nullptr)
         fatal("EvalService: job with null design");
@@ -43,15 +59,35 @@ EvalService::submit(const EvalJob &job)
     ++unclaimed_;
     open_.insert(ticket);
 
+    PendingTicket info;
+    info.key = key;
+    info.name = job.workload.name;
+    info.priority = options.priority;
+    info.has_deadline = options.has_deadline;
+    info.deadline = options.deadline;
+
     if (cache_) {
-        // Tier 1: another ticket is computing this key — attach to it
-        // (counts a hit; the evaluation is shared). Checked before
-        // the cache so the lookup's miss counter stays exact: under
-        // mu_ an in-flight key is never in the cache yet (workers
-        // insert and retire the in-flight entry atomically).
+        // Tier 1: another ticket's compute is queued or running for
+        // this key — attach to it (counts a hit; the evaluation is
+        // shared). Checked before the cache so the lookup's miss
+        // counter stays exact: under mu_ an in-flight key is never in
+        // the cache yet (workers insert and retire the in-flight
+        // entry atomically).
         const auto it = inflight_.find(key);
         if (it != inflight_.end()) {
-            it->second.emplace_back(ticket, job.workload.name);
+            InflightGroup &group = it->second;
+            group.waiters.push_back(ticket);
+            pending_.emplace(ticket, std::move(info));
+            // Priority inheritance: a queued compute escalates to its
+            // most urgent attached ticket, so a backlog of cheap work
+            // cannot delay a high-priority duplicate.
+            if (!group.running &&
+                options.priority > group.ready_key.priority) {
+                auto node = ready_.extract(group.ready_key);
+                node.key().priority = options.priority;
+                ready_.insert(std::move(node));
+                group.ready_key.priority = options.priority;
+            }
             cache_->noteHit();
             return ticket;
         }
@@ -63,28 +99,57 @@ EvalService::submit(const EvalJob &job)
         }
         // Tier 3: unique miss (the lookup above already counted it) —
         // queue one computation.
-        inflight_.emplace(
-            key, std::vector<std::pair<Ticket, std::string>>{
-                     {ticket, job.workload.name}});
+        InflightGroup group;
+        group.waiters.push_back(ticket);
+        group.ready_key = ReadyKey{options.priority, ticket};
+        inflight_.emplace(key, std::move(group));
+        pending_.emplace(ticket, std::move(info));
+    } else {
+        const ReadyKey rk{options.priority, ticket};
+        uncached_ready_.emplace(ticket, rk);
+        pending_.emplace(ticket, std::move(info));
     }
     ComputeTask task;
     task.key = key;
     task.job = job;
     task.ticket = ticket;
-    queue_.push_back(std::move(task));
+    ready_.emplace(ReadyKey{options.priority, ticket}, std::move(task));
     lock.unlock();
     work_cv_.notify_one();
     return ticket;
 }
 
 std::vector<EvalService::Ticket>
-EvalService::submitBatch(const std::vector<EvalJob> &jobs)
+EvalService::submitBatch(const std::vector<EvalJob> &jobs, int priority)
 {
     std::vector<Ticket> tickets;
     tickets.reserve(jobs.size());
     for (const auto &job : jobs)
-        tickets.push_back(submit(job));
+        tickets.push_back(submit(job, priority));
     return tickets;
+}
+
+bool
+EvalService::shedExpiredWaitersLocked(
+    const ComputeTask &task, std::chrono::steady_clock::time_point now)
+{
+    auto git = inflight_.find(task.key);
+    auto &waiters = git->second.waiters;
+    std::size_t live = 0;
+    for (const Ticket t : waiters) {
+        const auto pit = pending_.find(t);
+        if (pit->second.has_deadline && pit->second.deadline < now) {
+            failLocked(t, std::make_exception_ptr(DeadlineExpired(
+                              msgOf("EvalService: ticket ", t,
+                                    " was still queued past its "
+                                    "deadline; evaluation shed"))));
+            pending_.erase(pit);
+        } else {
+            waiters[live++] = t;
+        }
+    }
+    waiters.resize(live);
+    return live > 0;
 }
 
 void
@@ -95,11 +160,47 @@ EvalService::workerLoop()
         {
             std::unique_lock<std::mutex> lock(mu_);
             work_cv_.wait(lock,
-                          [&] { return stop_ || !queue_.empty(); });
-            if (queue_.empty())
+                          [&] { return stop_ || !ready_.empty(); });
+            if (ready_.empty())
                 return; // stop_ set and nothing left to finish
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            const auto it = ready_.begin();
+            task = std::move(it->second);
+            ready_.erase(it);
+
+            const auto now = std::chrono::steady_clock::now();
+            if (!task.key.empty()) {
+                const auto git = inflight_.find(task.key);
+                git->second.running = true;
+                if (!shedExpiredWaitersLocked(task, now)) {
+                    // Every attached ticket's deadline passed while
+                    // the job sat in the queue: shed the whole
+                    // evaluation. (A group fully emptied by cancel()
+                    // never reaches here — cancel drops the ready_
+                    // entry with it.)
+                    inflight_.erase(git);
+                    ++evals_saved_;
+                    lock.unlock();
+                    complete_cv_.notify_all();
+                    continue;
+                }
+            } else {
+                uncached_ready_.erase(task.ticket);
+                const auto pit = pending_.find(task.ticket);
+                if (pit->second.has_deadline &&
+                    pit->second.deadline < now) {
+                    failLocked(
+                        task.ticket,
+                        std::make_exception_ptr(DeadlineExpired(msgOf(
+                            "EvalService: ticket ", task.ticket,
+                            " was still queued past its deadline; "
+                            "evaluation shed"))));
+                    pending_.erase(pit);
+                    ++evals_saved_;
+                    lock.unlock();
+                    complete_cv_.notify_all();
+                    continue;
+                }
+            }
         }
 
         EvalResult result;
@@ -112,27 +213,154 @@ EvalService::workerLoop()
 
         std::unique_lock<std::mutex> lock(mu_);
         if (cache_ && !task.key.empty()) {
+            // The result is valid even if every waiter cancelled
+            // while we computed: cache it either way — the work is
+            // already paid for.
             if (!err)
                 cache_->insert(task.key, result);
-            // Serve every ticket that attached while we computed.
+            // Serve every ticket still attached. Cancelled tickets
+            // were already removed from the waiter list (and from
+            // pending_) under mu_, so they are simply not here.
             auto node = inflight_.extract(task.key);
-            for (const auto &[ticket, name] : node.mapped()) {
+            for (const Ticket t : node.mapped().waiters) {
+                const auto pit = pending_.find(t);
                 if (err) {
-                    failLocked(ticket, err);
-                    continue;
+                    failLocked(t, err);
+                } else {
+                    EvalResult r = result;
+                    r.workload = pit->second.name;
+                    completeLocked(t, std::move(r));
                 }
-                EvalResult r = result;
-                r.workload = name;
-                completeLocked(ticket, std::move(r));
+                pending_.erase(pit);
             }
-        } else if (err) {
-            failLocked(task.ticket, err);
         } else {
-            completeLocked(task.ticket, std::move(result));
+            const auto pit = pending_.find(task.ticket);
+            if (pit == pending_.end()) {
+                // Cancelled while running: the result is discarded
+                // (nothing to cache in uncached mode).
+            } else if (err) {
+                failLocked(task.ticket, err);
+                pending_.erase(pit);
+            } else {
+                result.workload = pit->second.name;
+                completeLocked(task.ticket, std::move(result));
+                pending_.erase(pit);
+            }
         }
         lock.unlock();
         complete_cv_.notify_all();
     }
+}
+
+void
+EvalService::rederivePriorityLocked(InflightGroup &group)
+{
+    if (group.waiters.empty())
+        return;
+    int best = pending_.find(group.waiters.front())->second.priority;
+    for (const Ticket t : group.waiters)
+        best = std::max(best, pending_.find(t)->second.priority);
+    if (best == group.ready_key.priority)
+        return;
+    auto node = ready_.extract(group.ready_key);
+    node.key().priority = best;
+    ready_.insert(std::move(node));
+    group.ready_key.priority = best;
+}
+
+bool
+EvalService::cancelLocked(Ticket ticket)
+{
+    if (open_.find(ticket) == open_.end())
+        return false; // unknown or already claimed
+    if (reserved_.find(ticket) != reserved_.end())
+        return false; // a blocked wait() owns this ticket
+
+    const auto lit = landed_.find(ticket);
+    const auto eit = errored_.find(ticket);
+    if (lit != landed_.end()) {
+        landed_.erase(lit); // discard the unclaimed result
+    } else if (eit != errored_.end()) {
+        errored_.erase(eit); // cancel deliberately drops the error
+    } else {
+        // Queued or running: detach from the computation.
+        const auto pit = pending_.find(ticket);
+        if (pit == pending_.end())
+            panic(msgOf("EvalService::cancel: ticket ", ticket,
+                        " is open but neither landed, errored nor "
+                        "pending"));
+        if (!pit->second.key.empty()) {
+            // Cached mode: leave the shared in-flight group intact
+            // for any sibling tickets; drop the queued compute only
+            // when this was the last attached ticket.
+            const auto git = inflight_.find(pit->second.key);
+            auto &waiters = git->second.waiters;
+            waiters.erase(
+                std::find(waiters.begin(), waiters.end(), ticket));
+            if (waiters.empty() && !git->second.running) {
+                ready_.erase(git->second.ready_key);
+                inflight_.erase(git);
+                ++evals_saved_;
+            } else if (!git->second.running) {
+                // The cancelled ticket may have been the one the
+                // group inherited its priority from: drop back to
+                // the remaining waiters' best so a cancelled urgent
+                // duplicate cannot keep escalating speculative work.
+                // (pending_.erase below must not run first: the
+                // cancelled ticket is already out of waiters.)
+                rederivePriorityLocked(git->second);
+            }
+        } else {
+            const auto uit = uncached_ready_.find(ticket);
+            if (uit != uncached_ready_.end()) {
+                ready_.erase(uit->second);
+                uncached_ready_.erase(uit);
+                ++evals_saved_;
+            }
+            // else: running — the worker finds pending_ empty for
+            // this ticket and discards the result.
+        }
+        pending_.erase(pit);
+    }
+    open_.erase(ticket);
+    --unclaimed_;
+    ++cancelled_;
+    return true;
+}
+
+bool
+EvalService::cancel(Ticket ticket)
+{
+    bool cancelled;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        cancelled = cancelLocked(ticket);
+    }
+    // A drain() blocked on unclaimed_ may now be able to finish.
+    if (cancelled)
+        complete_cv_.notify_all();
+    return cancelled;
+}
+
+std::size_t
+EvalService::cancelAll()
+{
+    std::size_t count = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Collect first: cancelLocked mutates open_.
+        std::vector<Ticket> targets;
+        targets.reserve(open_.size());
+        for (const Ticket t : open_) {
+            if (reserved_.find(t) == reserved_.end())
+                targets.push_back(t);
+        }
+        for (const Ticket t : targets)
+            count += cancelLocked(t) ? 1 : 0;
+    }
+    if (count > 0)
+        complete_cv_.notify_all();
+    return count;
 }
 
 void
@@ -166,10 +394,11 @@ bool
 EvalService::popCompletionLocked(Completed *out, std::exception_ptr *err)
 {
     // completion_order_ may lead with tickets already claimed by
-    // wait() — skip those lazily — or tickets a wait() is currently
-    // blocked on, which belong to that waiter and must never be
-    // handed to a drain()/tryNext() consumer (the waiter claims them
-    // from landed_ directly, so dropping the order entry is safe).
+    // wait() or retired by cancel() — skip those lazily — or tickets
+    // a wait() is currently blocked on, which belong to that waiter
+    // and must never be handed to a drain()/tryNext() consumer (the
+    // waiter claims them from landed_ directly, so dropping the order
+    // entry is safe).
     while (!completion_order_.empty()) {
         const Ticket t = completion_order_.front();
         const auto it = landed_.find(t);
@@ -200,9 +429,9 @@ EvalService::wait(Ticket ticket)
     std::unique_lock<std::mutex> lock(mu_);
     if (open_.find(ticket) == open_.end())
         fatal(msgOf("EvalService::wait: ticket ", ticket,
-                    " is unknown or already claimed"));
-    // Reserve the ticket so a concurrent drain()/tryNext() cannot
-    // claim it out from under this blocked waiter.
+                    " is unknown, cancelled or already claimed"));
+    // Reserve the ticket so a concurrent drain()/tryNext()/cancel()
+    // cannot claim it out from under this blocked waiter.
     reserved_.insert(ticket);
     complete_cv_.wait(lock, [&] {
         return landed_.find(ticket) != landed_.end() ||
@@ -272,7 +501,8 @@ EvalService::drain(
             if (err)
                 std::rethrow_exception(err);
         }
-        // Callback outside the lock so it may submit() or wait().
+        // Callback outside the lock so it may submit(), wait() or
+        // cancel().
         on_result(c.ticket, c.result);
         ++streamed;
     }
@@ -283,6 +513,20 @@ EvalService::pendingCount() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return unclaimed_;
+}
+
+std::uint64_t
+EvalService::cancelledCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+}
+
+std::uint64_t
+EvalService::evaluationsSaved() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evals_saved_;
 }
 
 } // namespace highlight

@@ -10,6 +10,23 @@
  * API" item asked for: a design-space sweep can keep submitting while
  * earlier results are already being consumed.
  *
+ * Scheduling: the ready queue is ordered by (priority, ticket) —
+ * higher priority first, FIFO within a priority — so a high-priority
+ * submission overtakes an already-full low-priority backlog. A
+ * submission that attaches to a queued duplicate escalates that
+ * computation to the higher of the two priorities (priority
+ * inheritance), so a cheap background sweep can never hold up an
+ * interactive request for the same key.
+ *
+ * Cancellation is cooperative and never blocks: cancel(ticket) drops
+ * a queued evaluation before it runs (counted in evaluationsSaved()),
+ * detaches the ticket from a shared in-flight computation without
+ * disturbing its sibling tickets, and discards a landed-but-unclaimed
+ * result. cancelAll() sheds every unclaimed ticket at once — the
+ * "abandon a sweep" server operation. A submission may also carry a
+ * deadline; a job still queued past its deadline is shed at pop time
+ * and its tickets fail with DeadlineExpired instead of evaluating.
+ *
  * Dedupe happens at submission time on the caller's thread, under one
  * lock, in three tiers:
  *   1. in-flight hit — another ticket is already computing the same
@@ -18,8 +35,10 @@
  *   3. miss — the job is queued for a worker (counts a miss).
  * Because the tiers are resolved in submission order on the submitting
  * thread, the hit/miss accounting is exact and deterministic: each
- * unique key costs exactly one miss and one evaluation no matter how
- * many workers race, which the concurrency stress tests assert.
+ * unique key costs exactly one miss no matter how many workers race,
+ * which the concurrency stress tests assert. Cancellation never
+ * rewrites history — a cancelled ticket's hit or miss stays counted —
+ * so hits + misses == lookups holds with or without cancellations.
  *
  * Evaluations are pure functions of the job, so per-ticket results are
  * bit-identical at any worker count; only the completion *order* is
@@ -42,11 +61,14 @@
 #ifndef HIGHLIGHT_RUNTIME_EVAL_SERVICE_HH
 #define HIGHLIGHT_RUNTIME_EVAL_SERVICE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -65,7 +87,52 @@ struct EvalJob
 };
 
 /**
- * Async submit/drain evaluation front-end over a worker crew.
+ * Thrown to every consumer of a ticket whose job was still queued when
+ * its submission deadline passed: the evaluation was shed, not run.
+ */
+class DeadlineExpired : public std::runtime_error
+{
+  public:
+    explicit DeadlineExpired(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Per-submission scheduling knobs. */
+struct SubmitOptions
+{
+    /** Higher runs earlier; FIFO (by ticket) within a priority. */
+    int priority = 0;
+
+    /**
+     * If set, a job still queued when this instant passes is shed at
+     * pop time: its ticket fails with DeadlineExpired instead of
+     * evaluating. A job already running when the deadline passes
+     * completes normally (cancellation is cooperative). For a shared
+     * in-flight computation the deadline is per ticket: the compute
+     * runs as long as any attached ticket is still within its own
+     * deadline, and only the expired tickets fail.
+     */
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+
+    /** Convenience: deadline = now + budget. */
+    static SubmitOptions
+    withDeadline(std::chrono::steady_clock::duration budget,
+                 int priority = 0)
+    {
+        SubmitOptions o;
+        o.priority = priority;
+        o.deadline = std::chrono::steady_clock::now() + budget;
+        o.has_deadline = true;
+        return o;
+    }
+};
+
+/**
+ * Async submit/drain evaluation front-end over a worker crew, with
+ * priority scheduling and cooperative cancellation.
  */
 class EvalService
 {
@@ -89,7 +156,11 @@ class EvalService
      */
     explicit EvalService(EvalCache *cache = nullptr, int num_workers = 0);
 
-    /** Joins the workers; outstanding jobs are finished first. */
+    /**
+     * Joins the workers; outstanding jobs are finished first. Errored
+     * tickets nobody claimed are reported with a warning — a driver
+     * that drops results must not silently hide evaluation failures.
+     */
     ~EvalService();
 
     EvalService(const EvalService &) = delete;
@@ -97,16 +168,50 @@ class EvalService
 
     int numWorkers() const { return num_workers_; }
 
-    /** Queue one evaluation; never blocks on the computation. */
-    Ticket submit(const EvalJob &job);
+    /**
+     * Queue one evaluation; never blocks on the computation. Higher
+     * `priority` jobs are popped first (FIFO within a priority).
+     */
+    Ticket submit(const EvalJob &job, int priority = 0);
+
+    /** Full-control submit: priority and optional deadline. */
+    Ticket submit(const EvalJob &job, const SubmitOptions &options);
 
     /** submit() each job in order; returns the tickets in order. */
-    std::vector<Ticket> submitBatch(const std::vector<EvalJob> &jobs);
+    std::vector<Ticket> submitBatch(const std::vector<EvalJob> &jobs,
+                                    int priority = 0);
+
+    /**
+     * Cancel one submission. Returns true when the ticket was still
+     * unclaimed and is now retired:
+     *  - still queued — the ticket detaches from its computation; if
+     *    no other ticket shares it, the evaluation is dropped before
+     *    ever running (counted in evaluationsSaved());
+     *  - running — the ticket detaches; the computation finishes for
+     *    its remaining siblings (and still populates the cache — the
+     *    work is already paid for) but this ticket's result is
+     *    discarded;
+     *  - landed or errored but unclaimed — the result or stored
+     *    exception is discarded.
+     * Returns false for an unknown / already-claimed ticket, or one a
+     * concurrent wait() is blocked on (that waiter owns it). After a
+     * successful cancel the ticket is claimed: wait()ing on it later
+     * is a fatal error, and drain() no longer counts it.
+     */
+    bool cancel(Ticket ticket);
+
+    /**
+     * Cancel every unclaimed ticket (except those concurrent wait()
+     * calls are blocked on). The shed-an-abandoned-sweep operation.
+     * Returns the number of tickets cancelled.
+     */
+    std::size_t cancelAll();
 
     /**
      * Block until the ticket's result lands and return it. Each
-     * ticket's result can be claimed once (by wait, tryNext or drain);
-     * waiting twice on the same ticket is a fatal error.
+     * ticket's result can be claimed once (by wait, tryNext, drain or
+     * cancel); waiting twice on the same ticket — or on a cancelled
+     * one — is a fatal error.
      */
     EvalResult wait(Ticket ticket);
 
@@ -122,7 +227,9 @@ class EvalService
      * completion order, which is scheduling-dependent) as they land.
      * Tickets a concurrent wait() call is blocked on belong to that
      * waiter: drain() waits for them to be claimed but never streams
-     * them. Returns the number of results streamed here.
+     * them. Tickets cancelled while the drain is in progress (e.g.
+     * from inside the callback) simply stop counting as outstanding.
+     * Returns the number of results streamed here.
      */
     std::size_t drain(
         const std::function<void(Ticket, const EvalResult &)> &on_result);
@@ -130,16 +237,61 @@ class EvalService
     /** Submitted-but-unclaimed ticket count (queued, running or landed). */
     std::size_t pendingCount() const;
 
+    /** Tickets retired by cancel()/cancelAll() so far. */
+    std::uint64_t cancelledCount() const;
+
+    /**
+     * Queued computations dropped before ever running — by cancelling
+     * every attached ticket or by deadline shedding. The service-level
+     * "work reclaimed" counter the sweep drivers report.
+     */
+    std::uint64_t evaluationsSaved() const;
+
   private:
+    /** Ready-queue position: higher priority first, then FIFO. */
+    struct ReadyKey
+    {
+        int priority = 0;
+        Ticket ticket = 0; ///< The anchor (first) submission.
+    };
+    struct ReadyOrder
+    {
+        bool
+        operator()(const ReadyKey &a, const ReadyKey &b) const
+        {
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.ticket < b.ticket;
+        }
+    };
+
     /** A queued computation. */
     struct ComputeTask
     {
         std::string key; ///< Empty when caching is disabled.
         EvalJob job;
-        /** The submitting ticket; for cached tasks the authoritative
-         *  waiter list lives in inflight_ (it can grow while the task
-         *  is queued or running). */
+        /** The anchor ticket; for cached tasks the authoritative
+         *  waiter list lives in inflight_ (it can grow and shrink
+         *  while the task is queued or running). */
         Ticket ticket = 0;
+    };
+
+    /** Every submission attached to one queued/running computation. */
+    struct InflightGroup
+    {
+        std::vector<Ticket> waiters; ///< Per-ticket info in pending_.
+        bool running = false;        ///< Popped by a worker.
+        ReadyKey ready_key;          ///< Valid while !running.
+    };
+
+    /** A submitted ticket that has not yet landed/errored/cancelled. */
+    struct PendingTicket
+    {
+        std::string key;  ///< Cache key; empty when caching is off.
+        std::string name; ///< Requested workload display name.
+        int priority = 0; ///< This ticket's requested priority.
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point deadline{};
     };
 
     void workerLoop();
@@ -158,25 +310,42 @@ class EvalService
      *  errored ticket, *err is set (and out->result left default). */
     bool popCompletionLocked(Completed *out, std::exception_ptr *err);
 
+    /** cancel() body with mu_ already held. */
+    bool cancelLocked(Ticket ticket);
+
+    /** Re-key a queued group to the max priority over its remaining
+     *  waiters, so an inherited priority is dropped again when the
+     *  escalating waiter cancels (lock held). */
+    void rederivePriorityLocked(InflightGroup &group);
+
+    /** Fail-and-detach every expired waiter of a just-popped task;
+     *  true when at least one live waiter remains (lock held). */
+    bool shedExpiredWaitersLocked(const ComputeTask &task,
+                                  std::chrono::steady_clock::time_point
+                                      now);
+
     EvalCache *cache_;
     int num_workers_ = 1;
     std::vector<std::thread> workers_;
 
     mutable std::mutex mu_;
     std::condition_variable work_cv_;     ///< Queue non-empty / stop.
-    std::condition_variable complete_cv_; ///< A result landed.
-    std::deque<ComputeTask> queue_;
-    /** key -> (ticket, requested workload name) list of every
-     *  submission served by that key's single queued/running compute. */
-    std::unordered_map<std::string,
-                       std::vector<std::pair<Ticket, std::string>>>
-        inflight_;
+    std::condition_variable complete_cv_; ///< A result landed/claimed.
+    /** The ready queue, best task first. */
+    std::map<ReadyKey, ComputeTask, ReadyOrder> ready_;
+    /** Uncached (keyless) queued task ticket -> its ready_ position. */
+    std::unordered_map<Ticket, ReadyKey> uncached_ready_;
+    /** key -> the single queued/running compute serving that key. */
+    std::unordered_map<std::string, InflightGroup> inflight_;
+    /** Ticket -> its key, display name and deadline, while the
+     *  ticket is queued or running. */
+    std::unordered_map<Ticket, PendingTicket> pending_;
     /** Landed, unclaimed results by ticket. */
     std::unordered_map<Ticket, EvalResult> landed_;
     /** Submitted tickets not yet claimed (detects double-claims). */
     std::unordered_set<Ticket> open_;
-    /** Tickets a wait() call is blocked on; tryNext()/drain() must
-     *  not hand these to another consumer. */
+    /** Tickets a wait() call is blocked on; tryNext()/drain()/cancel()
+     *  must not take these from the blocked waiter. */
     std::unordered_set<Ticket> reserved_;
     /** Tickets in completion order for tryNext()/drain(). */
     std::deque<Ticket> completion_order_;
@@ -186,6 +355,8 @@ class EvalService
     std::unordered_map<Ticket, std::exception_ptr> errored_;
     Ticket next_ticket_ = 0;
     std::size_t unclaimed_ = 0; ///< Submitted minus claimed.
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t evals_saved_ = 0;
     bool stop_ = false;
 };
 

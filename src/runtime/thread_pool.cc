@@ -1,9 +1,9 @@
 #include "runtime/thread_pool.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <memory>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace highlight
@@ -28,13 +28,14 @@ std::mutex g_pool_mu;
 int
 ThreadPool::defaultThreadCount()
 {
-    if (const char *env = std::getenv("HIGHLIGHT_THREADS")) {
-        const int v = std::atoi(env);
-        if (v > 0)
-            return v;
-        warn(msgOf("HIGHLIGHT_THREADS=", env,
-                   " is not a positive integer; ignoring"));
-    }
+    // Strict full-string parsing: std::atoi would silently accept
+    // trailing junk ("4x" -> 4) and overflow is UB. The bound keeps a
+    // typo'd huge count from fork-bombing the process with threads.
+    const long long v =
+        positiveIntFromEnv("HIGHLIGHT_THREADS", /*max_value=*/4096,
+                           /*fallback=*/0);
+    if (v > 0)
+        return static_cast<int>(v);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
 }

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -64,6 +66,65 @@ expectBitIdentical(const EvalResult &a, const EvalResult &b)
         EXPECT_EQ(a.area_um2[i].name, b.area_um2[i].name);
         EXPECT_EQ(a.area_um2[i].value, b.area_um2[i].value);
     }
+}
+
+TEST(CachePersist, SaveIsAtomicAndLeavesNoTempFile)
+{
+    const Evaluator ev;
+    TempFile file("atomic_save.evalcache");
+
+    EvalCache cache;
+    cache.insert("k1", ev.run("TC", makeWorkload("w1", 64)));
+    ASSERT_TRUE(cache.saveFile(file.path));
+    // Saving over an existing (here: deliberately corrupt) file must
+    // replace it wholesale — the write goes to a same-directory temp
+    // that is renamed into place, so no reader can ever observe a
+    // truncated half-file.
+    {
+        std::ofstream corrupt(file.path, std::ios::trunc);
+        corrupt << "half-written garbage";
+    }
+    cache.insert("k2", ev.run("TC", makeWorkload("w2", 128)));
+    ASSERT_TRUE(cache.saveFile(file.path));
+
+    EvalCache reloaded;
+    EXPECT_TRUE(reloaded.loadFile(file.path));
+    EXPECT_EQ(reloaded.size(), 2u);
+
+    // The temp file is renamed away on success and removed on
+    // failure; either way nothing with the temp prefix survives.
+    const std::string tmp_prefix = "atomic_save.evalcache.tmp.";
+    for (const auto &entry :
+         std::filesystem::directory_iterator(::testing::TempDir())) {
+        EXPECT_NE(entry.path().filename().string().rfind(tmp_prefix, 0),
+                  0u)
+            << "leftover temp file: " << entry.path();
+    }
+
+    // An unwritable target fails cleanly (no exception, no temp).
+    EXPECT_FALSE(cache.saveFile("/nonexistent-dir/x.evalcache"));
+}
+
+TEST(CacheConfig, FromEnvRejectsGarbageCapacity)
+{
+    const char *prev = std::getenv("HIGHLIGHT_CACHE_CAP");
+    const std::string saved = prev ? prev : "";
+
+    // "-1" used to wrap through unsigned parsing into a practically
+    // unbounded capacity; now anything unparsable warns and leaves
+    // the cache unbounded (capacity 0).
+    for (const char *garbage : {"-1", "4x", "1e6", "0", ""}) {
+        ASSERT_EQ(setenv("HIGHLIGHT_CACHE_CAP", garbage, 1), 0);
+        EXPECT_EQ(EvalCacheConfig::fromEnv().capacity, 0u)
+            << "HIGHLIGHT_CACHE_CAP=" << garbage;
+    }
+    ASSERT_EQ(setenv("HIGHLIGHT_CACHE_CAP", "17", 1), 0);
+    EXPECT_EQ(EvalCacheConfig::fromEnv().capacity, 17u);
+
+    if (prev)
+        ASSERT_EQ(setenv("HIGHLIGHT_CACHE_CAP", saved.c_str(), 1), 0);
+    else
+        ASSERT_EQ(unsetenv("HIGHLIGHT_CACHE_CAP"), 0);
 }
 
 TEST(CacheLru, CapacityInvariantHoldsUnderInserts)

@@ -1,0 +1,690 @@
+/**
+ * @file
+ * Priority-scheduling and cancellation tests for the async evaluation
+ * service: cancel-while-queued (the evaluation never runs),
+ * cancel-while-running (result discarded, cache still fed), cancel of
+ * one ticket in a shared in-flight dedupe group (siblings complete,
+ * stats stay exact), priority inversion (a high-priority submission
+ * overtakes a full low-priority backlog, including by priority
+ * inheritance on attach), deadline shedding, cancelAll(), the
+ * cancellable streaming BatchRunner, and TSan-clean stress mixes of
+ * submit/cancel/drain and wait-vs-cancel races (the CI tsan job runs
+ * this binary).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/evaluator.hh"
+#include "core/explorer.hh"
+#include "runtime/batch_runner.hh"
+#include "runtime/eval_service.hh"
+
+namespace highlight
+{
+namespace
+{
+
+GemmWorkload
+makeWorkload(const std::string &name, std::int64_t m)
+{
+    GemmWorkload w;
+    w.name = name;
+    w.m = m;
+    w.k = 64;
+    w.n = 64;
+    w.a = OperandSparsity::dense();
+    w.b = OperandSparsity::unstructured(0.5);
+    return w;
+}
+
+/**
+ * A test accelerator whose evaluations can block on a shared gate the
+ * test controls (to pin down queued/running states without sleeps),
+ * optionally throw, and that records which workloads it actually
+ * evaluated — the ground truth for "a cancelled job never ran".
+ */
+class ProbeAccel : public Accelerator
+{
+  public:
+    explicit ProbeAccel(const std::string &name, bool gated = true,
+                        bool throw_on_eval = false)
+        : Accelerator([&] {
+              ArchSpec spec;
+              spec.name = name;
+              return spec;
+          }()),
+          gated_(gated), throw_on_eval_(throw_on_eval)
+    {
+    }
+
+    void open() { gate_.set_value(); }
+
+    /** Workloads evaluated so far, in first-evaluation order
+     *  (evaluateBest probes operand swaps — it renames the swapped
+     *  probe — so strip the suffix and dedupe the repeats). */
+    std::vector<std::string>
+    evaluated() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::vector<std::string> out;
+        for (std::string name : log_) {
+            const auto swap_tag = name.find(" (swapped)");
+            if (swap_tag != std::string::npos)
+                name.resize(swap_tag);
+            if (out.empty() || out.back() != name)
+                out.push_back(name);
+        }
+        return out;
+    }
+
+    int startedCount() const { return started_.load(); }
+
+    std::string supportedPatternsA() const override { return "any"; }
+    std::string supportedPatternsB() const override { return "any"; }
+    bool supports(const GemmWorkload &) const override { return true; }
+
+    EvalResult
+    evaluate(const GemmWorkload &w) const override
+    {
+        started_.fetch_add(1);
+        if (gated_)
+            gate_future_.wait();
+        if (throw_on_eval_)
+            throw std::runtime_error("probe: evaluation failed");
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            log_.push_back(w.name);
+        }
+        EvalResult r;
+        r.design = name();
+        r.workload = w.name;
+        r.cycles = static_cast<double>(w.m);
+        return r;
+    }
+
+    std::vector<BreakdownEntry> areaBreakdown() const override
+    {
+        return {};
+    }
+
+  private:
+    // evaluateBest probes the workload both ways and workers run
+    // concurrently; a shared_future lets every evaluation wait on the
+    // one gate.
+    std::promise<void> gate_;
+    std::shared_future<void> gate_future_ = gate_.get_future().share();
+    bool gated_ = true;
+    bool throw_on_eval_ = false;
+    mutable std::atomic<int> started_{0};
+    mutable std::mutex mu_;
+    mutable std::vector<std::string> log_;
+};
+
+/** True when `name` was never evaluated by `accel`. */
+bool
+neverRan(const ProbeAccel &accel, const std::string &name)
+{
+    for (const auto &n : accel.evaluated()) {
+        if (n == name)
+            return false;
+    }
+    return true;
+}
+
+TEST(Cancel, QueuedTicketNeverRunsItsEvaluation)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    // The single worker is pinned inside the gated blocker; everything
+    // submitted after it is provably still queued.
+    const auto blocker = service.submit({&gate, makeWorkload("blk", 8)});
+    std::vector<EvalService::Ticket> doomed;
+    for (int i = 0; i < 5; ++i)
+        doomed.push_back(service.submit(
+            {&gate, makeWorkload("doomed" + std::to_string(i),
+                                 16 + 16 * i)}));
+    EXPECT_EQ(service.pendingCount(), 6u);
+
+    for (const auto t : doomed)
+        EXPECT_TRUE(service.cancel(t));
+    EXPECT_EQ(service.pendingCount(), 1u);
+    EXPECT_EQ(service.cancelledCount(), 5u);
+    EXPECT_EQ(service.evaluationsSaved(), 5u);
+
+    gate.open();
+    service.wait(blocker);
+    // Only the blocker ever reached the evaluator.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(neverRan(gate, "doomed" + std::to_string(i)));
+    // A cancelled ticket is claimed: waiting on it is a fatal error.
+    EXPECT_THROW(service.wait(doomed.front()), FatalError);
+    EXPECT_EQ(service.pendingCount(), 0u);
+}
+
+TEST(Cancel, RunningTicketDetachesAndResultIsDiscardedButCached)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    const auto w = makeWorkload("running", 32);
+    const auto t = service.submit({&gate, w});
+    while (gate.startedCount() == 0)
+        std::this_thread::yield();
+
+    EXPECT_TRUE(service.cancel(t)); // mid-evaluation
+    EXPECT_EQ(service.pendingCount(), 0u);
+    EXPECT_EQ(service.evaluationsSaved(), 0u); // it did run
+
+    gate.open();
+    // Nothing to stream: the lone ticket is already claimed by cancel.
+    EXPECT_EQ(service.drain([](EvalService::Ticket,
+                               const EvalResult &) {
+                  FAIL() << "cancelled result must not stream";
+              }),
+              0u);
+    // The computation itself was kept: a resubmission is a cache hit.
+    const auto t2 = service.submit({&gate, w});
+    EXPECT_EQ(service.wait(t2).cycles, 32.0);
+    EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(Cancel, OneTicketOfSharedGroupLeavesSiblingIntact)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    const auto blocker = service.submit({&gate, makeWorkload("blk", 8)});
+    // Two submissions of one key: the second attaches to the first's
+    // queued compute (a hit). Cancelling the second must not drop the
+    // shared evaluation or corrupt the exact accounting.
+    const auto t1 = service.submit({&gate, makeWorkload("sib1", 64)});
+    const auto t2 = service.submit({&gate, makeWorkload("sib2", 64)});
+    EXPECT_TRUE(service.cancel(t2));
+    EXPECT_EQ(service.evaluationsSaved(), 0u); // sibling still needs it
+
+    gate.open();
+    const auto r = service.wait(t1);
+    EXPECT_EQ(r.workload, "sib1");
+    EXPECT_EQ(r.cycles, 64.0);
+    service.wait(blocker);
+
+    // Exactly: blk miss, sib1 miss, sib2 in-flight hit. The cancel
+    // never rewrites the counters, so hits + misses == lookups holds.
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.lookups(), 3u);
+    EXPECT_EQ(service.pendingCount(), 0u);
+}
+
+TEST(Cancel, WholeQueuedGroupDropsTheEvaluation)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    const auto blocker = service.submit({&gate, makeWorkload("blk", 8)});
+    const auto t1 = service.submit({&gate, makeWorkload("g1", 128)});
+    const auto t2 = service.submit({&gate, makeWorkload("g2", 128)});
+    EXPECT_TRUE(service.cancel(t1));
+    EXPECT_EQ(service.evaluationsSaved(), 0u); // t2 still attached
+    EXPECT_TRUE(service.cancel(t2));
+    EXPECT_EQ(service.evaluationsSaved(), 1u); // group emptied: dropped
+
+    gate.open();
+    service.wait(blocker);
+    EXPECT_TRUE(neverRan(gate, "g1"));
+    EXPECT_TRUE(neverRan(gate, "g2"));
+    EXPECT_EQ(service.pendingCount(), 0u);
+}
+
+TEST(Cancel, LandedResultIsDiscarded)
+{
+    ProbeAccel fast("Fast", /*gated=*/false);
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    // Warm the cache, then resubmit: the duplicate lands immediately
+    // at submit time, so its state is deterministically "landed".
+    const auto w = makeWorkload("landed", 16);
+    service.wait(service.submit({&fast, w}));
+    const auto t = service.submit({&fast, w});
+    EXPECT_EQ(service.pendingCount(), 1u);
+    EXPECT_TRUE(service.cancel(t));
+    EXPECT_EQ(service.pendingCount(), 0u);
+    EvalService::Completed c;
+    EXPECT_FALSE(service.tryNext(&c));
+    EXPECT_THROW(service.wait(t), FatalError);
+}
+
+TEST(Cancel, UnknownClaimedAndReservedTicketsAreNotCancellable)
+{
+    ProbeAccel gate("Gate");
+    EvalService service(nullptr, 1);
+
+    const auto t = service.submit({&gate, makeWorkload("w", 16)});
+    EXPECT_FALSE(service.cancel(t + 100)); // unknown
+
+    // A ticket a wait() is blocked on belongs to that waiter.
+    std::atomic<bool> entering_wait{false};
+    std::thread waiter([&] {
+        entering_wait.store(true);
+        service.wait(t);
+    });
+    while (!entering_wait.load())
+        std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(service.cancel(t)); // reserved by the waiter
+    gate.open();
+    waiter.join();
+    EXPECT_FALSE(service.cancel(t)); // already claimed
+    EXPECT_EQ(service.cancelledCount(), 0u);
+}
+
+TEST(Priority, HighPrioritySubmissionOvertakesLowPriorityBacklog)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    const auto blocker =
+        service.submit({&gate, makeWorkload("blk", 8)}, /*priority=*/100);
+    std::vector<EvalService::Ticket> tickets;
+    for (int i = 0; i < 8; ++i)
+        tickets.push_back(service.submit(
+            {&gate, makeWorkload("low" + std::to_string(i), 16 + 16 * i)},
+            /*priority=*/0));
+    const auto high = service.submit(
+        {&gate, makeWorkload("high", 512)}, /*priority=*/10);
+    tickets.push_back(high);
+
+    gate.open();
+    service.wait(blocker);
+    for (const auto t : tickets)
+        service.wait(t);
+
+    // The single worker popped strictly by (priority, ticket): the
+    // late high-priority job ran before the whole low backlog.
+    const auto order = gate.evaluated();
+    ASSERT_GE(order.size(), 2u);
+    EXPECT_EQ(order[0], "blk");
+    EXPECT_EQ(order[1], "high");
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(order[2 + i], "low" + std::to_string(i));
+}
+
+TEST(Priority, AttachEscalatesAQueuedDuplicate)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    const auto blocker =
+        service.submit({&gate, makeWorkload("blk", 8)}, /*priority=*/100);
+    // A low-priority compute, buried behind mid-priority filler...
+    const auto t_low =
+        service.submit({&gate, makeWorkload("shared-low", 256)},
+                       /*priority=*/0);
+    std::vector<EvalService::Ticket> filler;
+    for (int i = 0; i < 6; ++i)
+        filler.push_back(service.submit(
+            {&gate, makeWorkload("mid" + std::to_string(i), 16 + 16 * i)},
+            /*priority=*/5));
+    // ...until a high-priority duplicate attaches: the shared compute
+    // inherits the higher priority and overtakes the filler.
+    const auto t_high =
+        service.submit({&gate, makeWorkload("shared-high", 256)},
+                       /*priority=*/50);
+
+    gate.open();
+    service.wait(blocker);
+    service.wait(t_low);
+    EXPECT_EQ(service.wait(t_high).workload, "shared-high");
+    for (const auto t : filler)
+        service.wait(t);
+
+    const auto order = gate.evaluated();
+    ASSERT_GE(order.size(), 2u);
+    EXPECT_EQ(order[0], "blk");
+    EXPECT_EQ(order[1], "shared-low"); // escalated past the filler
+}
+
+TEST(Priority, CancelOfEscalatingWaiterDropsInheritedPriority)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    const auto blocker =
+        service.submit({&gate, makeWorkload("blk", 8)}, /*priority=*/100);
+    // A speculative compute at low priority gets escalated by an
+    // urgent duplicate...
+    const auto t_spec = service.submit(
+        {&gate, makeWorkload("spec", 256)}, /*priority=*/-1);
+    const auto t_urgent = service.submit(
+        {&gate, makeWorkload("spec-urgent", 256)}, /*priority=*/50);
+    const auto t_mid =
+        service.submit({&gate, makeWorkload("mid", 16)}, /*priority=*/5);
+    // ...but when the urgent caller abandons, the group must fall
+    // back to its remaining waiter's priority: the mid-priority job
+    // overtakes the speculation again.
+    EXPECT_TRUE(service.cancel(t_urgent));
+
+    gate.open();
+    service.wait(blocker);
+    service.wait(t_spec);
+    service.wait(t_mid);
+    const auto order = gate.evaluated();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "blk");
+    EXPECT_EQ(order[1], "mid");
+    EXPECT_EQ(order[2], "spec");
+}
+
+TEST(Deadline, ExpiredQueuedJobIsShedNotEvaluated)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    const auto blocker = service.submit({&gate, makeWorkload("blk", 8)});
+    // Already expired when submitted: guaranteed to be shed at pop.
+    const auto t = service.submit(
+        {&gate, makeWorkload("late", 64)},
+        SubmitOptions::withDeadline(std::chrono::milliseconds(-1)));
+
+    gate.open();
+    service.wait(blocker);
+    EXPECT_THROW(service.wait(t), DeadlineExpired);
+    EXPECT_TRUE(neverRan(gate, "late"));
+    EXPECT_EQ(service.evaluationsSaved(), 1u);
+    EXPECT_EQ(service.pendingCount(), 0u);
+}
+
+TEST(Deadline, SharedGroupFailsOnlyTheExpiredTicket)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    const auto blocker = service.submit({&gate, makeWorkload("blk", 8)});
+    const auto t_expired = service.submit(
+        {&gate, makeWorkload("exp", 128)},
+        SubmitOptions::withDeadline(std::chrono::milliseconds(-1)));
+    const auto t_live =
+        service.submit({&gate, makeWorkload("live", 128)});
+
+    gate.open();
+    service.wait(blocker);
+    // The compute runs for the live sibling; only the expired ticket
+    // fails.
+    EXPECT_THROW(service.wait(t_expired), DeadlineExpired);
+    EXPECT_EQ(service.wait(t_live).cycles, 128.0);
+    EXPECT_EQ(service.evaluationsSaved(), 0u);
+}
+
+TEST(Cancel, CancelAllShedsEveryUnclaimedTicket)
+{
+    ProbeAccel gate("Gate");
+    EvalCache cache;
+    EvalService service(&cache, 1);
+
+    service.submit({&gate, makeWorkload("blk", 8)});
+    // Make sure the worker has actually popped the blocker, so it is
+    // deterministically *running* (detached, not dropped) below.
+    while (gate.startedCount() == 0)
+        std::this_thread::yield();
+    for (int i = 0; i < 6; ++i)
+        service.submit(
+            {&gate, makeWorkload("q" + std::to_string(i), 16 + 16 * i)});
+
+    // Everything unclaimed goes: the running blocker detaches, the
+    // six queued jobs are dropped outright.
+    EXPECT_EQ(service.cancelAll(), 7u);
+    EXPECT_EQ(service.pendingCount(), 0u);
+    EXPECT_EQ(service.evaluationsSaved(), 6u);
+
+    gate.open();
+    EXPECT_EQ(service.drain([](EvalService::Ticket,
+                               const EvalResult &) {
+                  FAIL() << "nothing may stream after cancelAll";
+              }),
+              0u);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_TRUE(neverRan(gate, "q" + std::to_string(i)));
+}
+
+TEST(Cancel, DestructionWarnsAboutUnclaimedErroredTickets)
+{
+    ProbeAccel bad("Bad", /*gated=*/false, /*throw_on_eval=*/true);
+    ProbeAccel good("Good", /*gated=*/false);
+    testing::internal::CaptureStderr();
+    {
+        EvalCache cache;
+        EvalService service(&cache, 1);
+        service.submit({&bad, makeWorkload("fails", 16)});
+        // FIFO on one worker: once the sentinel returns, the failing
+        // job has provably errored — and nobody ever claims it.
+        const auto sentinel =
+            service.submit({&good, makeWorkload("ok", 16)});
+        service.wait(sentinel);
+    } // service destruction must warn about the swallowed failure
+    const std::string captured =
+        testing::internal::GetCapturedStderr();
+    EXPECT_NE(captured.find("unclaimed errored ticket"),
+              std::string::npos)
+        << "destructor must warn about swallowed failures, got: "
+        << captured;
+}
+
+TEST(Cancel, BatchRunnerStreamingRunCancelsRemaining)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    ProbeAccel gate("Gate");
+
+    std::vector<EvalJob> jobs;
+    jobs.push_back({&tc, makeWorkload("first", 64)});
+    for (int i = 0; i < 10; ++i)
+        jobs.push_back(
+            {&gate, makeWorkload("g" + std::to_string(i), 16 + 16 * i)});
+
+    ThreadPool pool(1);
+    EvalCache cache;
+    const BatchRunner runner(&cache, &pool);
+    std::size_t callbacks = 0;
+    const auto results = runner.run(
+        jobs,
+        [&](std::size_t i, const EvalResult &r, BatchRunner::Stream &s) {
+            ++callbacks;
+            EXPECT_EQ(i, 0u);
+            EXPECT_EQ(r.workload, "first");
+            // One good result is enough — shed the gated tail.
+            EXPECT_GE(s.cancelRemaining(), 9u);
+        });
+    // The worker may still be blocked inside one gated evaluation;
+    // release it before the runner joins its crew.
+    gate.open();
+
+    EXPECT_EQ(callbacks, 1u);
+    ASSERT_EQ(results.size(), jobs.size());
+    EXPECT_TRUE(results[0].supported);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_FALSE(results[i].supported);
+        EXPECT_EQ(results[i].note, "cancelled");
+        EXPECT_EQ(results[i].workload, jobs[i].workload.name);
+    }
+    // At least the never-popped tail was reclaimed outright.
+    EXPECT_GE(runner.service().evaluationsSaved(), 9u);
+}
+
+TEST(Cancel, ParetoSweepFailureDoesNotPoisonTheService)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    ProbeAccel bad("Bad", /*gated=*/false, /*throw_on_eval=*/true);
+
+    const DesignSpaceExplorer ex;
+    std::vector<ParetoCandidate> cands(2);
+    cands[0].label = "good";
+    cands[0].x = 0.0;
+    for (int i = 0; i < 6; ++i)
+        cands[0].jobs.push_back(
+            {&tc, makeWorkload("g" + std::to_string(i), 16 + 16 * i)});
+    cands[1].label = "bad";
+    cands[1].x = 1.0;
+    cands[1].jobs.push_back({&bad, makeWorkload("boom", 64)});
+    for (int i = 0; i < 6; ++i)
+        cands[1].jobs.push_back(
+            {&tc, makeWorkload("t" + std::to_string(i), 16 + 16 * i)});
+
+    EXPECT_THROW(ex.paretoSweep(ev, cands, /*prune=*/true),
+                 std::runtime_error);
+    // The failed sweep claimed everything on its way out: nothing
+    // leaks into the evaluator's shared persistent service, so later
+    // callers are unaffected.
+    EXPECT_EQ(ev.service().pendingCount(), 0u);
+    const auto r = ev.runBatch({{&tc, makeWorkload("after", 64)}});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.front().workload, "after");
+}
+
+TEST(CancelStress, SubmitCancelDrainStaysConsistent)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    const Accelerator &hl = ev.design("HighLight");
+
+    constexpr int kProducers = 6;
+    constexpr int kPerProducer = 40;
+    constexpr int kUniqueShapes = 8;
+
+    EvalCache cache;
+    EvalService service(&cache, 4);
+
+    std::atomic<std::size_t> cancelled{0};
+    std::atomic<int> active{kProducers};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                const int u = (p + i) % kUniqueShapes;
+                const Accelerator &accel = (u % 2 == 0) ? tc : hl;
+                const auto t = service.submit(
+                    {&accel,
+                     makeWorkload("p" + std::to_string(p) + "-" +
+                                      std::to_string(i),
+                                  16 + 16 * u)},
+                    /*priority=*/i % 3);
+                // Cancel every third submission, racing the workers
+                // (the ticket may be queued, running or landed).
+                if (i % 3 == 0 && service.cancel(t))
+                    cancelled.fetch_add(1);
+            }
+            active.fetch_sub(1);
+        });
+    }
+
+    // Drain concurrently with the producers, then once more for the
+    // stragglers submitted after the last drain returned.
+    std::size_t streamed = 0;
+    std::set<EvalService::Ticket> seen;
+    const auto consume = [&](EvalService::Ticket t,
+                             const EvalResult &r) {
+        EXPECT_TRUE(seen.insert(t).second) << "duplicate ticket";
+        EXPECT_GT(r.cycles, 0.0);
+    };
+    while (active.load() > 0)
+        streamed += service.drain(consume);
+    for (auto &t : producers)
+        t.join();
+    streamed += service.drain(consume);
+
+    EXPECT_EQ(service.pendingCount(), 0u);
+    const std::size_t total = kProducers * kPerProducer;
+    EXPECT_EQ(streamed + cancelled.load(), total);
+    EXPECT_EQ(service.cancelledCount(), cancelled.load());
+    // Counting stays exact under the cancel/dedupe/drain mix: every
+    // submission is exactly one hit or one miss.
+    EXPECT_EQ(cache.stats().lookups(), total);
+}
+
+TEST(CancelStress, WaitVersusCancelRaceNeverLosesATicket)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 30;
+
+    EvalCache cache;
+    EvalService service(&cache, 4);
+
+    std::atomic<std::size_t> waited{0}, lost{0}, cancel_hits{0};
+    std::atomic<std::uint64_t> max_ticket{0};
+    std::atomic<bool> done{false};
+
+    // A canceller guessing ticket ids races the producers' waits: a
+    // ticket is either waited or cancelled, never both, never neither.
+    std::thread canceller([&] {
+        while (!done.load()) {
+            const std::uint64_t hi = max_ticket.load();
+            for (std::uint64_t t = 0; t <= hi; t += 7) {
+                if (service.cancel(t))
+                    cancel_hits.fetch_add(1);
+            }
+            std::this_thread::yield();
+        }
+    });
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                const auto t = service.submit(
+                    {&tc, makeWorkload("w" + std::to_string(p) + "-" +
+                                           std::to_string(i),
+                                       16 + 16 * (i % 5))});
+                std::uint64_t cur = max_ticket.load();
+                while (cur < t &&
+                       !max_ticket.compare_exchange_weak(cur, t)) {
+                }
+                try {
+                    service.wait(t);
+                    waited.fetch_add(1);
+                } catch (const FatalError &) {
+                    lost.fetch_add(1); // cancelled before the wait
+                }
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    done.store(true);
+    canceller.join();
+
+    EXPECT_EQ(service.pendingCount(), 0u);
+    const std::size_t total = kProducers * kPerProducer;
+    EXPECT_EQ(waited.load() + lost.load(), total);
+    // Every successful cancel corresponds to exactly one wait that
+    // (correctly) failed, and vice versa.
+    EXPECT_EQ(lost.load(), cancel_hits.load());
+}
+
+} // namespace
+} // namespace highlight

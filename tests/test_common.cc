@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -185,6 +187,42 @@ TEST(Stats, BinomialExpectationOfConstant)
 {
     auto one = [](int, const void *) { return 1.0; };
     EXPECT_NEAR(binomialExpectation(64, 0.7, one, nullptr), 1.0, 1e-9);
+}
+
+TEST(Env, ParsePositiveIntAcceptsOnlyCleanPositiveDecimals)
+{
+    long long v = 0;
+    EXPECT_TRUE(parsePositiveInt("1", 100, &v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(parsePositiveInt("100", 100, &v));
+    EXPECT_EQ(v, 100);
+    // Garbage that naive parsing mis-reads: trailing junk silently
+    // truncates under atoi, "-1" wraps under strtoull, "1e6" parses
+    // as 1, and whitespace/sign prefixes sneak through strtol.
+    v = -7;
+    EXPECT_FALSE(parsePositiveInt("4x", 100, &v));
+    EXPECT_FALSE(parsePositiveInt("-1", 100, &v));
+    EXPECT_FALSE(parsePositiveInt("1e6", 100, &v));
+    EXPECT_FALSE(parsePositiveInt("+4", 100, &v));
+    EXPECT_FALSE(parsePositiveInt(" 4", 100, &v));
+    EXPECT_FALSE(parsePositiveInt("4 ", 100, &v));
+    EXPECT_FALSE(parsePositiveInt("", 100, &v));
+    EXPECT_FALSE(parsePositiveInt(nullptr, 100, &v));
+    EXPECT_FALSE(parsePositiveInt("0", 100, &v));
+    EXPECT_FALSE(parsePositiveInt("101", 100, &v)); // above max
+    EXPECT_FALSE(parsePositiveInt("99999999999999999999", 100, &v));
+    EXPECT_EQ(v, -7); // rejected parses leave *out untouched
+}
+
+TEST(Env, PositiveIntFromEnvFallsBackOnGarbage)
+{
+    ASSERT_EQ(setenv("HIGHLIGHT_TEST_ENV_KNOB", "4x", 1), 0);
+    EXPECT_EQ(positiveIntFromEnv("HIGHLIGHT_TEST_ENV_KNOB", 100, 7), 7);
+    ASSERT_EQ(setenv("HIGHLIGHT_TEST_ENV_KNOB", "42", 1), 0);
+    EXPECT_EQ(positiveIntFromEnv("HIGHLIGHT_TEST_ENV_KNOB", 100, 7),
+              42);
+    ASSERT_EQ(unsetenv("HIGHLIGHT_TEST_ENV_KNOB"), 0);
+    EXPECT_EQ(positiveIntFromEnv("HIGHLIGHT_TEST_ENV_KNOB", 100, 7), 7);
 }
 
 TEST(Table, AlignsColumnsAndCountsRows)

@@ -145,5 +145,29 @@ TEST(PoolEdge, HighlightThreads1MatchesMultiThreadedResults)
         ASSERT_EQ(unsetenv("HIGHLIGHT_THREADS"), 0);
 }
 
+TEST(PoolEdge, GarbageHighlightThreadsFallsBackToDefault)
+{
+    const char *prev = std::getenv("HIGHLIGHT_THREADS");
+    const std::string saved = prev ? prev : "";
+
+    // atoi would silently read "4x" as 4 and "-1"/"0" as disable;
+    // the strict parser rejects them all (with a warning) and falls
+    // back to default resolution.
+    ASSERT_EQ(unsetenv("HIGHLIGHT_THREADS"), 0);
+    const int fallback = ThreadPool::defaultThreadCount();
+    for (const char *garbage : {"4x", "-1", "0", "2 4", "1e3", ""}) {
+        ASSERT_EQ(setenv("HIGHLIGHT_THREADS", garbage, 1), 0);
+        EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback)
+            << "HIGHLIGHT_THREADS=" << garbage;
+    }
+    ASSERT_EQ(setenv("HIGHLIGHT_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3);
+
+    if (prev)
+        ASSERT_EQ(setenv("HIGHLIGHT_THREADS", saved.c_str(), 1), 0);
+    else
+        ASSERT_EQ(unsetenv("HIGHLIGHT_THREADS"), 0);
+}
+
 } // namespace
 } // namespace highlight
