@@ -3,14 +3,29 @@
  * google-benchmark timings of the library's computational kernels:
  * HSS sparsification, hierarchical CP compression/decompression, the
  * analytical evaluation, and the cycle-level micro-simulator.
+ *
+ * Besides the normal google-benchmark CLI, the binary accepts
+ * `--json <path>`: after the run it writes a versioned JSON summary
+ * ({"schema": "highlight-bench-v1", "benchmarks": [{name, ns_per_op,
+ * items_per_second}, ...]}) that CI uploads as the BENCH_microsim.json
+ * artifact, recording the perf trajectory PR over PR.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <string>
+#include <vector>
 
 #include "accel/highlight.hh"
 #include "common/random.hh"
 #include "format/hierarchical_cp.hh"
 #include "microsim/simulator.hh"
+#include "microsim/vfmu.hh"
+#include "runtime_flags.hh"
 #include "sparsity/sparsify.hh"
 #include "tensor/generator.hh"
 
@@ -106,6 +121,78 @@ BM_Microsim(benchmark::State &state)
 }
 BENCHMARK(BM_Microsim)->Arg(2)->Arg(8);
 
+/**
+ * Fig16-sized microsim run: the Sec 6.4 validation config (75% sparse
+ * A under C1(4:8)->C0(2:4)), sized so one iteration covers 131072
+ * processing steps. This is the number the tentpole perf work is
+ * measured on.
+ */
+void
+BM_MicrosimFig16(benchmark::State &state)
+{
+    const bool compress_b = state.range(0) != 0;
+    Rng rng_a(42), rng_b(7);
+    const std::int64_t m = 32, k = 1024, n = 128;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng_a),
+        benchSpec());
+    auto b = randomDense(TensorShape({{"K", k}, {"N", n}}), rng_b);
+    if (compress_b)
+        b = unstructuredSparsify(b, 0.65);
+    MicrosimConfig cfg;
+    cfg.compress_b = compress_b;
+    const HighlightSimulator sim(cfg);
+    for (auto _ : state) {
+        auto r = sim.run(a, benchSpec(), b);
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * m * (k / 32) * n);
+}
+BENCHMARK(BM_MicrosimFig16)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("compress_b")
+    ->Unit(benchmark::kMillisecond);
+
+/** The VFMU ring buffer alone: variable shifts over aligned rows. */
+void
+BM_VfmuStream(benchmark::State &state)
+{
+    std::vector<float> data(1 << 16);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<float>(i % 97);
+    MicroGlb glb(data.data(), static_cast<std::int64_t>(data.size()),
+                 16);
+    Vfmu vfmu(glb, 32);
+    float out[32];
+    for (auto _ : state) {
+        vfmu.reset();
+        glb.reset();
+        while (!vfmu.exhausted())
+            benchmark::DoNotOptimize(vfmu.readShift(12, out));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_VfmuStream);
+
+/** One PE's load+step pair, the innermost unit of the datapath. */
+void
+BM_PeStep(benchmark::State &state)
+{
+    MicroPe pe(4);
+    const float vals[4] = {1.0f, 2.0f, 0.0f, 3.0f};
+    const std::uint8_t offs[4] = {0, 2, 5, 3};
+    const float block[8] = {0.5f, 0.0f, 1.5f, 2.5f,
+                            1.0f, 0.0f, 2.0f, 0.0f};
+    for (auto _ : state) {
+        pe.loadBlock(vals, offs);
+        benchmark::DoNotOptimize(pe.step(block, 8));
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_PeStep);
+
 void
 BM_ReferenceGemm(benchmark::State &state)
 {
@@ -120,4 +207,132 @@ BM_ReferenceGemm(benchmark::State &state)
 }
 BENCHMARK(BM_ReferenceGemm)->Arg(32)->Arg(64);
 
+/**
+ * Console reporter that additionally captures (name, ns/op, items/s)
+ * per iteration run, for the versioned --json summary.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+        double ns_per_op = 0.0;
+        double items_per_second = 0.0;
+    };
+
+    /**
+     * google-benchmark < 1.8 reports failures via Run::error_occurred;
+     * 1.8+ removed it (replaced by the `skipped` state). Feature-detect
+     * the member so the reporter builds against either.
+     */
+    template <class R>
+    static auto
+    runFailed(const R &run, int) -> decltype(run.error_occurred)
+    {
+        return run.error_occurred;
+    }
+    template <class R>
+    static bool
+    runFailed(const R &, ...)
+    {
+        return false;
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration ||
+                runFailed(run, 0))
+                continue;
+            Entry e;
+            e.name = run.benchmark_name();
+            const double iters =
+                run.iterations > 0
+                    ? static_cast<double>(run.iterations)
+                    : 1.0;
+            e.ns_per_op = run.real_accumulated_time / iters * 1e9;
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                e.items_per_second = it->second;
+            entries_.push_back(e);
+        }
+        benchmark::ConsoleReporter::ReportRuns(reports);
+    }
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/** Write the versioned BENCH summary; returns false on I/O failure. */
+bool
+writeBenchJson(const std::string &path,
+               const std::vector<JsonCaptureReporter::Entry> &entries)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << std::setprecision(17);
+    out << "{\n"
+        << "  \"schema\": \"highlight-bench-v1\",\n"
+        << "  \"suite\": \"bench_kernels\",\n"
+        << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        out << "    {\"name\": " << jsonQuote(e.name)
+            << ", \"ns_per_op\": " << e.ns_per_op
+            << ", \"items_per_second\": " << e.items_per_second << "}"
+            << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+/** Strip `--json <path>` from argv before benchmark::Initialize. */
+std::string
+extractJsonPath(int &argc, char **argv)
+{
+    std::string path;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return path;
+}
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path = extractJsonPath(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json_path.empty()) {
+        if (reporter.entries().empty()) {
+            std::fprintf(stderr,
+                         "bench_kernels: no benchmark results to dump "
+                         "to %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        if (!writeBenchJson(json_path, reporter.entries())) {
+            std::fprintf(stderr, "bench_kernels: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

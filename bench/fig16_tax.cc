@@ -18,6 +18,8 @@ main(int argc, char **argv)
     using namespace highlight;
 
     ThreadPool::setGlobalThreads(parseSerialFlag(argc, argv) ? 1 : 0);
+    const std::string json_path =
+        parseOptionValue(argc, argv, "--json");
 
     Evaluator ev;
 
@@ -96,5 +98,9 @@ main(int argc, char **argv)
               << "%   of datapath (excl. SRAM macros): "
               << TextTable::fmt(100.0 * saf / datapath, 1)
               << "%   (paper: 5.7%)\n";
+    if (!json_path.empty() && !writeResultsJson(json_path, results)) {
+        std::cerr << "fig16: cannot write " << json_path << "\n";
+        return 1;
+    }
     return 0;
 }

@@ -25,7 +25,8 @@ using namespace highlight;
 
 void
 runModel(const Evaluator &ev, const DnnModel &model, DnnName nm,
-         double structured_sparsity, double unstructured_sparsity)
+         double structured_sparsity, double unstructured_sparsity,
+         std::vector<DnnEvalResult> &all_results)
 {
     const DnnScenario scenarios[] = {
         {"TC", PruningApproach::Dense, 0.0},
@@ -44,6 +45,7 @@ runModel(const Evaluator &ev, const DnnModel &model, DnnName nm,
                  "norm. latency", "norm. energy", "norm. EDP"});
     for (const auto &sc : scenarios) {
         const auto r = ev.runDnn(model, nm, sc);
+        all_results.push_back(r);
         if (!r.supported) {
             t.addRow({sc.design, TextTable::fmt(sc.weight_sparsity, 2),
                       "-", "unsupported", "-", "-"});
@@ -67,18 +69,27 @@ int
 main(int argc, char **argv)
 {
     ThreadPool::setGlobalThreads(parseSerialFlag(argc, argv) ? 1 : 0);
+    const std::string json_path =
+        parseOptionValue(argc, argv, "--json");
 
     Evaluator ev;
+    std::vector<DnnEvalResult> all_results;
     // Transformer-Big: moderate prunability, near-dense activations.
     // HSS's degree flexibility lets HighLight prune to 62.5% within
     // the same 0.5-point accuracy budget that pins STC at 2:4.
     runModel(ev, transformerBigModel(), DnnName::TransformerBig, 0.625,
-             0.6);
+             0.6, all_results);
     // ResNet50: deep prunability, ~60% sparse ReLU activations.
-    runModel(ev, resnet50Model(), DnnName::ResNet50, 0.75, 0.8);
+    runModel(ev, resnet50Model(), DnnName::ResNet50, 0.75, 0.8,
+             all_results);
 
     std::cout << "Expected shape (paper Fig 2): STC < DSTC on "
                  "Transformer-Big; DSTC < STC on ResNet50;\nHighLight "
                  "lowest EDP on both.\n";
+    if (!json_path.empty() &&
+        !writeDnnResultsJson(json_path, all_results)) {
+        std::cerr << "fig2: cannot write " << json_path << "\n";
+        return 1;
+    }
     return 0;
 }

@@ -6,11 +6,51 @@
  * therefore less than half the muxing overhead.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "common/table.hh"
 #include "core/explorer.hh"
 #include "runtime_flags.hh"
+
+namespace
+{
+
+/**
+ * Full-precision JSON dump of the design reports (same byte-compare
+ * property as the sweep drivers' writeResultsJson).
+ */
+bool
+writeDesignReportsJson(
+    const std::string &path,
+    const std::vector<const highlight::HssDesignReport *> &reports)
+{
+    using highlight::jsonQuote;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << std::setprecision(17);
+    out << "[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const auto &r = *reports[i];
+        out << "  {\"design\": " << jsonQuote(r.name)
+            << ", \"num_ranks\": " << r.num_ranks
+            << ", \"total_mux2\": " << r.total_mux2
+            << ", \"mux_area_um2\": " << r.mux_area_um2
+            << ", \"mux_energy_per_step_pj\": "
+            << r.mux_energy_per_step_pj << ", \"degrees\": [";
+        for (std::size_t d = 0; d < r.degrees.size(); ++d) {
+            out << (d ? ", " : "") << "{\"spec\": "
+                << jsonQuote(r.degrees[d].spec.str())
+                << ", \"density\": " << r.degrees[d].density << "}";
+        }
+        out << "]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -18,6 +58,8 @@ main(int argc, char **argv)
     using namespace highlight;
 
     ThreadPool::setGlobalThreads(parseSerialFlag(argc, argv) ? 1 : 0);
+    const std::string json_path =
+        parseOptionValue(argc, argv, "--json");
 
     // Both designs analyzed as one batch on the parallel runtime
     // (bit-identical to serial analyze() calls).
@@ -84,5 +126,10 @@ main(int argc, char **argv)
                                     static_cast<double>(ss.total_mux2),
                                 2)
               << "x\n";
+    if (!json_path.empty() &&
+        !writeDesignReportsJson(json_path, {&s, &ss})) {
+        std::cerr << "fig6: cannot write " << json_path << "\n";
+        return 1;
+    }
     return 0;
 }

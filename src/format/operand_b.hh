@@ -43,6 +43,25 @@ class OperandBStream
     /** Nonzero values in stream order. */
     const std::vector<float> &values() const { return values_; }
 
+    /**
+     * Non-owning view accessors for the simulator's steady-state loop:
+     * pointer + unchecked per-element reads, so streaming the
+     * compressed operand costs no copies and no bounds checks.
+     */
+    const float *valuesData() const { return values_.data(); }
+    std::int64_t setCountAt(std::int64_t set) const
+    {
+        return set_counts_[static_cast<std::size_t>(set)];
+    }
+    std::int64_t blockEndAt(std::int64_t block) const
+    {
+        return block_ends_[static_cast<std::size_t>(block)];
+    }
+    std::uint8_t offsetAt(std::int64_t nonzero) const
+    {
+        return offsets_[static_cast<std::size_t>(nonzero)];
+    }
+
     /** Level-1 metadata: nonzeros per set of h1 blocks. */
     const std::vector<std::int64_t> &setCounts() const
     {

@@ -104,7 +104,9 @@ DssoSimulator::run(const DenseTensor &a, const GhPattern &a_rank0,
 
     // Processing: for each (row, column), the rank-1 SAF walks only
     // B's non-empty blocks, num_pes at a time; the rank-0 SAF inside
-    // each PE selects B values by A's offsets.
+    // each PE selects B values by A's offsets. The B-block scratch is
+    // hoisted so the steady-state loop never allocates.
+    std::vector<float> b_block(static_cast<std::size_t>(h0));
     for (std::int64_t row = 0; row < m; ++row) {
         for (std::int64_t col = 0; col < n; ++col) {
             const auto &live =
@@ -126,17 +128,15 @@ DssoSimulator::run(const DenseTensor &a, const GhPattern &a_rank0,
                         a_lanes[static_cast<std::size_t>(row)]
                                [static_cast<std::size_t>(blk)];
                     pes[static_cast<std::size_t>(p)].loadBlock(
-                        lane.values, lane.offsets);
+                        lane.values.data(), lane.offsets.data());
                     st.a_words_loaded += g0;
-                    std::vector<float> b_block(
-                        static_cast<std::size_t>(h0));
                     for (int j = 0; j < h0; ++j)
                         b_block[static_cast<std::size_t>(j)] =
                             b.at2(blk * h0 + j, col);
                     st.glb_b_words += h0;
                     ++st.b_blocks_processed;
-                    psum +=
-                        pes[static_cast<std::size_t>(p)].step(b_block);
+                    psum += pes[static_cast<std::size_t>(p)].step(
+                        b_block.data(), h0);
                 }
                 ++st.cycles;
                 acc += psum;

@@ -1,39 +1,59 @@
 #include "microsim/glb.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace highlight
 {
 
-MicroGlb::MicroGlb(std::vector<float> data, int row_words)
-    : data_(std::move(data)), row_words_(row_words)
+MicroGlb::MicroGlb(const float *data, std::int64_t len, int row_words)
+    : data_(data), len_(len), row_words_(row_words)
 {
     if (row_words_ < 1)
         fatal(msgOf("MicroGlb: row_words ", row_words_));
-    // Pad the stream to a whole number of rows so aligned fetches at
-    // the tail are well defined.
-    const std::size_t rem = data_.size() % static_cast<std::size_t>(
-                                row_words_);
-    if (rem != 0)
-        data_.resize(data_.size() + (row_words_ - rem), 0.0f);
+    if (len_ < 0)
+        fatal(msgOf("MicroGlb: stream length ", len_));
+    if (len_ > 0 && data_ == nullptr)
+        fatal("MicroGlb: null stream");
+}
+
+MicroGlb::MicroGlb(std::vector<float> data, int row_words)
+    : owned_(std::move(data)), data_(owned_.data()),
+      len_(static_cast<std::int64_t>(owned_.size())),
+      row_words_(row_words)
+{
+    if (row_words_ < 1)
+        fatal(msgOf("MicroGlb: row_words ", row_words_));
 }
 
 std::int64_t
 MicroGlb::numRows() const
 {
-    return static_cast<std::int64_t>(data_.size()) / row_words_;
+    return (len_ + row_words_ - 1) / row_words_;
+}
+
+void
+MicroGlb::fetchRowInto(std::int64_t row, float *out)
+{
+    if (row < 0 || row >= numRows())
+        panic(msgOf("MicroGlb::fetchRowInto: row ", row,
+                    " out of range ", numRows()));
+    ++stats_.row_fetches;
+    stats_.words_read += row_words_;
+    const std::int64_t begin = row * row_words_;
+    const std::int64_t valid =
+        std::min<std::int64_t>(row_words_, len_ - begin);
+    std::copy(data_ + begin, data_ + begin + valid, out);
+    std::fill(out + valid, out + row_words_, 0.0f);
 }
 
 std::vector<float>
 MicroGlb::fetchRow(std::int64_t row)
 {
-    if (row < 0 || row >= numRows())
-        panic(msgOf("MicroGlb::fetchRow: row ", row, " out of range ",
-                    numRows()));
-    ++stats_.row_fetches;
-    stats_.words_read += row_words_;
-    const auto begin = data_.begin() + row * row_words_;
-    return std::vector<float>(begin, begin + row_words_);
+    std::vector<float> out(static_cast<std::size_t>(row_words_));
+    fetchRowInto(row, out.data());
+    return out;
 }
 
 } // namespace highlight

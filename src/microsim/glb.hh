@@ -6,6 +6,12 @@
  * aligned row ("due to the fixed physical dimensions of the GLB, each
  * GLB fetch has to be fixed to a certain number of blocks"). The VFMU
  * downstream turns these aligned fetches into variable-length reads.
+ *
+ * The GLB does not own the stream: it holds a non-owning view of the
+ * once-built operand stream, so restreaming the same data (one pass per
+ * output row) costs a `reset()` instead of a fresh copy. Rows past the
+ * end of the stream read as zero padding, exactly like the physically
+ * padded buffer it models.
  */
 
 #ifndef HIGHLIGHT_MICROSIM_GLB_HH
@@ -31,26 +37,50 @@ class MicroGlb
 {
   public:
     /**
-     * @param data      The stored stream (dense values or compressed
-     *                  nonzeros).
+     * View an externally owned stream (no copy). `data` must outlive
+     * the GLB; the tail of the last row reads as zero padding.
+     *
+     * @param data      First word of the stream.
+     * @param len       Stream length in words.
      * @param row_words Fetch granularity in words (Fig 11: 16).
      */
+    MicroGlb(const float *data, std::int64_t len, int row_words);
+
+    /**
+     * Convenience owning constructor (tests, walkthroughs): copies the
+     * stream into internal storage and views that.
+     */
     MicroGlb(std::vector<float> data, int row_words);
+
+    // Non-copyable/movable: `data_` may point into this object's own
+    // `owned_` storage, which a default copy/move would alias or leave
+    // dangling.
+    MicroGlb(const MicroGlb &) = delete;
+    MicroGlb &operator=(const MicroGlb &) = delete;
 
     /** Number of whole rows (the stream is zero-padded to row width). */
     std::int64_t numRows() const;
 
     /**
-     * Fetch aligned row `row` (16 words in the paper's example).
-     * Counts the access and returns the row contents.
+     * Fetch aligned row `row` into `out` (exactly rowWords() words,
+     * zero-padded past the stream end). Counts the access. Allocation
+     * free: this is the hot-loop entry point.
      */
+    void fetchRowInto(std::int64_t row, float *out);
+
+    /** As fetchRowInto, returning a fresh vector (tests only). */
     std::vector<float> fetchRow(std::int64_t row);
+
+    /** Zero the access counters for the next restreaming pass. */
+    void reset() { stats_ = GlbStats{}; }
 
     int rowWords() const { return row_words_; }
     const GlbStats &stats() const { return stats_; }
 
   private:
-    std::vector<float> data_;
+    std::vector<float> owned_; ///< Backing store for the owning ctor.
+    const float *data_ = nullptr;
+    std::int64_t len_ = 0;
     int row_words_;
     GlbStats stats_;
 };

@@ -1,5 +1,7 @@
 #include "microsim/pe.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace highlight
@@ -14,6 +16,13 @@ MicroPe::MicroPe(int g0) : g0_(g0)
 }
 
 void
+MicroPe::loadBlock(const float *values, const std::uint8_t *offsets)
+{
+    std::copy(values, values + g0_, a_values_.data());
+    std::copy(offsets, offsets + g0_, a_offsets_.data());
+}
+
+void
 MicroPe::loadBlock(const std::vector<float> &values,
                    const std::vector<std::uint8_t> &offsets)
 {
@@ -21,12 +30,11 @@ MicroPe::loadBlock(const std::vector<float> &values,
         offsets.size() != static_cast<std::size_t>(g0_))
         panic(msgOf("MicroPe::loadBlock: expected exactly ", g0_,
                     " lanes"));
-    a_values_ = values;
-    a_offsets_ = offsets;
+    loadBlock(values.data(), offsets.data());
 }
 
 double
-MicroPe::step(const std::vector<float> &b_block)
+MicroPe::step(const float *b_block, int b_len)
 {
     double psum = 0.0;
     for (int lane = 0; lane < g0_; ++lane) {
@@ -35,9 +43,8 @@ MicroPe::step(const std::vector<float> &b_block)
             a_offsets_[static_cast<std::size_t>(lane)];
         // Rank-0 mux: select the B value at the lane's CP offset.
         ++stats_.mux_selects;
-        const float b = off < b_block.size()
-                            ? b_block[static_cast<std::size_t>(off)]
-                            : 0.0f;
+        const float b =
+            off < b_len ? b_block[static_cast<std::size_t>(off)] : 0.0f;
         if (a == 0.0f || b == 0.0f) {
             // Gating SAF: the MAC stays idle; the cycle is still spent
             // so PEs remain in sync (Sec 6.4).
@@ -48,6 +55,12 @@ MicroPe::step(const std::vector<float> &b_block)
         }
     }
     return psum;
+}
+
+double
+MicroPe::step(const std::vector<float> &b_block)
+{
+    return step(b_block.data(), static_cast<int>(b_block.size()));
 }
 
 } // namespace highlight

@@ -8,6 +8,10 @@
  * selects its B value through the rank-0 mux using the A-side offset,
  * gates when the selected B value (or the lane's A dummy) is zero, and
  * contributes to the PE's partial sum.
+ *
+ * The pointer-based loadBlock/step overloads are the hot-loop entry
+ * points: they never allocate (the G0 lane registers are sized once at
+ * construction).
  */
 
 #ifndef HIGHLIGHT_MICROSIM_PE_HH
@@ -36,16 +40,24 @@ class MicroPe
     explicit MicroPe(int g0);
 
     /**
-     * Load a rank-0 block's stationary operands: up to G0 values with
-     * their intra-block offsets (dummy lanes carry value 0).
+     * Load a rank-0 block's stationary operands: exactly G0 values
+     * with their intra-block offsets (dummy lanes carry value 0).
+     * Allocation free.
      */
+    void loadBlock(const float *values, const std::uint8_t *offsets);
+
+    /** As above from vectors, with a lane-count check. */
     void loadBlock(const std::vector<float> &values,
                    const std::vector<std::uint8_t> &offsets);
 
     /**
-     * Process one step against a dense-expanded B block of H0 values.
-     * Returns the PE's partial-sum contribution.
+     * Process one step against a dense-expanded B block of `b_len`
+     * values (offsets past `b_len` select the dummy zero). Returns the
+     * PE's partial-sum contribution. Allocation free.
      */
+    double step(const float *b_block, int b_len);
+
+    /** As above from a vector. */
     double step(const std::vector<float> &b_block);
 
     const PeStats &stats() const { return stats_; }

@@ -14,11 +14,15 @@ double
 SimResult::speedupVsDense(std::int64_t m, std::int64_t k,
                           std::int64_t n) const
 {
+    // Nothing executed (empty M/N/groups): the ratio is undefined, so
+    // report no speedup instead of dividing by zero.
+    if (stats.cycles == 0)
+        return 0.0;
     // A dense datapath of the same width (G1 PEs x G0 lanes) would
     // need (K / (G1*G0)) steps per (row, column) pair.
     const double g_lanes =
         static_cast<double>(stats.pe.mux_selects) /
-        std::max<std::int64_t>(1, stats.cycles);
+        static_cast<double>(stats.cycles);
     const double dense_steps = static_cast<double>(m) *
                                static_cast<double>(n) *
                                static_cast<double>(k) / g_lanes;
@@ -74,16 +78,20 @@ HighlightSimulator::run(const DenseTensor &a, const HssSpec &a_spec,
     // Compress operand A (validates conformance as a side effect).
     const HierarchicalCpMatrix a_cp(a, a_spec);
 
-    // Build the operand-B GLB stream in (group-major, column-minor)
-    // order so each VFMU shift delivers the H1*H0 values one A group
-    // needs for one output column while A stays stationary.
+    // Build the operand-B GLB stream once, in (group-major,
+    // column-minor) order so each VFMU shift delivers the H1*H0 values
+    // one A group needs for one output column while A stays stationary.
+    // This vector is the GLB backing store for the dense path (exact
+    // reserve, single allocation); the compressed path hands it to the
+    // compressor and streams the packed nonzeros instead.
     std::vector<float> b_stream;
     b_stream.reserve(static_cast<std::size_t>(k * n));
+    const float *b_data = b.data().data();
     for (std::int64_t g = 0; g < groups; ++g) {
         for (std::int64_t col = 0; col < n; ++col) {
             for (std::int64_t kk = g * set_span; kk < (g + 1) * set_span;
                  ++kk) {
-                b_stream.push_back(b.at2(kk, col));
+                b_stream.push_back(b_data[kk * n + col]);
             }
         }
     }
@@ -98,49 +106,64 @@ HighlightSimulator::run(const DenseTensor &a, const HssSpec &a_spec,
         b_comp = std::make_unique<OperandBStream>(
             b_stream.data(), static_cast<std::int64_t>(b_stream.size()),
             h0, h1);
+        // The ordered dense stream was only the compressor's input;
+        // the GLB streams the packed nonzeros, so drop it here rather
+        // than holding both orderings through the whole run.
+        std::vector<float>().swap(b_stream);
     }
+
+    // The GLB holds a non-owning view of the once-built stream (packed
+    // nonzeros when compressed); each output row restreams it via
+    // reset() instead of copying it (the down-sized config has a single
+    // PE row; larger configs amortize the restream across spatial rows).
+    MicroGlb glb(config_.compress_b ? b_comp->valuesData()
+                                    : b_stream.data(),
+                 config_.compress_b ? b_comp->dataWords()
+                                    : static_cast<std::int64_t>(
+                                          b_stream.size()),
+                 config_.glb_row_words);
+    Vfmu vfmu(glb, vfmu_cap);
 
     // The PE array: G1 PEs, each with G0 MAC lanes (Fig 10).
     std::vector<MicroPe> pes;
+    pes.reserve(static_cast<std::size_t>(g1));
     for (int p = 0; p < g1; ++p)
         pes.emplace_back(g0);
 
+    // Scratch for the steady-state loop, sized once: the selected
+    // rank-1 offsets, the current shift's words, and the H1 aligned
+    // blocks as one flat h1*h0 array. Nothing below this point
+    // allocates.
+    std::vector<std::uint8_t> block_offsets(
+        static_cast<std::size_t>(g1));
+    std::vector<float> words(static_cast<std::size_t>(set_span));
+    std::vector<float> blocks(static_cast<std::size_t>(set_span));
+    const float *cp_vals = nullptr;
+    const std::uint8_t *cp_offs0 = nullptr;
+    const std::uint8_t *cp_offs1 = nullptr;
+
     for (std::int64_t row = 0; row < m; ++row) {
         const HierarchicalCpRow &cp = a_cp.row(row);
+        cp_vals = cp.values().data();
+        cp_offs0 = cp.offsets(0).data();
+        cp_offs1 = two_rank ? cp.offsets(1).data() : nullptr;
         // Fresh streaming state per A row: the whole B stream is
-        // re-streamed once per row (the down-sized config has a single
-        // PE row; larger configs amortize this across spatial rows).
-        MicroGlb glb(config_.compress_b
-                         ? std::vector<float>(b_comp->values())
-                         : b_stream,
-                     config_.glb_row_words);
-        Vfmu vfmu(glb, vfmu_cap);
+        // re-streamed once per row.
+        glb.reset();
+        vfmu.reset();
 
         for (std::int64_t g = 0; g < groups; ++g) {
             // Rank-1 skipping SAF: load the G1 selected blocks (real
             // or dummy) stationary into the PEs for this group.
-            std::vector<std::uint8_t> block_offsets(
-                static_cast<std::size_t>(g1));
             for (int p = 0; p < g1; ++p) {
-                const std::size_t entry =
-                    static_cast<std::size_t>(g * g1 + p);
+                const std::int64_t entry = g * g1 + p;
                 block_offsets[static_cast<std::size_t>(p)] =
-                    two_rank ? cp.offsets(1)[entry] : 0;
-                std::vector<float> lane_vals(
-                    static_cast<std::size_t>(g0));
-                std::vector<std::uint8_t> lane_offs(
-                    static_cast<std::size_t>(g0));
+                    two_rank ? cp_offs1[entry] : 0;
+                const float *lane_vals = cp_vals + entry * g0;
+                const std::uint8_t *lane_offs = cp_offs0 + entry * g0;
                 bool all_dummy = true;
-                for (int l = 0; l < g0; ++l) {
-                    const std::size_t vidx = static_cast<std::size_t>(
-                        (g * g1 + p) * g0 + l);
-                    lane_vals[static_cast<std::size_t>(l)] =
-                        cp.values()[vidx];
-                    lane_offs[static_cast<std::size_t>(l)] =
-                        cp.offsets(0)[vidx];
-                    all_dummy = all_dummy &&
-                                cp.values()[vidx] == 0.0f;
-                }
+                for (int l = 0; l < g0; ++l)
+                    all_dummy = all_dummy && lane_vals[l] == 0.0f;
                 pes[static_cast<std::size_t>(p)].loadBlock(lane_vals,
                                                            lane_offs);
                 st.a_words_loaded += g0;
@@ -151,71 +174,58 @@ HighlightSimulator::run(const DenseTensor &a, const HssSpec &a_spec,
             for (std::int64_t col = 0; col < n; ++col) {
                 // VFMU shift for this (group, column) set.
                 const std::int64_t set_idx = g * n + col;
-                std::vector<float> words;
-                std::vector<std::vector<float>> blocks(
-                    static_cast<std::size_t>(h1),
-                    std::vector<float>(static_cast<std::size_t>(h0),
-                                       0.0f));
                 if (config_.compress_b) {
                     const std::int64_t count =
-                        b_comp->setCounts()[static_cast<std::size_t>(
-                            set_idx)];
-                    words = vfmu.readShift(static_cast<int>(count));
+                        b_comp->setCountAt(set_idx);
+                    vfmu.readShift(static_cast<int>(count),
+                                   words.data());
                     // Expand the compressed set back into aligned
                     // blocks using levels 2 and 3 of the metadata.
+                    std::fill(blocks.begin(), blocks.end(), 0.0f);
                     const std::int64_t first_block = set_idx * h1;
                     std::int64_t cursor = 0;
                     for (int j = 0; j < h1; ++j) {
                         const std::int64_t blk = first_block + j;
                         const std::int64_t begin =
-                            blk == 0 ? 0
-                                     : b_comp->blockEnds()
-                                           [static_cast<std::size_t>(
-                                               blk - 1)];
+                            blk == 0 ? 0 : b_comp->blockEndAt(blk - 1);
                         const std::int64_t end =
-                            b_comp->blockEnds()[static_cast<std::size_t>(
-                                blk)];
+                            b_comp->blockEndAt(blk);
+                        float *block_j =
+                            blocks.data() +
+                            static_cast<std::int64_t>(j) * h0;
                         for (std::int64_t i = begin; i < end;
                              ++i, ++cursor) {
-                            const std::uint8_t off =
-                                b_comp->offsets()
-                                    [static_cast<std::size_t>(i)];
-                            blocks[static_cast<std::size_t>(j)]
-                                  [off] = words[static_cast<std::size_t>(
-                                      cursor)];
+                            block_j[b_comp->offsetAt(i)] =
+                                words[static_cast<std::size_t>(cursor)];
                         }
                     }
                 } else {
-                    // Dense B: fixed shift of H1 blocks (H1*H0 words);
-                    // for H1 < Hmax the tail slots would be dummy
-                    // padding never selected by the rank-1 SAF.
-                    words =
-                        vfmu.readShift(static_cast<int>(set_span));
-                    for (int j = 0; j < h1; ++j) {
-                        for (int i = 0; i < h0; ++i) {
-                            blocks[static_cast<std::size_t>(j)]
-                                  [static_cast<std::size_t>(i)] =
-                                words[static_cast<std::size_t>(
-                                    j * h0 + i)];
-                        }
-                    }
+                    // Dense B: fixed shift of H1 blocks (H1*H0 words)
+                    // read straight into the aligned block array; for
+                    // H1 < Hmax the tail slots would be dummy padding
+                    // never selected by the rank-1 SAF.
+                    vfmu.readShift(static_cast<int>(set_span),
+                                   blocks.data());
                 }
 
                 // One processing step: all PEs in parallel, partial
                 // sums spatially accumulated, then one RF update.
                 double psum = 0.0;
                 for (int p = 0; p < g1; ++p) {
-                    const auto &blk = blocks[block_offsets
-                                                 [static_cast<
-                                                     std::size_t>(p)]];
-                    psum += pes[static_cast<std::size_t>(p)].step(blk);
+                    const float *blk =
+                        blocks.data() +
+                        static_cast<std::int64_t>(
+                            block_offsets[static_cast<std::size_t>(p)]) *
+                            h0;
+                    psum += pes[static_cast<std::size_t>(p)].step(blk,
+                                                                  h0);
                 }
                 ++st.cycles;
                 ++st.psum_updates;
-                result.output.set2(
-                    row, col,
-                    result.output.at2(row, col) +
-                        static_cast<float>(psum));
+                const std::int64_t out_idx = row * n + col;
+                result.output.setFlatUnchecked(
+                    out_idx, result.output.atFlatUnchecked(out_idx) +
+                                 static_cast<float>(psum));
             }
         }
 

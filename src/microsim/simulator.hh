@@ -71,7 +71,8 @@ struct SimResult
 
     /**
      * Speedup vs. a dense datapath of the same width: dense block
-     * steps / executed steps.
+     * steps / executed steps. Returns 0 when nothing was executed
+     * (stats.cycles == 0) instead of dividing by zero.
      */
     double speedupVsDense(std::int64_t m, std::int64_t k,
                           std::int64_t n) const;

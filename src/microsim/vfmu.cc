@@ -1,12 +1,16 @@
 #include "microsim/vfmu.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace highlight
 {
 
 Vfmu::Vfmu(MicroGlb &glb, int capacity_words)
-    : glb_(glb), capacity_words_(capacity_words)
+    : glb_(glb), capacity_words_(capacity_words),
+      ring_(static_cast<std::size_t>(std::max(capacity_words, 0))),
+      row_scratch_(static_cast<std::size_t>(glb.rowWords()))
 {
     if (capacity_words_ < glb_.rowWords())
         fatal(msgOf("Vfmu: capacity ", capacity_words_,
@@ -15,30 +19,46 @@ Vfmu::Vfmu(MicroGlb &glb, int capacity_words)
 }
 
 void
+Vfmu::reset()
+{
+    head_ = 0;
+    size_ = 0;
+    next_row_ = 0;
+    stats_ = VfmuStats{};
+}
+
+void
 Vfmu::ensure(int need)
 {
-    if (static_cast<int>(buffer_.size()) >= need) {
+    if (size_ >= need) {
         // Enough valid entries: the GLB fetch for this step is skipped
         // (Fig 12(b) step 2).
         ++stats_.skipped_fetches;
         return;
     }
-    while (static_cast<int>(buffer_.size()) < need &&
-           next_row_ < glb_.numRows()) {
-        if (static_cast<int>(buffer_.size()) + glb_.rowWords() >
-            capacity_words_) {
+    const int row_words = glb_.rowWords();
+    while (size_ < need && next_row_ < glb_.numRows()) {
+        if (size_ + row_words > capacity_words_) {
             panic(msgOf("Vfmu: refill would exceed capacity ",
-                        capacity_words_, " (buffered ", buffer_.size(),
-                        ", row ", glb_.rowWords(), ")"));
+                        capacity_words_, " (buffered ", size_, ", row ",
+                        row_words, ")"));
         }
-        for (float v : glb_.fetchRow(next_row_))
-            buffer_.push_back(v);
+        glb_.fetchRowInto(next_row_, row_scratch_.data());
+        // Append the row at the ring tail, split across the wrap.
+        const int tail = (head_ + size_) % capacity_words_;
+        const int first =
+            std::min(row_words, capacity_words_ - tail);
+        std::copy(row_scratch_.data(), row_scratch_.data() + first,
+                  ring_.data() + tail);
+        std::copy(row_scratch_.data() + first,
+                  row_scratch_.data() + row_words, ring_.data());
+        size_ += row_words;
         ++next_row_;
     }
 }
 
-std::vector<float>
-Vfmu::readShift(int count)
+int
+Vfmu::readShift(int count, float *out)
 {
     if (count < 0)
         panic("Vfmu::readShift: negative count");
@@ -47,20 +67,30 @@ Vfmu::readShift(int count)
                     " exceeds buffer capacity ", capacity_words_));
     ensure(count);
     ++stats_.shifts;
-    std::vector<float> out;
-    out.reserve(static_cast<std::size_t>(count));
-    for (int i = 0; i < count && !buffer_.empty(); ++i) {
-        out.push_back(buffer_.front());
-        buffer_.pop_front();
-    }
-    stats_.words_out += static_cast<std::int64_t>(out.size());
+    const int take = std::min(count, size_);
+    const int first = std::min(take, capacity_words_ - head_);
+    std::copy(ring_.data() + head_, ring_.data() + head_ + first, out);
+    std::copy(ring_.data(), ring_.data() + (take - first), out + first);
+    head_ = (head_ + take) % capacity_words_;
+    size_ -= take;
+    stats_.words_out += take;
+    return take;
+}
+
+std::vector<float>
+Vfmu::readShift(int count)
+{
+    std::vector<float> out(
+        static_cast<std::size_t>(std::max(count, 0)));
+    const int got = readShift(count, out.data());
+    out.resize(static_cast<std::size_t>(got));
     return out;
 }
 
 bool
 Vfmu::exhausted() const
 {
-    return buffer_.empty() && next_row_ >= glb_.numRows();
+    return size_ == 0 && next_row_ >= glb_.numRows();
 }
 
 } // namespace highlight

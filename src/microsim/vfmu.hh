@@ -13,13 +13,17 @@
  *    Fig 11), output padded with dummy blocks up to Hmax blocks;
  *  - compressed operand B: shift = the per-set nonzero count encoded
  *    in the level-1 metadata (Fig 12(b)).
+ *
+ * The buffer is a flat ring of `capacity_words` floats, sized once at
+ * construction; refills and shifts never allocate, matching the fixed
+ * SRAM the unit models. `reset()` rewinds the stream for the next
+ * restreaming pass over the same GLB image.
  */
 
 #ifndef HIGHLIGHT_MICROSIM_VFMU_HH
 #define HIGHLIGHT_MICROSIM_VFMU_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "microsim/glb.hh"
@@ -36,7 +40,7 @@ struct VfmuStats
 };
 
 /**
- * The VFMU streaming buffer.
+ * The VFMU streaming buffer (a fixed-capacity ring).
  */
 class Vfmu
 {
@@ -50,16 +54,24 @@ class Vfmu
 
     /**
      * Read `count` words off the stream head (the configured shift for
-     * this step), refilling from the GLB beforehand only if needed.
-     * Returns the words; fewer only at end-of-stream.
+     * this step) into `out`, refilling from the GLB beforehand only if
+     * needed. Returns the number of words written; fewer than `count`
+     * only at end-of-stream. Allocation free.
      */
+    int readShift(int count, float *out);
+
+    /** As above, returning a fresh vector (tests only). */
     std::vector<float> readShift(int count);
 
+    /**
+     * Rewind to the start of the GLB stream and drop buffered words,
+     * for the next restreaming pass. Counters are zeroed so per-pass
+     * activity can be folded by the caller.
+     */
+    void reset();
+
     /** Valid words currently buffered. */
-    int validWords() const
-    {
-        return static_cast<int>(buffer_.size());
-    }
+    int validWords() const { return size_; }
 
     /** True when the stream and buffer are exhausted. */
     bool exhausted() const;
@@ -72,7 +84,10 @@ class Vfmu
 
     MicroGlb &glb_;
     int capacity_words_;
-    std::deque<float> buffer_;
+    std::vector<float> ring_;        ///< Flat ring storage.
+    std::vector<float> row_scratch_; ///< One aligned GLB row.
+    int head_ = 0;                   ///< Ring index of the oldest word.
+    int size_ = 0;                   ///< Valid words buffered.
     std::int64_t next_row_ = 0;
     VfmuStats stats_;
 };

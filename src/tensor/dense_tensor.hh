@@ -50,6 +50,19 @@ class DenseTensor
     float atFlat(std::int64_t flat) const;
     void setFlat(std::int64_t flat, float value);
 
+    /**
+     * Unchecked flat access for hot loops (the micro-simulator's
+     * output accumulation): the caller guarantees 0 <= flat < numel().
+     */
+    float atFlatUnchecked(std::int64_t flat) const
+    {
+        return data_[static_cast<std::size_t>(flat)];
+    }
+    void setFlatUnchecked(std::int64_t flat, float value)
+    {
+        data_[static_cast<std::size_t>(flat)] = value;
+    }
+
     /** 2-D convenience accessors (valid only for rank-2 tensors). */
     float at2(std::int64_t row, std::int64_t col) const;
     void set2(std::int64_t row, std::int64_t col, float value);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 
 #include "common/logging.hh"
@@ -78,6 +79,54 @@ TEST(Vfmu, RejectsShiftBeyondCapacity)
     MicroGlb glb(data, 16);
     Vfmu vfmu(glb, 16);
     EXPECT_THROW(vfmu.readShift(17), FatalError);
+}
+
+TEST(Vfmu, RingWrapAroundDeliversStreamInOrder)
+{
+    // Capacity 28 with 16-word rows and shifts of 12: neither divides
+    // the capacity, so successive refills and reads land on every
+    // alignment and repeatedly wrap around the ring end. Every word
+    // must still come out in stream order.
+    std::vector<float> data(96);
+    for (int i = 0; i < 96; ++i)
+        data[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+    MicroGlb glb(data, 16);
+    Vfmu vfmu(glb, 28);
+    float next = 1.0f;
+    for (int s = 0; s < 8; ++s) {
+        const auto words = vfmu.readShift(12);
+        ASSERT_EQ(words.size(), 12u) << "shift " << s;
+        for (float w : words)
+            EXPECT_FLOAT_EQ(w, next++) << "shift " << s;
+    }
+    EXPECT_TRUE(vfmu.exhausted());
+}
+
+TEST(Vfmu, RefillExceedingCapacityPanics)
+{
+    // Capacity = one row: 13 buffered words + a 16-word refill cannot
+    // fit, which models an undersized physical buffer.
+    std::vector<float> data(64, 1.0f);
+    MicroGlb glb(data, 16);
+    Vfmu vfmu(glb, 16);
+    (void)vfmu.readShift(3); // buffer now holds 13 words
+    EXPECT_THROW(vfmu.readShift(14), PanicError);
+}
+
+TEST(Vfmu, ResetRestreamsFromTheTop)
+{
+    std::vector<float> data(32);
+    for (int i = 0; i < 32; ++i)
+        data[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+    MicroGlb glb(data, 16);
+    Vfmu vfmu(glb, 32);
+    (void)vfmu.readShift(20);
+    vfmu.reset();
+    EXPECT_EQ(vfmu.validWords(), 0);
+    EXPECT_EQ(vfmu.stats().shifts, 0);
+    const auto again = vfmu.readShift(4);
+    ASSERT_EQ(again.size(), 4u);
+    EXPECT_FLOAT_EQ(again[0], 1.0f); // back at the stream head
 }
 
 TEST(Vfmu, ExhaustionAtStreamEnd)
@@ -170,6 +219,92 @@ INSTANTIATE_TEST_SUITE_P(
     DegreesAndModes, SimCorrectness,
     ::testing::Combine(::testing::Range<std::size_t>(0, 12),
                        ::testing::Bool()));
+
+TEST(Simulator, SpeedupVsDenseIsZeroWhenNothingExecuted)
+{
+    // A result whose stats recorded zero cycles (nothing executed):
+    // the speedup ratio is undefined and must not become inf/NaN.
+    SimResult empty{DenseTensor(TensorShape({{"M", 1}, {"N", 1}})), {}};
+    const double s = empty.speedupVsDense(1, 16, 1);
+    EXPECT_EQ(s, 0.0);
+    EXPECT_FALSE(std::isnan(s));
+}
+
+/**
+ * Golden SimStats fixture: every counter (and the exact output sum)
+ * pinned for compress_b on/off x 1-rank/2-rank specs. The values were
+ * captured from the pre-ring-buffer reference implementation; the
+ * zero-allocation steady-state loop must reproduce them bit-exactly.
+ */
+struct GoldenStats
+{
+    const char *name;
+    bool two_rank;
+    bool compress_b;
+    std::int64_t cycles, a_words, psum, dummy;
+    std::int64_t glb_fetches, glb_words;
+    std::int64_t vfmu_shifts, vfmu_skipped, vfmu_words;
+    std::int64_t mac, gated, mux;
+    double out_sum; // exact double sum of the output elements
+};
+
+class SimGolden : public ::testing::TestWithParam<GoldenStats>
+{
+};
+
+TEST_P(SimGolden, EveryCounterMatchesTheReferenceImplementation)
+{
+    const GoldenStats &g = GetParam();
+    const HssSpec spec =
+        g.two_rank ? HssSpec({GhPattern(2, 4), GhPattern(2, 4)})
+                   : HssSpec({GhPattern(2, 4)});
+    Rng rng_a(101), rng_b(202);
+    const std::int64_t m = 3;
+    const std::int64_t k = spec.totalSpan() * 4;
+    const std::int64_t n = 6;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng_a), spec);
+    const auto b =
+        g.compress_b
+            ? randomUnstructured(TensorShape({{"K", k}, {"N", n}}), 0.6,
+                                 rng_b)
+            : randomDense(TensorShape({{"K", k}, {"N", n}}), rng_b);
+    MicrosimConfig cfg;
+    cfg.compress_b = g.compress_b;
+    const auto r = HighlightSimulator(cfg).run(a, spec, b);
+    const SimStats &s = r.stats;
+    EXPECT_EQ(s.cycles, g.cycles);
+    EXPECT_EQ(s.a_words_loaded, g.a_words);
+    EXPECT_EQ(s.psum_updates, g.psum);
+    EXPECT_EQ(s.dummy_blocks, g.dummy);
+    EXPECT_EQ(s.glb_b.row_fetches, g.glb_fetches);
+    EXPECT_EQ(s.glb_b.words_read, g.glb_words);
+    EXPECT_EQ(s.vfmu.shifts, g.vfmu_shifts);
+    EXPECT_EQ(s.vfmu.skipped_fetches, g.vfmu_skipped);
+    EXPECT_EQ(s.vfmu.words_out, g.vfmu_words);
+    EXPECT_EQ(s.pe.mac_ops, g.mac);
+    EXPECT_EQ(s.pe.gated_macs, g.gated);
+    EXPECT_EQ(s.pe.mux_selects, g.mux);
+    double sum = 0.0;
+    for (float v : r.output.data())
+        sum += static_cast<double>(v);
+    EXPECT_EQ(sum, g.out_sum); // bit-exact, not approximate
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, SimGolden,
+    ::testing::Values(
+        GoldenStats{"one_rank_dense_b", false, false, 72, 24, 72, 0,
+                    18, 288, 72, 54, 288, 144, 0, 144, 0x1.e3b34a8p+2},
+        GoldenStats{"one_rank_comp_b", false, true, 72, 24, 72, 0, 9,
+                    144, 72, 63, 114, 58, 86, 144, 0x1.b637fbp+2},
+        GoldenStats{"two_rank_dense_b", true, false, 72, 48, 72, 0, 72,
+                    1152, 72, 0, 1152, 288, 0, 288, 0x1.a859ffep+5},
+        GoldenStats{"two_rank_comp_b", true, true, 72, 48, 72, 0, 30,
+                    480, 72, 42, 462, 112, 176, 288, 0x1.d43348bp+3}),
+    [](const ::testing::TestParamInfo<GoldenStats> &info) {
+        return info.param.name;
+    });
 
 TEST(Simulator, SpeedupMatchesInverseDensity)
 {
