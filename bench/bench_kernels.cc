@@ -25,6 +25,7 @@
 #include "format/hierarchical_cp.hh"
 #include "microsim/simulator.hh"
 #include "microsim/vfmu.hh"
+#include "runtime/thread_pool.hh"
 #include "runtime_flags.hh"
 #include "sparsity/sparsify.hh"
 #include "tensor/generator.hh"
@@ -106,6 +107,9 @@ BENCHMARK(BM_AnalyticalEvaluate);
 void
 BM_Microsim(benchmark::State &state)
 {
+    // Pinned to one thread: this is the historical single-thread
+    // trajectory row (thread scaling is BM_MicrosimFig16's job).
+    ThreadPool::setGlobalThreads(1);
     Rng rng(7);
     const std::int64_t k = benchSpec().totalSpan() *
                            static_cast<std::int64_t>(state.range(0));
@@ -125,12 +129,16 @@ BENCHMARK(BM_Microsim)->Arg(2)->Arg(8);
  * Fig16-sized microsim run: the Sec 6.4 validation config (75% sparse
  * A under C1(4:8)->C0(2:4)), sized so one iteration covers 131072
  * processing steps. This is the number the tentpole perf work is
- * measured on.
+ * measured on; the second argument pins the runtime pool so the JSON
+ * artifact records both the 1-thread and the N-thread trajectory
+ * (outputs and counters are byte-identical across the two — only the
+ * wall clock moves).
  */
 void
 BM_MicrosimFig16(benchmark::State &state)
 {
     const bool compress_b = state.range(0) != 0;
+    ThreadPool::setGlobalThreads(static_cast<int>(state.range(1)));
     Rng rng_a(42), rng_b(7);
     const std::int64_t m = 32, k = 1024, n = 128;
     const auto a = hssSparsify(
@@ -147,11 +155,15 @@ BM_MicrosimFig16(benchmark::State &state)
         benchmark::DoNotOptimize(r.stats.cycles);
     }
     state.SetItemsProcessed(state.iterations() * m * (k / 32) * n);
+    ThreadPool::setGlobalThreads(1);
 }
+// UseRealTime: the work runs on pool threads, so rate counters must
+// come from wall time — CPU time of the benchmark thread would report
+// a phantom ~threads-fold items/s inflation.
 BENCHMARK(BM_MicrosimFig16)
-    ->Arg(0)
-    ->Arg(1)
-    ->ArgName("compress_b")
+    ->ArgsProduct({{0, 1}, {1, 4}})
+    ->ArgNames({"compress_b", "threads"})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /** The VFMU ring buffer alone: variable shifts over aligned rows. */

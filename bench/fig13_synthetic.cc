@@ -20,8 +20,7 @@ main(int argc, char **argv)
 {
     using namespace highlight;
 
-    const bool serial_only = parseSerialFlag(argc, argv);
-    ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
+    configureRuntimeThreads(argc, argv);
     const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     Evaluator ev;

@@ -48,8 +48,8 @@ main(int argc, char **argv)
 {
     using namespace highlight;
 
-    const bool serial_only = parseSerialFlag(argc, argv);
-    ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
+    const DriverThreads threads = configureTimedDriverThreads(argc, argv);
+    const bool serial_only = threads.serial_only;
     const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     // --cache-file makes the eval cache persistent: the first run
@@ -164,7 +164,7 @@ main(int argc, char **argv)
     const WallTimer serial_timer;
     const EvalMatrix serial_matrix(ev_serial, designs, suite);
     const double serial_seconds = serial_timer.seconds();
-    ThreadPool::setGlobalThreads(0);
+    ThreadPool::setGlobalThreads(threads.requested);
     const bool identical =
         bitIdentical(matrix.flat(), serial_matrix.flat());
     if (stats.misses == 0 && stats.hits > 0) {

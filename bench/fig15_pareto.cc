@@ -248,9 +248,9 @@ prunedModelSweep(const Evaluator &ev, const DesignSpaceExplorer &ex,
 int
 main(int argc, char **argv)
 {
-    const bool serial_only = parseSerialFlag(argc, argv);
+    const DriverThreads threads = configureTimedDriverThreads(argc, argv);
+    const bool serial_only = threads.serial_only;
     const bool prune = parseFlag(argc, argv, "--prune");
-    ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
     const std::string json_path = parseOptionValue(argc, argv, "--json");
     const std::string frontier_path =
         parseOptionValue(argc, argv, "--frontier-json");
@@ -342,7 +342,7 @@ main(int argc, char **argv)
     const WallTimer serial_timer;
     const auto serial_results = sweepAll(ev_serial);
     const double serial_seconds = serial_timer.seconds();
-    ThreadPool::setGlobalThreads(0);
+    ThreadPool::setGlobalThreads(threads.requested);
     const bool identical = bitIdentical(results, serial_results);
     std::cout << "[runtime] parallel sweep: "
               << TextTable::fmt(sweep_seconds * 1e3, 2)

@@ -17,7 +17,7 @@ main(int argc, char **argv)
 {
     using namespace highlight;
 
-    ThreadPool::setGlobalThreads(parseSerialFlag(argc, argv) ? 1 : 0);
+    configureRuntimeThreads(argc, argv);
     const std::string json_path =
         parseOptionValue(argc, argv, "--json");
 

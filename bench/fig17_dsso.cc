@@ -37,9 +37,8 @@ main(int argc, char **argv)
 {
     using namespace highlight;
 
-    const bool serial_only = parseSerialFlag(argc, argv);
     const bool prune = parseFlag(argc, argv, "--prune");
-    ThreadPool::setGlobalThreads(serial_only ? 1 : 0);
+    configureRuntimeThreads(argc, argv);
     const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     Evaluator ev;

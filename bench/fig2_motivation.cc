@@ -68,7 +68,7 @@ runModel(const Evaluator &ev, const DnnModel &model, DnnName nm,
 int
 main(int argc, char **argv)
 {
-    ThreadPool::setGlobalThreads(parseSerialFlag(argc, argv) ? 1 : 0);
+    configureRuntimeThreads(argc, argv);
     const std::string json_path =
         parseOptionValue(argc, argv, "--json");
 

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
+#include "common/logging.hh"
 #include "core/evaluator.hh"
 #include "runtime/thread_pool.hh"
 
@@ -79,15 +81,87 @@ parseSerialFlag(int argc, char **argv)
     return parseFlag(argc, argv, "--serial");
 }
 
-/** Value of `<flag> PATH` (e.g. --json out.json); "" when absent. */
+/**
+ * Value of `<flag> PATH` or `<flag>=PATH` (e.g. --json out.json,
+ * --json=out.json); "" when absent or given with an empty value.
+ */
 inline std::string
 parseOptionValue(int argc, char **argv, const char *flag)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0)
+    const std::size_t flag_len = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
             return argv[i + 1];
+        if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+            argv[i][flag_len] == '=')
+            return argv[i] + flag_len + 1;
     }
     return "";
+}
+
+/**
+ * Thread count requested on the command line: `--serial` pins one
+ * thread, `--threads N` pins N (strictly parsed, like the
+ * HIGHLIGHT_THREADS env knob), otherwise 0 = default resolution (env
+ * override, else hardware concurrency). A malformed `--threads` value
+ * is a user error and fatal — a driver silently falling back would
+ * make a "parallel" measurement on the wrong pool size.
+ */
+inline int
+parseThreadsFlag(int argc, char **argv)
+{
+    // `--threads N` / `--threads=N`; a bare or empty `--threads` is
+    // fatal: silently running default-parallel on a typo would be the
+    // exact wrong-pool-size measurement this parser exists to
+    // prevent.
+    const std::string v = parseOptionValue(argc, argv, "--threads");
+    int requested = 0;
+    if (!v.empty()) {
+        long long threads = 0;
+        if (!parsePositiveInt(v.c_str(), 4096, &threads))
+            fatal(msgOf("--threads ", v,
+                        ": expected a positive integer <= 4096"));
+        requested = static_cast<int>(threads);
+    } else if (parseFlag(argc, argv, "--threads") ||
+               parseFlag(argc, argv, "--threads=")) {
+        fatal("--threads requires a value");
+    }
+    if (parseSerialFlag(argc, argv)) {
+        if (requested > 1)
+            fatal(msgOf("--serial contradicts --threads ", requested));
+        return 1;
+    }
+    return requested;
+}
+
+/** Apply `--serial` / `--threads N` to the global runtime pool. */
+inline void
+configureRuntimeThreads(int argc, char **argv)
+{
+    ThreadPool::setGlobalThreads(parseThreadsFlag(argc, argv));
+}
+
+/**
+ * Resolved thread policy for the drivers that time a parallel-vs-
+ * serial pass (fig14, fig15): both `--serial` and `--threads 1` pin
+ * one thread AND skip the timing pass (comparing a 1-thread pool
+ * against itself is meaningless). After the serial timing leg, the
+ * driver restores the pool with setGlobalThreads(requested).
+ */
+struct DriverThreads
+{
+    int requested = 0;        ///< setGlobalThreads argument (0 = default).
+    bool serial_only = false; ///< Skip the parallel-vs-serial pass.
+};
+
+inline DriverThreads
+configureTimedDriverThreads(int argc, char **argv)
+{
+    DriverThreads t;
+    t.requested = parseThreadsFlag(argc, argv);
+    t.serial_only = t.requested == 1;
+    ThreadPool::setGlobalThreads(t.requested);
+    return t;
 }
 
 /** A quoted JSON string (escapes backslash and double-quote). */

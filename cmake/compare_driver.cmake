@@ -1,8 +1,8 @@
-# Smoke-compare a figure driver: run it in parallel mode and with
-# --serial, then byte-compare the two --json dumps. The dumps print
-# doubles at max_digits10, so identical files <=> bit-identical
-# results — this is the ctest-level serial-vs-parallel determinism
-# check for every sweep driver.
+# Smoke-compare a figure driver: run it in parallel mode, with
+# --serial, and pinned to --threads 2, then byte-compare the three
+# --json dumps. The dumps print doubles at max_digits10, so identical
+# files <=> bit-identical results — this is the ctest-level
+# thread-count determinism check for every sweep driver.
 #
 # Usage:
 #   cmake -DDRIVER=<exe> -DOUTDIR=<dir> -DNAME=<tag> -P compare_driver.cmake
@@ -15,6 +15,7 @@ endforeach()
 
 set(par_json "${OUTDIR}/${NAME}_parallel.json")
 set(ser_json "${OUTDIR}/${NAME}_serial.json")
+set(two_json "${OUTDIR}/${NAME}_threads2.json")
 
 execute_process(COMMAND "${DRIVER}" --json "${par_json}"
                 RESULT_VARIABLE par_rc OUTPUT_QUIET)
@@ -28,17 +29,25 @@ if(NOT ser_rc EQUAL 0)
   message(FATAL_ERROR "${NAME}: --serial run failed (rc=${ser_rc})")
 endif()
 
-foreach(f "${par_json}" "${ser_json}")
+execute_process(COMMAND "${DRIVER}" --threads 2 --json "${two_json}"
+                RESULT_VARIABLE two_rc OUTPUT_QUIET)
+if(NOT two_rc EQUAL 0)
+  message(FATAL_ERROR "${NAME}: --threads 2 run failed (rc=${two_rc})")
+endif()
+
+foreach(f "${par_json}" "${ser_json}" "${two_json}")
   if(NOT EXISTS "${f}")
     message(FATAL_ERROR "${NAME}: missing JSON dump ${f}")
   endif()
 endforeach()
 
-execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
-                        "${par_json}" "${ser_json}"
-                RESULT_VARIABLE differ)
-if(NOT differ EQUAL 0)
-  message(FATAL_ERROR
-          "${NAME}: parallel and serial JSON dumps differ — the "
-          "bit-identical serial-vs-parallel guarantee is broken")
-endif()
+foreach(variant "${ser_json}" "${two_json}")
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${par_json}" "${variant}"
+                  RESULT_VARIABLE differ)
+  if(NOT differ EQUAL 0)
+    message(FATAL_ERROR
+            "${NAME}: ${variant} differs from the parallel dump — the "
+            "bit-identical any-thread-count guarantee is broken")
+  endif()
+endforeach()

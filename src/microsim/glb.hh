@@ -28,6 +28,14 @@ struct GlbStats
 {
     std::int64_t row_fetches = 0; ///< Aligned row-fetch events.
     std::int64_t words_read = 0;  ///< Data words delivered.
+
+    /** Fold another counter block in (all counters are additive). */
+    void
+    accumulate(const GlbStats &other)
+    {
+        row_fetches += other.row_fetches;
+        words_read += other.words_read;
+    }
 };
 
 /**
@@ -48,7 +56,8 @@ class MicroGlb
 
     /**
      * Convenience owning constructor (tests, walkthroughs): copies the
-     * stream into internal storage and views that.
+     * stream into internal storage and views that. Enforces the same
+     * invariants as the view constructor.
      */
     MicroGlb(std::vector<float> data, int row_words);
 
@@ -64,9 +73,13 @@ class MicroGlb
     /**
      * Fetch aligned row `row` into `out` (exactly rowWords() words,
      * zero-padded past the stream end). Counts the access. Allocation
-     * free: this is the hot-loop entry point.
+     * free: this is the hot-loop entry point. Returns the number of
+     * real stream words in the row (< rowWords() only for the final
+     * partial row), so the consumer can tell data from padding — a
+     * truncated stream must surface as a short read downstream, not
+     * as phantom zeros.
      */
-    void fetchRowInto(std::int64_t row, float *out);
+    int fetchRowInto(std::int64_t row, float *out);
 
     /** As fetchRowInto, returning a fresh vector (tests only). */
     std::vector<float> fetchRow(std::int64_t row);
@@ -78,6 +91,9 @@ class MicroGlb
     const GlbStats &stats() const { return stats_; }
 
   private:
+    /** Invariants shared by both constructors. */
+    void validate() const;
+
     std::vector<float> owned_; ///< Backing store for the owning ctor.
     const float *data_ = nullptr;
     std::int64_t len_ = 0;

@@ -29,6 +29,15 @@ struct PeStats
     std::int64_t mac_ops = 0;     ///< Effectual multiply-accumulates.
     std::int64_t gated_macs = 0;  ///< Lanes gated (zero operand).
     std::int64_t mux_selects = 0; ///< Rank-0 mux selections.
+
+    /** Fold another counter block in (all counters are additive). */
+    void
+    accumulate(const PeStats &other)
+    {
+        mac_ops += other.mac_ops;
+        gated_macs += other.gated_macs;
+        mux_selects += other.mux_selects;
+    }
 };
 
 /**
@@ -61,6 +70,13 @@ class MicroPe
     double step(const std::vector<float> &b_block);
 
     const PeStats &stats() const { return stats_; }
+
+    /**
+     * Zero the activity counters (stationary operands are untouched),
+     * so callers can fold per-pass deltas like the GLB/VFMU resets do.
+     */
+    void resetStats() { stats_ = PeStats{}; }
+
     int g0() const { return g0_; }
 
   private:

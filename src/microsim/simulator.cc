@@ -6,9 +6,22 @@
 #include "common/logging.hh"
 #include "format/hierarchical_cp.hh"
 #include "format/operand_b.hh"
+#include "runtime/thread_pool.hh"
 
 namespace highlight
 {
+
+void
+SimStats::accumulate(const SimStats &other)
+{
+    cycles += other.cycles;
+    a_words_loaded += other.a_words_loaded;
+    psum_updates += other.psum_updates;
+    dummy_blocks += other.dummy_blocks;
+    glb_b.accumulate(other.glb_b);
+    vfmu.accumulate(other.vfmu);
+    pe.accumulate(other.pe);
+}
 
 double
 SimResult::speedupVsDense(std::int64_t m, std::int64_t k,
@@ -27,6 +40,181 @@ SimResult::speedupVsDense(std::int64_t m, std::int64_t k,
                                static_cast<double>(n) *
                                static_cast<double>(k) / g_lanes;
     return dense_steps / static_cast<double>(stats.cycles);
+}
+
+std::vector<float>
+buildOrderedBStream(const DenseTensor &b, std::int64_t set_span)
+{
+    if (b.shape().rank() != 2)
+        fatal("buildOrderedBStream: operand B must be rank-2");
+    const std::int64_t k = b.shape().dim(0).extent;
+    const std::int64_t n = b.shape().dim(1).extent;
+    if (set_span < 1 || k % set_span != 0)
+        fatal(msgOf("buildOrderedBStream: K=", k,
+                    " not divisible by set span ", set_span));
+    const std::int64_t groups = k / set_span;
+    // Exact reserve: one allocation for the whole stream.
+    std::vector<float> stream;
+    stream.reserve(static_cast<std::size_t>(k * n));
+    const float *b_data = b.data().data();
+    for (std::int64_t g = 0; g < groups; ++g) {
+        for (std::int64_t col = 0; col < n; ++col) {
+            for (std::int64_t kk = g * set_span;
+                 kk < (g + 1) * set_span; ++kk) {
+                stream.push_back(b_data[kk * n + col]);
+            }
+        }
+    }
+    return stream;
+}
+
+namespace
+{
+
+/**
+ * Cold path of the short-read check: building the message costs an
+ * ostringstream, which must stay out of the steady-state loop body.
+ */
+[[noreturn]] __attribute__((noinline)) void
+truncatedStream(std::int64_t set_idx, std::int64_t need,
+                std::int64_t got)
+{
+    panic(msgOf("RowWorker: truncated operand-B stream — set ",
+                set_idx, " needs ", need, " words, got ", got));
+}
+
+} // namespace
+
+RowWorker::RowWorker(const SimContext &ctx)
+    : ctx_(ctx), glb_(ctx.stream, ctx.stream_len, ctx.glb_row_words),
+      vfmu_(glb_, ctx.vfmu_capacity)
+{
+    const std::size_t set_span =
+        static_cast<std::size_t>(ctx_.h0) * static_cast<std::size_t>(ctx_.h1);
+    pes_.reserve(static_cast<std::size_t>(ctx_.g1));
+    for (int p = 0; p < ctx_.g1; ++p)
+        pes_.emplace_back(ctx_.g0);
+    block_offsets_.assign(static_cast<std::size_t>(ctx_.g1), 0);
+    words_.assign(set_span, 0.0f);
+    blocks_.assign(set_span, 0.0f);
+}
+
+void
+RowWorker::runRow(std::int64_t row, DenseTensor &out)
+{
+    const HierarchicalCpRow &cp = ctx_.a_cp->row(row);
+    const float *cp_vals = cp.values().data();
+    const std::uint8_t *cp_offs0 = cp.offsets(0).data();
+    const std::uint8_t *cp_offs1 =
+        ctx_.two_rank ? cp.offsets(1).data() : nullptr;
+    const int g0 = ctx_.g0, g1 = ctx_.g1, h0 = ctx_.h0, h1 = ctx_.h1;
+    const std::int64_t n = ctx_.n;
+    const std::int64_t set_span =
+        static_cast<std::int64_t>(h0) * h1;
+    const OperandBStream *const bc = ctx_.b_comp;
+    const bool compress_b = bc != nullptr;
+
+    // Fresh streaming state per A row: the whole B stream is
+    // re-streamed once per row. Component counters restart at zero so
+    // the per-row activity can be folded below.
+    glb_.reset();
+    vfmu_.reset();
+    for (auto &pe : pes_)
+        pe.resetStats();
+
+    for (std::int64_t g = 0; g < ctx_.groups; ++g) {
+        // Rank-1 skipping SAF: load the G1 selected blocks (real or
+        // dummy) stationary into the PEs for this group.
+        for (int p = 0; p < g1; ++p) {
+            const std::int64_t entry = g * g1 + p;
+            block_offsets_[static_cast<std::size_t>(p)] =
+                ctx_.two_rank ? cp_offs1[entry] : 0;
+            const float *lane_vals = cp_vals + entry * g0;
+            const std::uint8_t *lane_offs = cp_offs0 + entry * g0;
+            bool all_dummy = true;
+            for (int l = 0; l < g0; ++l)
+                all_dummy = all_dummy && lane_vals[l] == 0.0f;
+            pes_[static_cast<std::size_t>(p)].loadBlock(lane_vals,
+                                                        lane_offs);
+            stats_.a_words_loaded += g0;
+            if (all_dummy)
+                ++stats_.dummy_blocks;
+        }
+
+        for (std::int64_t col = 0; col < n; ++col) {
+            // VFMU shift for this (group, column) set.
+            const std::int64_t set_idx = g * n + col;
+            if (compress_b) {
+                const std::int64_t count = bc->setCountAt(set_idx);
+                const int got = vfmu_.readShift(
+                    static_cast<int>(count), words_.data());
+                if (got != count)
+                    truncatedStream(set_idx, count, got);
+                // Expand only the G1 blocks the rank-1 SAF selected
+                // for this group, straight from the level-2/3
+                // metadata: each selected block is zeroed (H0 words)
+                // and scattered just before the PEs read it, so no
+                // all-zero invariant — and no per-step std::fill over
+                // the whole H1*H0 array — is needed. The H1-G1
+                // unselected blocks, which the old code zeroed and
+                // scattered every step, are never touched: no PE
+                // reads them.
+                const std::int64_t first_block = set_idx * h1;
+                const std::int64_t set_start =
+                    first_block == 0 ? 0
+                                     : bc->blockEndAt(first_block - 1);
+                for (int p = 0; p < g1; ++p) {
+                    const int j = static_cast<int>(
+                        block_offsets_[static_cast<std::size_t>(p)]);
+                    const std::int64_t blk = first_block + j;
+                    const std::int64_t begin =
+                        blk == 0 ? 0 : bc->blockEndAt(blk - 1);
+                    const std::int64_t end = bc->blockEndAt(blk);
+                    float *block_j =
+                        blocks_.data() +
+                        static_cast<std::int64_t>(j) * h0;
+                    std::fill(block_j, block_j + h0, 0.0f);
+                    for (std::int64_t i = begin; i < end; ++i) {
+                        block_j[bc->offsetAt(i)] = words_
+                            [static_cast<std::size_t>(i - set_start)];
+                    }
+                }
+            } else {
+                // Dense B: fixed shift of H1 blocks (H1*H0 words)
+                // read straight into the aligned block array; for
+                // H1 < Hmax the tail slots would be dummy padding
+                // never selected by the rank-1 SAF.
+                const int got = vfmu_.readShift(
+                    static_cast<int>(set_span), blocks_.data());
+                if (got != set_span)
+                    truncatedStream(set_idx, set_span, got);
+            }
+
+            // One processing step: all PEs in parallel, partial sums
+            // spatially accumulated, then one RF update.
+            double psum = 0.0;
+            for (int p = 0; p < g1; ++p) {
+                const float *blk =
+                    blocks_.data() +
+                    static_cast<std::int64_t>(
+                        block_offsets_[static_cast<std::size_t>(p)]) *
+                        h0;
+                psum += pes_[static_cast<std::size_t>(p)].step(blk, h0);
+            }
+            ++stats_.cycles;
+            ++stats_.psum_updates;
+            const std::int64_t out_idx = row * n + col;
+            out.setFlatUnchecked(out_idx,
+                                 out.atFlatUnchecked(out_idx) +
+                                     static_cast<float>(psum));
+        }
+    }
+
+    // Fold this row's component activity into the worker aggregate.
+    stats_.glb_b.accumulate(glb_.stats());
+    stats_.vfmu.accumulate(vfmu_.stats());
+    for (const auto &pe : pes_)
+        stats_.pe.accumulate(pe.stats());
 }
 
 HighlightSimulator::HighlightSimulator(MicrosimConfig config)
@@ -78,26 +266,10 @@ HighlightSimulator::run(const DenseTensor &a, const HssSpec &a_spec,
     // Compress operand A (validates conformance as a side effect).
     const HierarchicalCpMatrix a_cp(a, a_spec);
 
-    // Build the operand-B GLB stream once, in (group-major,
-    // column-minor) order so each VFMU shift delivers the H1*H0 values
-    // one A group needs for one output column while A stays stationary.
-    // This vector is the GLB backing store for the dense path (exact
-    // reserve, single allocation); the compressed path hands it to the
-    // compressor and streams the packed nonzeros instead.
-    std::vector<float> b_stream;
-    b_stream.reserve(static_cast<std::size_t>(k * n));
-    const float *b_data = b.data().data();
-    for (std::int64_t g = 0; g < groups; ++g) {
-        for (std::int64_t col = 0; col < n; ++col) {
-            for (std::int64_t kk = g * set_span; kk < (g + 1) * set_span;
-                 ++kk) {
-                b_stream.push_back(b_data[kk * n + col]);
-            }
-        }
-    }
-
-    SimResult result{DenseTensor(TensorShape({{"M", m}, {"N", n}})), {}};
-    SimStats &st = result.stats;
+    // Build the operand-B GLB stream once. This vector is the GLB
+    // backing store for the dense path; the compressed path hands it
+    // to the compressor and streams the packed nonzeros instead.
+    std::vector<float> b_stream = buildOrderedBStream(b, set_span);
 
     // Optional compressed view of the stream (Sec 6.4): per-set shift
     // counts come from the level-1 metadata.
@@ -112,136 +284,56 @@ HighlightSimulator::run(const DenseTensor &a, const HssSpec &a_spec,
         std::vector<float>().swap(b_stream);
     }
 
-    // The GLB holds a non-owning view of the once-built stream (packed
-    // nonzeros when compressed); each output row restreams it via
-    // reset() instead of copying it (the down-sized config has a single
-    // PE row; larger configs amortize the restream across spatial rows).
-    MicroGlb glb(config_.compress_b ? b_comp->valuesData()
-                                    : b_stream.data(),
-                 config_.compress_b ? b_comp->dataWords()
-                                    : static_cast<std::int64_t>(
-                                          b_stream.size()),
-                 config_.glb_row_words);
-    Vfmu vfmu(glb, vfmu_cap);
+    // Everything the row workers share, read-only: compressed A, the
+    // once-built stream + metadata, and the resolved geometry.
+    SimContext ctx;
+    ctx.a_cp = &a_cp;
+    ctx.b_comp = b_comp.get();
+    ctx.stream = config_.compress_b ? b_comp->valuesData()
+                                    : b_stream.data();
+    ctx.stream_len = config_.compress_b
+                         ? b_comp->dataWords()
+                         : static_cast<std::int64_t>(b_stream.size());
+    ctx.glb_row_words = config_.glb_row_words;
+    ctx.vfmu_capacity = vfmu_cap;
+    ctx.g0 = g0;
+    ctx.h0 = h0;
+    ctx.g1 = g1;
+    ctx.h1 = h1;
+    ctx.two_rank = two_rank;
+    ctx.groups = groups;
+    ctx.n = n;
 
-    // The PE array: G1 PEs, each with G0 MAC lanes (Fig 10).
-    std::vector<MicroPe> pes;
-    pes.reserve(static_cast<std::size_t>(g1));
-    for (int p = 0; p < g1; ++p)
-        pes.emplace_back(g0);
+    SimResult result{DenseTensor(TensorShape({{"M", m}, {"N", n}})), {}};
 
-    // Scratch for the steady-state loop, sized once: the selected
-    // rank-1 offsets, the current shift's words, and the H1 aligned
-    // blocks as one flat h1*h0 array. Nothing below this point
-    // allocates.
-    std::vector<std::uint8_t> block_offsets(
-        static_cast<std::size_t>(g1));
-    std::vector<float> words(static_cast<std::size_t>(set_span));
-    std::vector<float> blocks(static_cast<std::size_t>(set_span));
-    const float *cp_vals = nullptr;
-    const std::uint8_t *cp_offs0 = nullptr;
-    const std::uint8_t *cp_offs1 = nullptr;
+    // Row-parallel steady state: output rows are shared-nothing (each
+    // restreams B from the top through its own GLB view and VFMU), so
+    // they fan out across the runtime pool. One RowWorker per pool
+    // slot, leased per row; grain 1 because one row is milliseconds of
+    // work. Each row writes only its own output slots with the serial
+    // code's exact operation sequence, so results are byte-identical
+    // at any thread count.
+    ThreadPool &pool = ThreadPool::global();
+    const std::size_t num_workers = static_cast<std::size_t>(
+        std::min<std::int64_t>(m, pool.numThreads()));
+    WorkerSlots<RowWorker> workers(num_workers, [&](std::size_t) {
+        return std::make_unique<RowWorker>(ctx);
+    });
+    pool.parallelFor(
+        static_cast<std::size_t>(m),
+        [&](std::size_t row) {
+            auto worker = workers.acquire();
+            worker->runRow(static_cast<std::int64_t>(row),
+                           result.output);
+        },
+        /*grain=*/1);
 
-    for (std::int64_t row = 0; row < m; ++row) {
-        const HierarchicalCpRow &cp = a_cp.row(row);
-        cp_vals = cp.values().data();
-        cp_offs0 = cp.offsets(0).data();
-        cp_offs1 = two_rank ? cp.offsets(1).data() : nullptr;
-        // Fresh streaming state per A row: the whole B stream is
-        // re-streamed once per row.
-        glb.reset();
-        vfmu.reset();
-
-        for (std::int64_t g = 0; g < groups; ++g) {
-            // Rank-1 skipping SAF: load the G1 selected blocks (real
-            // or dummy) stationary into the PEs for this group.
-            for (int p = 0; p < g1; ++p) {
-                const std::int64_t entry = g * g1 + p;
-                block_offsets[static_cast<std::size_t>(p)] =
-                    two_rank ? cp_offs1[entry] : 0;
-                const float *lane_vals = cp_vals + entry * g0;
-                const std::uint8_t *lane_offs = cp_offs0 + entry * g0;
-                bool all_dummy = true;
-                for (int l = 0; l < g0; ++l)
-                    all_dummy = all_dummy && lane_vals[l] == 0.0f;
-                pes[static_cast<std::size_t>(p)].loadBlock(lane_vals,
-                                                           lane_offs);
-                st.a_words_loaded += g0;
-                if (all_dummy)
-                    ++st.dummy_blocks;
-            }
-
-            for (std::int64_t col = 0; col < n; ++col) {
-                // VFMU shift for this (group, column) set.
-                const std::int64_t set_idx = g * n + col;
-                if (config_.compress_b) {
-                    const std::int64_t count =
-                        b_comp->setCountAt(set_idx);
-                    vfmu.readShift(static_cast<int>(count),
-                                   words.data());
-                    // Expand the compressed set back into aligned
-                    // blocks using levels 2 and 3 of the metadata.
-                    std::fill(blocks.begin(), blocks.end(), 0.0f);
-                    const std::int64_t first_block = set_idx * h1;
-                    std::int64_t cursor = 0;
-                    for (int j = 0; j < h1; ++j) {
-                        const std::int64_t blk = first_block + j;
-                        const std::int64_t begin =
-                            blk == 0 ? 0 : b_comp->blockEndAt(blk - 1);
-                        const std::int64_t end =
-                            b_comp->blockEndAt(blk);
-                        float *block_j =
-                            blocks.data() +
-                            static_cast<std::int64_t>(j) * h0;
-                        for (std::int64_t i = begin; i < end;
-                             ++i, ++cursor) {
-                            block_j[b_comp->offsetAt(i)] =
-                                words[static_cast<std::size_t>(cursor)];
-                        }
-                    }
-                } else {
-                    // Dense B: fixed shift of H1 blocks (H1*H0 words)
-                    // read straight into the aligned block array; for
-                    // H1 < Hmax the tail slots would be dummy padding
-                    // never selected by the rank-1 SAF.
-                    vfmu.readShift(static_cast<int>(set_span),
-                                   blocks.data());
-                }
-
-                // One processing step: all PEs in parallel, partial
-                // sums spatially accumulated, then one RF update.
-                double psum = 0.0;
-                for (int p = 0; p < g1; ++p) {
-                    const float *blk =
-                        blocks.data() +
-                        static_cast<std::int64_t>(
-                            block_offsets[static_cast<std::size_t>(p)]) *
-                            h0;
-                    psum += pes[static_cast<std::size_t>(p)].step(blk,
-                                                                  h0);
-                }
-                ++st.cycles;
-                ++st.psum_updates;
-                const std::int64_t out_idx = row * n + col;
-                result.output.setFlatUnchecked(
-                    out_idx, result.output.atFlatUnchecked(out_idx) +
-                                 static_cast<float>(psum));
-            }
-        }
-
-        // Fold per-row component stats into the aggregate.
-        st.glb_b.row_fetches += glb.stats().row_fetches;
-        st.glb_b.words_read += glb.stats().words_read;
-        st.vfmu.shifts += vfmu.stats().shifts;
-        st.vfmu.skipped_fetches += vfmu.stats().skipped_fetches;
-        st.vfmu.words_out += vfmu.stats().words_out;
-    }
-
-    for (const auto &pe : pes) {
-        st.pe.mac_ops += pe.stats().mac_ops;
-        st.pe.gated_macs += pe.stats().gated_macs;
-        st.pe.mux_selects += pe.stats().mux_selects;
-    }
+    // Deterministic ordered reduction of the per-worker counters on
+    // the calling thread (no atomics): every counter is additive, so
+    // the totals equal the serial run's regardless of which rows each
+    // worker processed.
+    for (std::size_t w = 0; w < workers.size(); ++w)
+        result.stats.accumulate(workers.slot(w).stats());
     return result;
 }
 

@@ -26,6 +26,7 @@
 #define HIGHLIGHT_MICROSIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "microsim/glb.hh"
 #include "microsim/pe.hh"
@@ -35,6 +36,9 @@
 
 namespace highlight
 {
+
+class HierarchicalCpMatrix;
+class OperandBStream;
 
 /** Static configuration of the simulated datapath. */
 struct MicrosimConfig
@@ -61,6 +65,9 @@ struct SimStats
     GlbStats glb_b;
     VfmuStats vfmu;
     PeStats pe; ///< Summed over PEs.
+
+    /** Fold another stats block in (every counter is additive). */
+    void accumulate(const SimStats &other);
 };
 
 /** Output tensor plus activity counters. */
@@ -79,6 +86,89 @@ struct SimResult
 };
 
 /**
+ * Build the operand-B GLB stream in (group-major, column-minor) order:
+ * the H0*H1 values one A group needs for one output column, all
+ * columns of a group before the next group — so each VFMU shift
+ * delivers one set while A stays stationary. `b` must be K x N with K
+ * divisible by `set_span`. This is the single source of the stream
+ * ordering, used by run() and by tests that drive RowWorker directly.
+ */
+std::vector<float> buildOrderedBStream(const DenseTensor &b,
+                                       std::int64_t set_span);
+
+/**
+ * Read-only per-run context shared by every row worker: the compressed
+ * operand A, the once-built operand-B stream (packed nonzeros plus
+ * three-level metadata when compressed), and the resolved datapath
+ * geometry. Built once by HighlightSimulator::run(); all referenced
+ * objects must outlive the workers.
+ */
+struct SimContext
+{
+    const HierarchicalCpMatrix *a_cp = nullptr;
+    const OperandBStream *b_comp = nullptr; ///< Null when B streams dense.
+    const float *stream = nullptr;          ///< GLB backing words.
+    std::int64_t stream_len = 0;            ///< Stream length in words.
+    int glb_row_words = 16;
+    int vfmu_capacity = 0;
+    int g0 = 1, h0 = 1; ///< Rank-0 pattern (MAC lanes per PE).
+    int g1 = 1, h1 = 1; ///< Rank-1 pattern (PE count).
+    bool two_rank = false;
+    std::int64_t groups = 0; ///< K / (H0*H1).
+    std::int64_t n = 0;      ///< Output columns.
+};
+
+/**
+ * The per-row steady state of the datapath: one GLB view over the
+ * shared stream, one VFMU, the G1-PE array, and all loop scratch —
+ * constructed once (per thread-pool slot) and reset per output row.
+ * Rows are shared-nothing (each A row restreams operand B from the
+ * top), so any number of workers can run disjoint rows concurrently
+ * with byte-identical outputs and counters. runRow() never allocates.
+ */
+class RowWorker
+{
+  public:
+    explicit RowWorker(const SimContext &ctx);
+
+    RowWorker(const RowWorker &) = delete;
+    RowWorker &operator=(const RowWorker &) = delete;
+
+    /**
+     * Simulate output row `row`, accumulating into out[row*N .. +N).
+     * Panics if the operand-B stream ends early (a short VFMU read
+     * would otherwise silently compute with stale scratch from the
+     * previous step).
+     */
+    void runRow(std::int64_t row, DenseTensor &out);
+
+    /** Activity accumulated over every row this worker has run. */
+    const SimStats &stats() const { return stats_; }
+
+  private:
+    /**
+     * By value: SimContext is a flat bundle of pointers and geometry,
+     * so copying it costs nothing and a worker can never outlive a
+     * caller's context object — only the pointees must outlive the
+     * worker (as the SimContext doc requires).
+     */
+    const SimContext ctx_;
+    MicroGlb glb_; ///< Own view (fetch cursor + stats) of the stream.
+    Vfmu vfmu_;
+    std::vector<MicroPe> pes_;
+    std::vector<std::uint8_t> block_offsets_; ///< Selected rank-1 offsets.
+    std::vector<float> words_;  ///< One shift's packed words.
+    /**
+     * H1 aligned blocks, flat h1*h0. On the compressed-B path only
+     * the G1 SAF-selected blocks of a step are zeroed and scattered
+     * (right before the PEs read them); unselected slots hold stale
+     * words no PE ever reads.
+     */
+    std::vector<float> blocks_;
+    SimStats stats_;
+};
+
+/**
  * The micro-simulator.
  */
 class HighlightSimulator
@@ -87,7 +177,12 @@ class HighlightSimulator
     explicit HighlightSimulator(MicrosimConfig config = {});
 
     /**
-     * Run C = A * B.
+     * Run C = A * B, parallelized across output rows on
+     * ThreadPool::global(). Rows are shared-nothing, every worker's
+     * counters are folded in a fixed order on the calling thread, and
+     * each output element is produced by exactly the serial operation
+     * sequence — results and every SimStats counter are byte-identical
+     * at any thread count.
      *
      * @param a      Weight matrix (M x K), must conform to `a_spec`.
      * @param a_spec The HSS pattern of A (1 or 2 ranks); the PE count

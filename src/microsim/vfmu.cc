@@ -43,16 +43,21 @@ Vfmu::ensure(int need)
                         capacity_words_, " (buffered ", size_, ", row ",
                         row_words, ")"));
         }
-        glb_.fetchRowInto(next_row_, row_scratch_.data());
+        // Only the row's real stream words become valid buffer
+        // entries: the zero padding of a final partial row must not
+        // masquerade as data, so a truncated stream ends in a short
+        // read instead of phantom zeros. (The physical fetch is still
+        // a full row — the GLB counters record that.)
+        const int valid =
+            glb_.fetchRowInto(next_row_, row_scratch_.data());
         // Append the row at the ring tail, split across the wrap.
         const int tail = (head_ + size_) % capacity_words_;
-        const int first =
-            std::min(row_words, capacity_words_ - tail);
+        const int first = std::min(valid, capacity_words_ - tail);
         std::copy(row_scratch_.data(), row_scratch_.data() + first,
                   ring_.data() + tail);
         std::copy(row_scratch_.data() + first,
-                  row_scratch_.data() + row_words, ring_.data());
-        size_ += row_words;
+                  row_scratch_.data() + valid, ring_.data());
+        size_ += valid;
         ++next_row_;
     }
 }
@@ -65,6 +70,12 @@ Vfmu::readShift(int count, float *out)
     if (count > capacity_words_)
         fatal(msgOf("Vfmu::readShift: shift ", count,
                     " exceeds buffer capacity ", capacity_words_));
+    // A zero shift (an all-zero compressed set) moves no data through
+    // the unit: the shifter never activates and there is no fetch to
+    // skip, so no counter may tick — previously this inflated both
+    // `shifts` and `skipped_fetches` for every empty set.
+    if (count == 0)
+        return 0;
     ensure(count);
     ++stats_.shifts;
     const int take = std::min(count, size_);

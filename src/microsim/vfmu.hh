@@ -37,6 +37,15 @@ struct VfmuStats
     std::int64_t shifts = 0;          ///< Variable-length reads served.
     std::int64_t skipped_fetches = 0; ///< Steps served from the buffer.
     std::int64_t words_out = 0;       ///< Valid words delivered.
+
+    /** Fold another counter block in (all counters are additive). */
+    void
+    accumulate(const VfmuStats &other)
+    {
+        shifts += other.shifts;
+        skipped_fetches += other.skipped_fetches;
+        words_out += other.words_out;
+    }
 };
 
 /**
@@ -56,7 +65,9 @@ class Vfmu
      * Read `count` words off the stream head (the configured shift for
      * this step) into `out`, refilling from the GLB beforehand only if
      * needed. Returns the number of words written; fewer than `count`
-     * only at end-of-stream. Allocation free.
+     * only at end-of-stream. A zero count (an all-zero compressed set)
+     * is a no-op that touches no counter: no shift happens and there
+     * is no fetch to skip. Allocation free.
      */
     int readShift(int count, float *out);
 

@@ -31,6 +31,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/logging.hh"
+
 namespace highlight
 {
 
@@ -142,6 +144,115 @@ class ThreadPool
     std::shared_ptr<Job> job_;        ///< Current job (guarded by mu_).
     std::uint64_t job_seq_ = 0;       ///< Bumped per job (guarded by mu_).
     bool stop_ = false;
+};
+
+/**
+ * A fixed set of reusable per-worker scratch objects for parallelFor
+ * bodies that need mutable state too expensive to rebuild per index
+ * (simulator row workers, scratch buffers, local accumulators).
+ *
+ * All slots are constructed eagerly, in slot order, on the calling
+ * thread — so construction is deterministic and the parallel region
+ * itself never allocates a slot. Inside the loop body, acquire() hands
+ * the thread an exclusive slot and the returned lease releases it when
+ * destroyed. At most numThreads() threads execute one parallelFor
+ * concurrently (and no thread processes two indices at once), so a set
+ * sized min(n, pool.numThreads()) can never run dry; running dry is a
+ * sizing bug and panics rather than blocks. acquire()/release are a
+ * mutex-guarded pop/push of a pre-reserved stack: no allocation in the
+ * steady state.
+ *
+ * After the loop, slots remain valid and iterable in construction
+ * order (size()/slot(i)) so per-slot results can be reduced
+ * deterministically on the calling thread.
+ */
+template <typename T>
+class WorkerSlots
+{
+  public:
+    /**
+     * Build `count` slots; `make(i)` must return a
+     * std::unique_ptr<T> for slot i.
+     */
+    template <typename Make>
+    WorkerSlots(std::size_t count, Make &&make)
+    {
+        slots_.reserve(count);
+        free_.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            slots_.push_back(make(i));
+        // Stack the slots so slot 0 is acquired first: a serial
+        // (1-thread) loop then reuses slot 0 for every index.
+        for (std::size_t i = count; i > 0; --i)
+            free_.push_back(slots_[i - 1].get());
+    }
+
+    WorkerSlots(const WorkerSlots &) = delete;
+    WorkerSlots &operator=(const WorkerSlots &) = delete;
+
+    /** Exclusive use of one slot for the lease's lifetime. */
+    class Lease
+    {
+      public:
+        Lease(WorkerSlots &owner, T *slot)
+            : owner_(&owner), slot_(slot)
+        {
+        }
+        ~Lease()
+        {
+            if (owner_)
+                owner_->release(slot_);
+        }
+        Lease(Lease &&other) noexcept
+            : owner_(other.owner_), slot_(other.slot_)
+        {
+            other.owner_ = nullptr;
+            other.slot_ = nullptr;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        Lease &operator=(Lease &&) = delete;
+
+        T *operator->() const { return slot_; }
+        T &operator*() const { return *slot_; }
+
+      private:
+        WorkerSlots *owner_;
+        T *slot_;
+    };
+
+    /** Pop a free slot; panics if every slot is in use (sizing bug). */
+    Lease
+    acquire()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (free_.empty())
+            panic(msgOf("WorkerSlots: all ", slots_.size(),
+                        " slots in use — more concurrent workers than "
+                        "slots"));
+        T *slot = free_.back();
+        free_.pop_back();
+        return Lease(*this, slot);
+    }
+
+    /** Slot count (== the constructor's `count`). */
+    std::size_t size() const { return slots_.size(); }
+
+    /** Slot `i` in construction order, for post-loop reduction. */
+    T &slot(std::size_t i) { return *slots_[i]; }
+    const T &slot(std::size_t i) const { return *slots_[i]; }
+
+  private:
+    void
+    release(T *slot)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        free_.push_back(slot);
+    }
+
+    std::vector<std::unique_ptr<T>> slots_;
+    std::vector<T *> free_; ///< Pre-reserved: push/pop never allocate.
+    std::mutex mu_;
 };
 
 } // namespace highlight

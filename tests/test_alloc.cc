@@ -22,6 +22,8 @@
 #include <new>
 
 #include "common/random.hh"
+#include "format/hierarchical_cp.hh"
+#include "format/operand_b.hh"
 #include "microsim/simulator.hh"
 #include "microsim/vfmu.hh"
 #include "sparsity/sparsify.hh"
@@ -188,6 +190,63 @@ TEST(AllocFree, VfmuReadShiftIntoCallerBufferNeverAllocates)
     const long long after = g_allocs.load();
     EXPECT_EQ(after - before, 0);
     EXPECT_EQ(total_words, 4 * 4096);
+}
+
+TEST(AllocFree, RowWorkerSteadyStateAllocatesNothingAfterWarmUp)
+{
+    HIGHLIGHT_REQUIRE_COUNTING();
+    // One row worker (one pool slot's state), driven directly: after
+    // construction — the per-slot warm-up — simulating any number of
+    // rows, dense or compressed, must not allocate a single time.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(37);
+    const std::int64_t m = 4, k = spec.totalSpan() * 6, n = 12;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomUnstructured(
+        TensorShape({{"K", k}, {"N", n}}), 0.5, rng);
+    const HierarchicalCpMatrix a_cp(a, spec);
+    const std::int64_t set_span = spec.totalSpan();
+
+    // The (group-major, column-minor) stream run() would build.
+    const auto stream = buildOrderedBStream(b, set_span);
+    const OperandBStream b_comp(
+        stream.data(), static_cast<std::int64_t>(stream.size()), 4, 4);
+
+    SimContext ctx;
+    ctx.a_cp = &a_cp;
+    ctx.glb_row_words = 16;
+    ctx.vfmu_capacity = 48;
+    ctx.g0 = 2;
+    ctx.h0 = 4;
+    ctx.g1 = 2;
+    ctx.h1 = 4;
+    ctx.two_rank = true;
+    ctx.groups = k / set_span;
+    ctx.n = n;
+
+    DenseTensor out(TensorShape({{"M", m}, {"N", n}}));
+    for (const bool compressed : {false, true}) {
+        SimContext mode = ctx;
+        if (compressed) {
+            mode.b_comp = &b_comp;
+            mode.stream = b_comp.valuesData();
+            mode.stream_len = b_comp.dataWords();
+        } else {
+            mode.stream = stream.data();
+            mode.stream_len = static_cast<std::int64_t>(stream.size());
+        }
+        RowWorker worker(mode); // construction is the warm-up
+        const long long before = g_allocs.load();
+        for (int pass = 0; pass < 3; ++pass) {
+            for (std::int64_t row = 0; row < m; ++row)
+                worker.runRow(row, out);
+        }
+        const long long after = g_allocs.load();
+        EXPECT_EQ(after - before, 0)
+            << (compressed ? "compressed" : "dense") << " rows";
+        EXPECT_GT(worker.stats().cycles, 0);
+    }
 }
 
 TEST(AllocFree, PeLoadAndStepFromPointersNeverAllocate)

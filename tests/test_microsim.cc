@@ -8,15 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <tuple>
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "format/hierarchical_cp.hh"
+#include "format/operand_b.hh"
 #include "microsim/compression_unit.hh"
 #include "microsim/dsso_sim.hh"
 #include "microsim/glb.hh"
 #include "microsim/simulator.hh"
 #include "microsim/vfmu.hh"
+#include "runtime/thread_pool.hh"
 #include "sparsity/sparsify.hh"
 #include "tensor/generator.hh"
 
@@ -38,6 +42,23 @@ TEST(MicroGlb, AlignedRowFetches)
     EXPECT_EQ(glb.stats().row_fetches, 2);
     EXPECT_EQ(glb.stats().words_read, 8);
     EXPECT_THROW(glb.fetchRow(2), PanicError);
+}
+
+TEST(MicroGlb, BothConstructorsRejectTheSameMalformedInputs)
+{
+    // The owning constructor used to skip the null/length validation
+    // the view constructor enforces; both must reject identically.
+    EXPECT_THROW(MicroGlb(nullptr, 4, 16), FatalError);
+    EXPECT_THROW(MicroGlb(nullptr, -1, 16), FatalError);
+    std::vector<float> data(4, 1.0f);
+    EXPECT_THROW(MicroGlb(data.data(), 4, 0), FatalError);
+    EXPECT_THROW(MicroGlb(std::vector<float>(4, 1.0f), 0), FatalError);
+    EXPECT_THROW(MicroGlb(std::vector<float>(4, 1.0f), -3), FatalError);
+    // Valid empty streams are fine through either constructor.
+    MicroGlb empty_view(nullptr, 0, 16);
+    EXPECT_EQ(empty_view.numRows(), 0);
+    MicroGlb empty_owned(std::vector<float>{}, 16);
+    EXPECT_EQ(empty_owned.numRows(), 0);
 }
 
 TEST(Vfmu, VariableShiftOverAlignedRows)
@@ -71,6 +92,38 @@ TEST(Vfmu, SkipsFetchWhenBufferSuffices)
     (void)vfmu.readShift(8); // served from the buffer
     EXPECT_EQ(glb.stats().row_fetches, fetches_before);
     EXPECT_GE(vfmu.stats().skipped_fetches, 1);
+}
+
+TEST(Vfmu, ZeroShiftMovesNothingAndCountsNothing)
+{
+    // An all-zero compressed set asks for a shift of 0: the shifter
+    // never activates and no fetch is skipped, so no counter may tick
+    // (previously both `shifts` and `skipped_fetches` were inflated,
+    // corrupting the fidelity counters the integration tests
+    // cross-check). The stream position must be untouched.
+    std::vector<float> data(32);
+    for (int i = 0; i < 32; ++i)
+        data[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+    MicroGlb glb(data, 16);
+    Vfmu vfmu(glb, 32);
+
+    float out[32];
+    EXPECT_EQ(vfmu.readShift(0, out), 0);
+    EXPECT_EQ(vfmu.stats().shifts, 0);
+    EXPECT_EQ(vfmu.stats().skipped_fetches, 0);
+    EXPECT_EQ(vfmu.stats().words_out, 0);
+    EXPECT_EQ(glb.stats().row_fetches, 0); // no refill either
+
+    // Interleaved zero shifts leave the stream order intact.
+    const auto first = vfmu.readShift(4);
+    ASSERT_EQ(first.size(), 4u);
+    EXPECT_FLOAT_EQ(first[0], 1.0f);
+    EXPECT_EQ(vfmu.readShift(0, out), 0);
+    const auto second = vfmu.readShift(4);
+    ASSERT_EQ(second.size(), 4u);
+    EXPECT_FLOAT_EQ(second[0], 5.0f);
+    EXPECT_EQ(vfmu.stats().shifts, 2);
+    EXPECT_EQ(vfmu.stats().words_out, 8);
 }
 
 TEST(Vfmu, RejectsShiftBeyondCapacity)
@@ -296,8 +349,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         GoldenStats{"one_rank_dense_b", false, false, 72, 24, 72, 0,
                     18, 288, 72, 54, 288, 144, 0, 144, 0x1.e3b34a8p+2},
+        // vfmu_shifts/vfmu_skipped were 72/63 when readShift(0) on an
+        // all-zero compressed set still ticked both counters; this
+        // fixture has 9 such sets, which no longer count (a zero shift
+        // moves no data and skips no fetch). Everything else,
+        // including words_out and the output sum, is unchanged.
         GoldenStats{"one_rank_comp_b", false, true, 72, 24, 72, 0, 9,
-                    144, 72, 63, 114, 58, 86, 144, 0x1.b637fbp+2},
+                    144, 63, 54, 114, 58, 86, 144, 0x1.b637fbp+2},
         GoldenStats{"two_rank_dense_b", true, false, 72, 48, 72, 0, 72,
                     1152, 72, 0, 1152, 288, 0, 288, 0x1.a859ffep+5},
         GoldenStats{"two_rank_comp_b", true, true, 72, 48, 72, 0, 30,
@@ -406,6 +464,175 @@ TEST(Simulator, RejectsNonDivisibleK)
     auto b = DenseTensor::matrix(20, 4);
     EXPECT_THROW(HighlightSimulator().run(a, spec, b), FatalError);
 }
+
+TEST(RowWorker, PanicsOnTruncatedOperandBStream)
+{
+    // Regression: run() used to ignore Vfmu::readShift's return value,
+    // so a truncated stream silently computed with stale scratch from
+    // the previous (group, column) step. A short read must panic.
+    const HssSpec spec({GhPattern(2, 4)});
+    Rng rng(33);
+    const std::int64_t m = 1, k = 16, n = 4;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+    const HierarchicalCpMatrix a_cp(a, spec);
+    const std::int64_t set_span = spec.totalSpan();
+    const auto stream = buildOrderedBStream(b, set_span);
+
+    SimContext ctx;
+    ctx.a_cp = &a_cp;
+    ctx.stream = stream.data();
+    ctx.stream_len = static_cast<std::int64_t>(stream.size());
+    ctx.glb_row_words = 16;
+    ctx.vfmu_capacity = 32;
+    ctx.g0 = 2;
+    ctx.h0 = 4;
+    ctx.groups = k / set_span;
+    ctx.n = n;
+
+    // Sanity: the full stream runs clean and matches the reference.
+    DenseTensor out(TensorShape({{"M", m}, {"N", n}}));
+    RowWorker whole(ctx);
+    whole.runRow(0, out);
+    EXPECT_LT(out.maxAbsDiff(referenceGemm(a, b)), 1e-4);
+
+    // A deliberately truncated GLB view of the same stream: the VFMU
+    // runs dry mid-row and the short read must panic, not corrupt.
+    // The sub-row case (shorter by less than one GLB row) is the
+    // treacherous one: the GLB zero-pads the final partial row, and
+    // that padding must not masquerade as delivered stream words.
+    for (const std::int64_t cut_len :
+         {ctx.stream_len / 2, ctx.stream_len - 5}) {
+        SimContext cut = ctx;
+        cut.stream_len = cut_len;
+        DenseTensor out_cut(TensorShape({{"M", m}, {"N", n}}));
+        RowWorker truncated(cut);
+        EXPECT_THROW(truncated.runRow(0, out_cut), PanicError)
+            << "stream_len=" << cut_len;
+    }
+}
+
+TEST(RowWorker, PanicsOnTruncatedCompressedStream)
+{
+    // Same defect on the compressed-B path (the other ignored return
+    // value): the metadata promises more nonzeros than the truncated
+    // values stream delivers.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(34);
+    const std::int64_t m = 1, k = 32, n = 4;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomUnstructured(
+        TensorShape({{"K", k}, {"N", n}}), 0.4, rng);
+    const HierarchicalCpMatrix a_cp(a, spec);
+    const std::int64_t set_span = spec.totalSpan();
+    const auto stream = buildOrderedBStream(b, set_span);
+    const OperandBStream b_comp(
+        stream.data(), static_cast<std::int64_t>(stream.size()), 4, 4);
+    ASSERT_GT(b_comp.dataWords(), 1);
+
+    SimContext ctx;
+    ctx.a_cp = &a_cp;
+    ctx.b_comp = &b_comp;
+    ctx.stream = b_comp.valuesData();
+    ctx.stream_len = b_comp.dataWords() / 2; // truncated GLB view
+    ctx.glb_row_words = 16;
+    ctx.vfmu_capacity = 48;
+    ctx.g0 = 2;
+    ctx.h0 = 4;
+    ctx.g1 = 2;
+    ctx.h1 = 4;
+    ctx.two_rank = true;
+    ctx.groups = k / set_span;
+    ctx.n = n;
+
+    DenseTensor out(TensorShape({{"M", m}, {"N", n}}));
+    RowWorker truncated(ctx);
+    EXPECT_THROW(truncated.runRow(0, out), PanicError);
+
+    // Sub-row truncation of the packed values: the GLB's padded final
+    // row must still surface as a short read, not phantom zeros.
+    SimContext barely = ctx;
+    barely.stream_len = b_comp.dataWords() - 1;
+    DenseTensor out2(TensorShape({{"M", m}, {"N", n}}));
+    RowWorker barely_cut(barely);
+    EXPECT_THROW(barely_cut.runRow(0, out2), PanicError);
+}
+
+/**
+ * Thread-count determinism: run() outputs and every SimStats counter
+ * must be byte-identical for any pool size, for compress_b on/off x
+ * 1/2-rank specs. The pool is rebuilt around each run; the fixture
+ * restores the default afterwards so later tests see a clean runtime.
+ */
+class ThreadDeterminism
+    : public ::testing::TestWithParam<std::tuple<bool, bool>>
+{
+  protected:
+    void TearDown() override { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST_P(ThreadDeterminism, OutputsAndCountersByteIdenticalAcrossPools)
+{
+    const bool two_rank = std::get<0>(GetParam());
+    const bool compress_b = std::get<1>(GetParam());
+    const HssSpec spec =
+        two_rank ? HssSpec({GhPattern(2, 4), GhPattern(2, 4)})
+                 : HssSpec({GhPattern(2, 4)});
+    Rng rng_a(71), rng_b(72);
+    const std::int64_t m = 8;
+    const std::int64_t k = spec.totalSpan() * 4;
+    const std::int64_t n = 16;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng_a), spec);
+    const auto b =
+        compress_b
+            ? randomUnstructured(TensorShape({{"K", k}, {"N", n}}), 0.5,
+                                 rng_b)
+            : randomDense(TensorShape({{"K", k}, {"N", n}}), rng_b);
+    MicrosimConfig cfg;
+    cfg.compress_b = compress_b;
+    const HighlightSimulator sim(cfg);
+
+    ThreadPool::setGlobalThreads(1);
+    const auto base = sim.run(a, spec, b);
+    EXPECT_GT(base.stats.cycles, 0);
+
+    for (const int threads : {2, ThreadPool::defaultThreadCount()}) {
+        ThreadPool::setGlobalThreads(threads);
+        const auto r = sim.run(a, spec, b);
+        // Outputs byte-identical, not merely close.
+        ASSERT_EQ(r.output.data().size(), base.output.data().size());
+        EXPECT_EQ(std::memcmp(r.output.data().data(),
+                              base.output.data().data(),
+                              base.output.data().size() * sizeof(float)),
+                  0)
+            << "threads=" << threads;
+        const SimStats &s = r.stats, &g = base.stats;
+        EXPECT_EQ(s.cycles, g.cycles) << "threads=" << threads;
+        EXPECT_EQ(s.a_words_loaded, g.a_words_loaded);
+        EXPECT_EQ(s.psum_updates, g.psum_updates);
+        EXPECT_EQ(s.dummy_blocks, g.dummy_blocks);
+        EXPECT_EQ(s.glb_b.row_fetches, g.glb_b.row_fetches);
+        EXPECT_EQ(s.glb_b.words_read, g.glb_b.words_read);
+        EXPECT_EQ(s.vfmu.shifts, g.vfmu.shifts);
+        EXPECT_EQ(s.vfmu.skipped_fetches, g.vfmu.skipped_fetches);
+        EXPECT_EQ(s.vfmu.words_out, g.vfmu.words_out);
+        EXPECT_EQ(s.pe.mac_ops, g.pe.mac_ops);
+        EXPECT_EQ(s.pe.gated_macs, g.pe.gated_macs);
+        EXPECT_EQ(s.pe.mux_selects, g.pe.mux_selects);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndModes, ThreadDeterminism,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<bool, bool>> &info) {
+        return std::string(std::get<0>(info.param) ? "two_rank"
+                                                   : "one_rank") +
+               (std::get<1>(info.param) ? "_comp_b" : "_dense_b");
+    });
 
 /**
  * DSSO (Sec 7.5) functional property across the supported B degrees:

@@ -145,6 +145,58 @@ TEST(PoolEdge, HighlightThreads1MatchesMultiThreadedResults)
         ASSERT_EQ(unsetenv("HIGHLIGHT_THREADS"), 0);
 }
 
+TEST(WorkerSlots, SlotsAreExclusiveWhileLeasedAndReusedAfter)
+{
+    ThreadPool pool(4);
+    const std::size_t num_slots =
+        static_cast<std::size_t>(pool.numThreads());
+    struct Scratch
+    {
+        std::atomic<int> in_use{0};
+        int visits = 0;
+    };
+    WorkerSlots<Scratch> slots(num_slots, [](std::size_t) {
+        return std::make_unique<Scratch>();
+    });
+    EXPECT_EQ(slots.size(), num_slots);
+
+    pool.parallelFor(256, [&](std::size_t) {
+        auto lease = slots.acquire();
+        // Exclusivity: no other thread holds this slot right now.
+        EXPECT_EQ(lease->in_use.fetch_add(1), 0);
+        ++lease->visits;
+        lease->in_use.fetch_sub(1);
+    });
+
+    // Every index ran on exactly one slot; totals add up.
+    int total = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        total += slots.slot(i).visits;
+    EXPECT_EQ(total, 256);
+}
+
+TEST(WorkerSlots, SerialLoopReusesSlotZero)
+{
+    ThreadPool serial(1);
+    WorkerSlots<int> slots(1, [](std::size_t i) {
+        return std::make_unique<int>(static_cast<int>(i));
+    });
+    serial.parallelFor(17, [&](std::size_t) {
+        auto lease = slots.acquire();
+        EXPECT_EQ(*lease, 0); // always slot 0 when inline
+    });
+}
+
+TEST(WorkerSlots, AcquirePastCapacityPanics)
+{
+    WorkerSlots<int> slots(1, [](std::size_t) {
+        return std::make_unique<int>(7);
+    });
+    auto held = slots.acquire();
+    EXPECT_EQ(*held, 7);
+    EXPECT_THROW(slots.acquire(), PanicError); // sizing bug, not a wait
+}
+
 TEST(PoolEdge, GarbageHighlightThreadsFallsBackToDefault)
 {
     const char *prev = std::getenv("HIGHLIGHT_THREADS");
