@@ -16,12 +16,16 @@
 #include "energy/components.hh"
 #include "format/hierarchical_cp.hh"
 #include "model/engine.hh"
+#include "runtime_flags.hh"
 #include "sparsity/hss.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
+
+    configureRuntimeThreads(argc, argv);
+    const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     const ComponentLibrary lib;
     const ArchSpec arch = highlightArch();
@@ -70,5 +74,11 @@ main()
                  "stored word, so the\ncompression crossover sits near "
                  "75-80% density; HighLight stores denser\nactivations "
                  "uncompressed and relies on gating alone there.\n";
+
+    if (!json_path.empty() && !writeTableJson(json_path, t)) {
+        std::cerr << "ablation_bcompress: cannot write " << json_path
+                  << "\n";
+        return 1;
+    }
     return 0;
 }

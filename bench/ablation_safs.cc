@@ -16,12 +16,16 @@
 #include "energy/components.hh"
 #include "format/hierarchical_cp.hh"
 #include "model/engine.hh"
+#include "runtime_flags.hh"
 #include "sparsity/hss.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
+
+    configureRuntimeThreads(argc, argv);
+    const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     const ComponentLibrary lib;
     const ArchSpec arch = highlightArch();
@@ -81,5 +85,11 @@ main()
                  "savings but forfeits the\nspeedup, multiplying EDP; "
                  "skipping at every sparse rank is worth its\nmux "
                  "tax for latency-sensitive deployments.\n";
+
+    if (!json_path.empty() && !writeTableJson(json_path, t)) {
+        std::cerr << "ablation_safs: cannot write " << json_path
+                  << "\n";
+        return 1;
+    }
     return 0;
 }

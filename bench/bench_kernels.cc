@@ -61,9 +61,16 @@ BM_HssSparsify(benchmark::State &state)
 }
 BENCHMARK(BM_HssSparsify)->Arg(16)->Arg(64)->Arg(256);
 
+/**
+ * Matrix compression across row counts and pool sizes: compression
+ * fans row-blocks out on the runtime pool, so the threads axis records
+ * the parallel-compression trajectory (the compressed matrix is
+ * byte-identical across the axis — only the wall clock moves).
+ */
 void
 BM_HierarchicalCpCompress(benchmark::State &state)
 {
+    ThreadPool::setGlobalThreads(static_cast<int>(state.range(1)));
     const auto sparse =
         hssSparsify(benchMatrix(state.range(0), 1024), benchSpec());
     for (auto _ : state) {
@@ -71,8 +78,14 @@ BM_HierarchicalCpCompress(benchmark::State &state)
         benchmark::DoNotOptimize(cp.dataWords());
     }
     state.SetItemsProcessed(state.iterations() * sparse.numel());
+    ThreadPool::setGlobalThreads(1);
 }
-BENCHMARK(BM_HierarchicalCpCompress)->Arg(16)->Arg(64);
+// UseRealTime for the same reason as BM_MicrosimFig16 below: the work
+// runs on pool threads.
+BENCHMARK(BM_HierarchicalCpCompress)
+    ->ArgsProduct({{16, 64, 256}, {1, 4}})
+    ->ArgNames({"rows", "threads"})
+    ->UseRealTime();
 
 void
 BM_HierarchicalCpDecompress(benchmark::State &state)
@@ -149,6 +162,7 @@ BM_MicrosimFig16(benchmark::State &state)
         b = unstructuredSparsify(b, 0.65);
     MicrosimConfig cfg;
     cfg.compress_b = compress_b;
+    cfg.group_rows = static_cast<int>(state.range(2));
     const HighlightSimulator sim(cfg);
     for (auto _ : state) {
         auto r = sim.run(a, benchSpec(), b);
@@ -159,10 +173,13 @@ BM_MicrosimFig16(benchmark::State &state)
 }
 // UseRealTime: the work runs on pool threads, so rate counters must
 // come from wall time — CPU time of the benchmark thread would report
-// a phantom ~threads-fold items/s inflation.
+// a phantom ~threads-fold items/s inflation. The group_rows axis
+// contrasts per-row restreaming (1, the pre-row-group behavior) with
+// the default shared pass over 8 rows; results are byte-identical
+// across the whole product, only the wall clock moves.
 BENCHMARK(BM_MicrosimFig16)
-    ->ArgsProduct({{0, 1}, {1, 4}})
-    ->ArgNames({"compress_b", "threads"})
+    ->ArgsProduct({{0, 1}, {1, 4}, {1, 8}})
+    ->ArgNames({"compress_b", "threads", "group_rows"})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

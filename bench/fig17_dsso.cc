@@ -40,6 +40,12 @@ main(int argc, char **argv)
     const bool prune = parseFlag(argc, argv, "--prune");
     configureRuntimeThreads(argc, argv);
     const std::string json_path = parseOptionValue(argc, argv, "--json");
+    // Rows per shared operand-B pass for the microsim cross-checks
+    // below (0 = auto). Outputs are byte-identical at any value, which
+    // the smoke ctest asserts by diffing this driver's stdout across
+    // group sizes and thread counts.
+    MicrosimConfig microsim_cfg;
+    microsim_cfg.group_rows = parseGroupRowsFlag(argc, argv);
 
     Evaluator ev;
     const Accelerator &hl = ev.design("HighLight");
@@ -131,7 +137,7 @@ main(int argc, char **argv)
             HssSpec({GhPattern(4, 4), b_rank1}));
         const auto sim_dsso = DssoSimulator(2).run(sa, a_rank0, sb,
                                                    b_rank1);
-        const auto sim_hl = HighlightSimulator().run(
+        const auto sim_hl = HighlightSimulator(microsim_cfg).run(
             sa, HssSpec({a_rank0, GhPattern(2, 2)}), sb);
         const double sim_ratio =
             static_cast<double>(sim_hl.stats.cycles) /

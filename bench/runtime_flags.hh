@@ -23,6 +23,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/table.hh"
 #include "core/evaluator.hh"
 #include "runtime/thread_pool.hh"
 
@@ -139,6 +140,31 @@ inline void
 configureRuntimeThreads(int argc, char **argv)
 {
     ThreadPool::setGlobalThreads(parseThreadsFlag(argc, argv));
+}
+
+/**
+ * Rows per shared operand-B pass requested on the command line:
+ * `--group-rows N` (strictly parsed), otherwise 0 = the simulator's
+ * auto resolution. Purely a host-performance knob — the microsim's
+ * outputs and counters are byte-identical at any value — but a
+ * malformed value is fatal like `--threads`, for the same reason: a
+ * silently ignored typo would time the wrong configuration.
+ */
+inline int
+parseGroupRowsFlag(int argc, char **argv)
+{
+    const std::string v = parseOptionValue(argc, argv, "--group-rows");
+    if (!v.empty()) {
+        long long rows = 0;
+        if (!parsePositiveInt(v.c_str(), 1 << 20, &rows))
+            fatal(msgOf("--group-rows ", v,
+                        ": expected a positive integer <= 2^20"));
+        return static_cast<int>(rows);
+    }
+    if (parseFlag(argc, argv, "--group-rows") ||
+        parseFlag(argc, argv, "--group-rows="))
+        fatal("--group-rows requires a value");
+    return 0;
 }
 
 /**
@@ -259,6 +285,40 @@ writeFrontierJson(const std::string &path,
             << ", \"accuracy_loss\": " << f.accuracy_loss
             << ", \"norm_edp\": " << f.norm_edp << "}"
             << (i + 1 < frontier.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+}
+
+/**
+ * Dump one driver's TextTable for `--json PATH` (see
+ * TextTable::printJson for the byte-compare property). Used by the
+ * table/ablation drivers, whose tabulated strings are their entire
+ * result set.
+ */
+inline bool
+writeTableJson(const std::string &path, const TextTable &table)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    table.printJson(out);
+    return static_cast<bool>(out);
+}
+
+/** As writeTableJson for drivers that emit several tables: an array. */
+inline bool
+writeTablesJson(const std::string &path,
+                const std::vector<const TextTable *> &tables)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << "[\n";
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        tables[i]->printJson(out);
+        if (i + 1 < tables.size())
+            out << ",\n";
     }
     out << "]\n";
     return static_cast<bool>(out);

@@ -14,6 +14,7 @@
 
 #include "accel/harness.hh"
 #include "common/table.hh"
+#include "runtime_flags.hh"
 #include "sparsity/hss.hh"
 
 namespace
@@ -59,8 +60,13 @@ gradeTax(double saf_share, double dense_overhead)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    using namespace highlight;
+
+    configureRuntimeThreads(argc, argv);
+    const std::string json_path = parseOptionValue(argc, argv, "--json");
+
     const auto designs = standardDesigns();
     const Accelerator &tc = *designs[0];
 
@@ -94,6 +100,11 @@ main()
                   << TextTable::fmt(deg.density, 4) << "  (sparsity "
                   << TextTable::fmt(100.0 * (1.0 - deg.density), 1)
                   << "%)\n";
+    }
+
+    if (!json_path.empty() && !writeTableJson(json_path, t)) {
+        std::cerr << "table1: cannot write " << json_path << "\n";
+        return 1;
     }
     return 0;
 }

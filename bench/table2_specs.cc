@@ -8,12 +8,16 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "runtime_flags.hh"
 #include "sparsity/spec.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
+
+    configureRuntimeThreads(argc, argv);
+    const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     TextTable t("Table 2: fibertree-based sparsity specifications");
     t.setHeader({"citation", "conventional classification",
@@ -27,5 +31,10 @@ main()
                      1.0 - exampleTwoRankHssSpec().structuredDensity(),
                      3)
               << "\n";
+
+    if (!json_path.empty() && !writeTableJson(json_path, t)) {
+        std::cerr << "table2: cannot write " << json_path << "\n";
+        return 1;
+    }
     return 0;
 }

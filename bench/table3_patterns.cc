@@ -10,11 +10,15 @@
 #include "accel/harness.hh"
 #include "common/table.hh"
 #include "core/evaluator.hh"
+#include "runtime_flags.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
+
+    configureRuntimeThreads(argc, argv);
+    const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     Evaluator ev;
 
@@ -63,5 +67,10 @@ main()
     }
     std::cout << "\n";
     v.print(std::cout);
+
+    if (!json_path.empty() && !writeTablesJson(json_path, {&t, &v})) {
+        std::cerr << "table3: cannot write " << json_path << "\n";
+        return 1;
+    }
     return 0;
 }

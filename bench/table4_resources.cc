@@ -8,11 +8,15 @@
 
 #include "common/table.hh"
 #include "core/evaluator.hh"
+#include "runtime_flags.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace highlight;
+
+    configureRuntimeThreads(argc, argv);
+    const std::string json_path = parseOptionValue(argc, argv, "--json");
 
     Evaluator ev;
 
@@ -29,5 +33,10 @@ main()
     std::cout << "\nNote: GLB cells with \"a + bKB\" split data and "
                  "metadata partitions,\nmirroring the paper's Table 4 "
                  "exactly.\n";
+
+    if (!json_path.empty() && !writeTableJson(json_path, t)) {
+        std::cerr << "table4: cannot write " << json_path << "\n";
+        return 1;
+    }
     return 0;
 }

@@ -1,0 +1,43 @@
+# Smoke-compare row-group execution at the driver level: run the
+# driver with a shared 4-row operand-B pass on a 2-thread pool and
+# again ungrouped on a 1-thread pool, then byte-compare the full
+# stdout of the two runs. The driver prints no timing, so identical
+# stdout <=> identical tabulated results — the ctest-level check that
+# --group-rows is purely a host-performance knob.
+#
+# Usage:
+#   cmake -DDRIVER=<exe> -DOUTDIR=<dir> -DNAME=<tag> -P compare_group_rows.cmake
+
+foreach(var DRIVER OUTDIR NAME)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compare_group_rows.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(grouped_out "${OUTDIR}/${NAME}_grouped.txt")
+set(serial_out "${OUTDIR}/${NAME}_serial.txt")
+
+execute_process(COMMAND "${DRIVER}" --group-rows 4 --threads 2
+                RESULT_VARIABLE grouped_rc
+                OUTPUT_FILE "${grouped_out}")
+if(NOT grouped_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${NAME}: --group-rows 4 --threads 2 run failed (rc=${grouped_rc})")
+endif()
+
+execute_process(COMMAND "${DRIVER}" --group-rows 1 --serial
+                RESULT_VARIABLE serial_rc
+                OUTPUT_FILE "${serial_out}")
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${NAME}: --group-rows 1 --serial run failed (rc=${serial_rc})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${grouped_out}" "${serial_out}"
+                RESULT_VARIABLE differ)
+if(NOT differ EQUAL 0)
+  message(FATAL_ERROR
+          "${NAME}: grouped stdout differs from ungrouped serial — "
+          "row-group execution changed the simulated results")
+endif()

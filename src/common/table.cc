@@ -85,4 +85,43 @@ TextTable::printCsv(std::ostream &os) const
         emit(row);
 }
 
+namespace
+{
+
+/** A quoted JSON string (escapes backslash and double-quote). */
+std::string
+jsonCell(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TextTable::printJson(std::ostream &os) const
+{
+    auto emitList = [&os](const std::vector<std::string> &cells) {
+        os << "[";
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            os << (i ? ", " : "") << jsonCell(cells[i]);
+        os << "]";
+    };
+    os << "{\n  \"title\": " << jsonCell(title_) << ",\n  \"header\": ";
+    emitList(header_);
+    os << ",\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << "    ";
+        emitList(rows_[r]);
+        os << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
 } // namespace highlight

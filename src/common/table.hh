@@ -49,6 +49,14 @@ class TextTable
     /** Render as CSV (comma-separated, header first). */
     void printCsv(std::ostream &os) const;
 
+    /**
+     * Render as JSON: {"title": ..., "header": [...], "rows": [[...]]}.
+     * Cells are already formatted strings, so two dumps byte-compare
+     * equal iff the tabulated results are identical — the property the
+     * driver smoke tests rely on to diff serial vs. parallel runs.
+     */
+    void printJson(std::ostream &os) const;
+
     /** Number of data rows added so far. */
     std::size_t rowCount() const { return rows_.size(); }
 

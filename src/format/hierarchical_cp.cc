@@ -1,8 +1,11 @@
 #include "format/hierarchical_cp.hh"
 
+#include <algorithm>
 #include <functional>
+#include <memory>
 
 #include "common/logging.hh"
+#include "runtime/thread_pool.hh"
 
 namespace highlight
 {
@@ -25,67 +28,105 @@ HierarchicalCpRow::HierarchicalCpRow(const float *row, std::int64_t cols,
                                      const HssSpec &spec)
     : spec_(spec), cols_(cols)
 {
-    if (cols % spec_.totalSpan() != 0)
-        fatal(msgOf("HierarchicalCpRow: cols ", cols,
+    CpRowScratch scratch;
+    compress(row, scratch);
+}
+
+HierarchicalCpRow::HierarchicalCpRow(const float *row, std::int64_t cols,
+                                     const HssSpec &spec,
+                                     CpRowScratch &scratch)
+    : spec_(spec), cols_(cols)
+{
+    compress(row, scratch);
+}
+
+void
+HierarchicalCpRow::compress(const float *row, CpRowScratch &scratch)
+{
+    if (cols_ % spec_.totalSpan() != 0)
+        fatal(msgOf("HierarchicalCpRow: cols ", cols_,
                     " not divisible by HSS span ", spec_.totalSpan()));
-    offsets_.assign(spec_.numRanks(), {});
-
     const std::size_t nranks = spec_.numRanks();
+    offsets_.assign(nranks, {});
 
-    // Emit an all-dummy fiber subtree at the given rank (used to pad
-    // groups whose real occupancy is below G).
-    std::function<void(std::size_t)> emitDummy = [&](std::size_t n) {
-        const int g = spec_.rank(n).g;
-        for (int i = 0; i < g; ++i) {
+    // The padded layout makes every size exact up front: each rank-n
+    // group stores exactly Gn entries, so one reserve per vector is the
+    // only payload allocation the whole compression performs.
+    const std::int64_t top_span = spec_.totalSpan();
+    const std::int64_t top_groups = cols_ / top_span;
+    std::int64_t entries = top_groups;
+    for (std::size_t n = nranks; n > 0; --n) {
+        entries *= spec_.rank(n - 1).g;
+        offsets_[n - 1].reserve(static_cast<std::size_t>(entries));
+    }
+    values_.reserve(static_cast<std::size_t>(entries));
+
+    // Warm the per-rank scratch up (no-ops once sized: resize to the
+    // same count and reserve within capacity don't allocate).
+    scratch.present.resize(nranks);
+    for (std::size_t n = 0; n < nranks; ++n)
+        scratch.present[n].reserve(
+            static_cast<std::size_t>(spec_.rank(n).h));
+
+    for (std::int64_t g = 0; g < top_groups; ++g)
+        emitFiber(row, g * top_span, nranks - 1, scratch);
+}
+
+void
+HierarchicalCpRow::emitDummy(std::size_t n)
+{
+    // An all-dummy fiber subtree (used to pad groups whose real
+    // occupancy is below G).
+    const int g = spec_.rank(n).g;
+    for (int i = 0; i < g; ++i) {
+        offsets_[n].push_back(0);
+        if (n == 0)
+            values_.push_back(0.0f);
+        else
+            emitDummy(n - 1);
+    }
+}
+
+void
+HierarchicalCpRow::emitFiber(const float *row, std::int64_t base,
+                             std::size_t n, CpRowScratch &scratch)
+{
+    const GhPattern &p = spec_.rank(n);
+    const std::int64_t sub_span = spec_.blockSpan(n);
+    // Find non-empty sub-payloads among the Hn coordinates. The
+    // recursion holds one live list per rank, so rank n owns scratch
+    // slot n.
+    std::vector<int> &present = scratch.present[n];
+    present.clear();
+    for (int c = 0; c < p.h; ++c) {
+        const std::int64_t start = base + c * sub_span;
+        bool nonzero = false;
+        for (std::int64_t i = 0; i < sub_span && !nonzero; ++i)
+            nonzero = row[start + i] != 0.0f;
+        if (nonzero)
+            present.push_back(c);
+    }
+    if (static_cast<int>(present.size()) > p.g)
+        fatal(msgOf("HierarchicalCpRow: rank ", n, " fiber at value ",
+                    base, " has occupancy ", present.size(),
+                    " > G=", p.g, " (operand does not conform to ",
+                    spec_.str(), ")"));
+    for (int slot = 0; slot < p.g; ++slot) {
+        if (slot < static_cast<int>(present.size())) {
+            const int c = present[static_cast<std::size_t>(slot)];
+            offsets_[n].push_back(static_cast<std::uint8_t>(c));
+            if (n == 0)
+                values_.push_back(row[base + c]);
+            else
+                emitFiber(row, base + c * sub_span, n - 1, scratch);
+        } else {
             offsets_[n].push_back(0);
             if (n == 0)
                 values_.push_back(0.0f);
             else
                 emitDummy(n - 1);
         }
-    };
-
-    // Emit the fiber at rank n starting at value index `base`.
-    std::function<void(std::int64_t, std::size_t)> emitFiber =
-        [&](std::int64_t base, std::size_t n) {
-        const GhPattern &p = spec_.rank(n);
-        const std::int64_t sub_span = spec_.blockSpan(n);
-        // Find non-empty sub-payloads among the Hn coordinates.
-        std::vector<int> present;
-        for (int c = 0; c < p.h; ++c) {
-            const std::int64_t start = base + c * sub_span;
-            bool nonzero = false;
-            for (std::int64_t i = 0; i < sub_span && !nonzero; ++i)
-                nonzero = row[start + i] != 0.0f;
-            if (nonzero)
-                present.push_back(c);
-        }
-        if (static_cast<int>(present.size()) > p.g)
-            fatal(msgOf("HierarchicalCpRow: rank ", n, " fiber at value ",
-                        base, " has occupancy ", present.size(),
-                        " > G=", p.g, " (operand does not conform to ",
-                        spec_.str(), ")"));
-        for (int slot = 0; slot < p.g; ++slot) {
-            if (slot < static_cast<int>(present.size())) {
-                const int c = present[static_cast<std::size_t>(slot)];
-                offsets_[n].push_back(static_cast<std::uint8_t>(c));
-                if (n == 0)
-                    values_.push_back(row[base + c]);
-                else
-                    emitFiber(base + c * sub_span, n - 1);
-            } else {
-                offsets_[n].push_back(0);
-                if (n == 0)
-                    values_.push_back(0.0f);
-                else
-                    emitDummy(n - 1);
-            }
-        }
-    };
-
-    const std::int64_t top_span = spec_.totalSpan();
-    for (std::int64_t g = 0; g < cols / top_span; ++g)
-        emitFiber(g * top_span, nranks - 1);
+    }
 }
 
 std::vector<float>
@@ -138,6 +179,20 @@ HierarchicalCpRow::metadataBits() const
     return bits;
 }
 
+namespace
+{
+
+/**
+ * Rows compressed per parallel work item. Rows are independent, so the
+ * block size affects only scheduling, never the result; a block of
+ * several rows amortizes the slot lease over enough work to dominate
+ * it while still splitting bench-sized matrices (tens to hundreds of
+ * rows) across every core.
+ */
+constexpr std::int64_t kCompressRowBlock = 8;
+
+} // namespace
+
 HierarchicalCpMatrix::HierarchicalCpMatrix(const DenseTensor &matrix,
                                            const HssSpec &spec)
     : shape_(matrix.shape())
@@ -146,9 +201,36 @@ HierarchicalCpMatrix::HierarchicalCpMatrix(const DenseTensor &matrix,
         fatal("HierarchicalCpMatrix: expected a rank-2 matrix");
     const std::int64_t rows = shape_.dim(0).extent;
     const std::int64_t cols = shape_.dim(1).extent;
-    rows_.reserve(static_cast<std::size_t>(rows));
-    for (std::int64_t r = 0; r < rows; ++r)
-        rows_.emplace_back(matrix.data().data() + r * cols, cols, spec);
+    const float *data = matrix.data().data();
+
+    // Parallel compression across fixed row-blocks: the row table is
+    // sized up front (empty placeholder rows), each block fills its
+    // own disjoint slots, and each slot's content is a pure function
+    // of (row data, spec) — so the stitched-together matrix is
+    // byte-identical to serial compression at any thread count. Each
+    // worker slot reuses one CpRowScratch across all its rows
+    // (H2Pack's per-thread-buffer idiom).
+    rows_.resize(static_cast<std::size_t>(rows));
+    ThreadPool &pool = ThreadPool::global();
+    const std::int64_t num_blocks =
+        (rows + kCompressRowBlock - 1) / kCompressRowBlock;
+    const std::size_t num_workers = static_cast<std::size_t>(
+        std::min<std::int64_t>(std::max<std::int64_t>(num_blocks, 1),
+                               pool.numThreads()));
+    WorkerSlots<CpRowScratch> scratch(num_workers, [](std::size_t) {
+        return std::make_unique<CpRowScratch>();
+    });
+    pool.parallelForGroups(
+        static_cast<std::size_t>(rows),
+        static_cast<std::size_t>(kCompressRowBlock),
+        [&](std::size_t begin, std::size_t end) {
+            auto s = scratch.acquire();
+            for (std::size_t r = begin; r < end; ++r) {
+                rows_[r] = HierarchicalCpRow(
+                    data + static_cast<std::int64_t>(r) * cols, cols,
+                    spec, *s);
+            }
+        });
 }
 
 const HierarchicalCpRow &

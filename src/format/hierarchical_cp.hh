@@ -29,11 +29,31 @@ namespace highlight
 {
 
 /**
+ * Reusable per-worker scratch for row compression: one present-
+ * coordinate list per rank (the recursion holds at most one live list
+ * per rank). Sized lazily by the compressing row — after the first row
+ * warms a worker's scratch up, compressing further rows of the same
+ * spec never allocates scratch again.
+ */
+struct CpRowScratch
+{
+    std::vector<std::vector<int>> present;
+};
+
+/**
  * One compressed row (flattened fiber) of an HSS operand.
  */
 class HierarchicalCpRow
 {
   public:
+    /**
+     * An empty placeholder row (no spec, no payload), only useful as
+     * the target of an assignment — it exists so parallel matrix
+     * compression can resize the row table up front and fill the
+     * disjoint slots from worker threads.
+     */
+    HierarchicalCpRow() = default;
+
     /**
      * Compress a conforming row. `row` must have `cols` entries with
      * cols divisible by spec.totalSpan(); occupancy above G at any rank
@@ -41,6 +61,14 @@ class HierarchicalCpRow
      */
     HierarchicalCpRow(const float *row, std::int64_t cols,
                       const HssSpec &spec);
+
+    /**
+     * As above, with caller-owned scratch: reusing one CpRowScratch
+     * across many rows keeps per-row compression allocation bounded by
+     * the row's own exactly-reserved payload storage.
+     */
+    HierarchicalCpRow(const float *row, std::int64_t cols,
+                      const HssSpec &spec, CpRowScratch &scratch);
 
     /** Reconstruct the dense row. */
     std::vector<float> decompress() const;
@@ -70,6 +98,14 @@ class HierarchicalCpRow
     std::int64_t cols() const { return cols_; }
 
   private:
+    /** The whole compression, shared by both compressing ctors. */
+    void compress(const float *row, CpRowScratch &scratch);
+    /** Emit the fiber at rank n starting at value index `base`. */
+    void emitFiber(const float *row, std::int64_t base, std::size_t n,
+                   CpRowScratch &scratch);
+    /** Emit an all-dummy fiber subtree at rank n (group padding). */
+    void emitDummy(std::size_t n);
+
     HssSpec spec_;
     std::int64_t cols_ = 0;
     std::vector<float> values_;

@@ -36,6 +36,19 @@ struct GlbStats
         row_fetches += other.row_fetches;
         words_read += other.words_read;
     }
+
+    /**
+     * Fold `other` in `times` times at once. Used by the row-group
+     * worker's restream-equivalent accounting: one physically shared
+     * operand pass is charged once per row of the group, so totals
+     * stay byte-identical to each row restreaming privately.
+     */
+    void
+    accumulateScaled(const GlbStats &other, std::int64_t times)
+    {
+        row_fetches += other.row_fetches * times;
+        words_read += other.words_read * times;
+    }
 };
 
 /**

@@ -85,28 +85,38 @@ truncatedStream(std::int64_t set_idx, std::int64_t need,
 
 } // namespace
 
-RowWorker::RowWorker(const SimContext &ctx)
-    : ctx_(ctx), glb_(ctx.stream, ctx.stream_len, ctx.glb_row_words),
+RowGroupWorker::RowGroupWorker(const SimContext &ctx,
+                               int group_capacity)
+    : ctx_(ctx), group_capacity_(group_capacity),
+      glb_(ctx.stream, ctx.stream_len, ctx.glb_row_words),
       vfmu_(glb_, ctx.vfmu_capacity)
 {
+    if (group_capacity_ < 1)
+        fatal(msgOf("RowGroupWorker: group capacity ", group_capacity_,
+                    " < 1"));
     const std::size_t set_span =
         static_cast<std::size_t>(ctx_.h0) * static_cast<std::size_t>(ctx_.h1);
-    pes_.reserve(static_cast<std::size_t>(ctx_.g1));
-    for (int p = 0; p < ctx_.g1; ++p)
+    const std::size_t cap = static_cast<std::size_t>(group_capacity_);
+    const std::size_t pe_slots =
+        cap * static_cast<std::size_t>(ctx_.g1);
+    pes_.reserve(pe_slots);
+    for (std::size_t p = 0; p < pe_slots; ++p)
         pes_.emplace_back(ctx_.g0);
-    block_offsets_.assign(static_cast<std::size_t>(ctx_.g1), 0);
+    block_offsets_.assign(pe_slots, 0);
     words_.assign(set_span, 0.0f);
     blocks_.assign(set_span, 0.0f);
+    expanded_stamp_.assign(static_cast<std::size_t>(ctx_.h1), 0);
+    row_vals_.assign(cap, nullptr);
+    row_offs0_.assign(cap, nullptr);
+    row_offs1_.assign(cap, nullptr);
 }
 
 void
-RowWorker::runRow(std::int64_t row, DenseTensor &out)
+RowGroupWorker::runGroup(std::int64_t row0, int nrows, DenseTensor &out)
 {
-    const HierarchicalCpRow &cp = ctx_.a_cp->row(row);
-    const float *cp_vals = cp.values().data();
-    const std::uint8_t *cp_offs0 = cp.offsets(0).data();
-    const std::uint8_t *cp_offs1 =
-        ctx_.two_rank ? cp.offsets(1).data() : nullptr;
+    if (nrows < 1 || nrows > group_capacity_)
+        fatal(msgOf("RowGroupWorker: group of ", nrows,
+                    " rows exceeds capacity ", group_capacity_));
     const int g0 = ctx_.g0, g1 = ctx_.g1, h0 = ctx_.h0, h1 = ctx_.h1;
     const std::int64_t n = ctx_.n;
     const std::int64_t set_span =
@@ -114,35 +124,55 @@ RowWorker::runRow(std::int64_t row, DenseTensor &out)
     const OperandBStream *const bc = ctx_.b_comp;
     const bool compress_b = bc != nullptr;
 
-    // Fresh streaming state per A row: the whole B stream is
-    // re-streamed once per row. Component counters restart at zero so
-    // the per-row activity can be folded below.
+    // Resolve the group's compressed-A row pointers once.
+    for (int r = 0; r < nrows; ++r) {
+        const HierarchicalCpRow &cp = ctx_.a_cp->row(row0 + r);
+        const std::size_t rr = static_cast<std::size_t>(r);
+        row_vals_[rr] = cp.values().data();
+        row_offs0_[rr] = cp.offsets(0).data();
+        row_offs1_[rr] = ctx_.two_rank ? cp.offsets(1).data() : nullptr;
+    }
+
+    // Fresh streaming state per group: the B stream runs through the
+    // shared VFMU exactly once, broadcast to every row. Component
+    // counters restart at zero so the pass activity can be folded —
+    // restream-equivalently, once per row — below.
     glb_.reset();
     vfmu_.reset();
     for (auto &pe : pes_)
         pe.resetStats();
 
     for (std::int64_t g = 0; g < ctx_.groups; ++g) {
-        // Rank-1 skipping SAF: load the G1 selected blocks (real or
-        // dummy) stationary into the PEs for this group.
-        for (int p = 0; p < g1; ++p) {
-            const std::int64_t entry = g * g1 + p;
-            block_offsets_[static_cast<std::size_t>(p)] =
-                ctx_.two_rank ? cp_offs1[entry] : 0;
-            const float *lane_vals = cp_vals + entry * g0;
-            const std::uint8_t *lane_offs = cp_offs0 + entry * g0;
-            bool all_dummy = true;
-            for (int l = 0; l < g0; ++l)
-                all_dummy = all_dummy && lane_vals[l] == 0.0f;
-            pes_[static_cast<std::size_t>(p)].loadBlock(lane_vals,
-                                                        lane_offs);
-            stats_.a_words_loaded += g0;
-            if (all_dummy)
-                ++stats_.dummy_blocks;
+        // Rank-1 skipping SAF: load each row's G1 selected blocks
+        // (real or dummy) stationary into that row's PEs for this
+        // group.
+        for (int r = 0; r < nrows; ++r) {
+            const std::size_t rr = static_cast<std::size_t>(r);
+            const float *cp_vals = row_vals_[rr];
+            const std::uint8_t *cp_offs0 = row_offs0_[rr];
+            const std::uint8_t *cp_offs1 = row_offs1_[rr];
+            const std::size_t pe_base =
+                rr * static_cast<std::size_t>(g1);
+            for (int p = 0; p < g1; ++p) {
+                const std::int64_t entry = g * g1 + p;
+                block_offsets_[pe_base + static_cast<std::size_t>(p)] =
+                    ctx_.two_rank ? cp_offs1[entry] : 0;
+                const float *lane_vals = cp_vals + entry * g0;
+                const std::uint8_t *lane_offs = cp_offs0 + entry * g0;
+                bool all_dummy = true;
+                for (int l = 0; l < g0; ++l)
+                    all_dummy = all_dummy && lane_vals[l] == 0.0f;
+                pes_[pe_base + static_cast<std::size_t>(p)].loadBlock(
+                    lane_vals, lane_offs);
+                stats_.a_words_loaded += g0;
+                if (all_dummy)
+                    ++stats_.dummy_blocks;
+            }
         }
 
         for (std::int64_t col = 0; col < n; ++col) {
-            // VFMU shift for this (group, column) set.
+            // One shared VFMU shift for this (group, column) set,
+            // broadcast to all rows of the group.
             const std::int64_t set_idx = g * n + col;
             if (compress_b) {
                 const std::int64_t count = bc->setCountAt(set_idx);
@@ -150,22 +180,32 @@ RowWorker::runRow(std::int64_t row, DenseTensor &out)
                     static_cast<int>(count), words_.data());
                 if (got != count)
                     truncatedStream(set_idx, count, got);
-                // Expand only the G1 blocks the rank-1 SAF selected
-                // for this group, straight from the level-2/3
-                // metadata: each selected block is zeroed (H0 words)
-                // and scattered just before the PEs read it, so no
-                // all-zero invariant — and no per-step std::fill over
-                // the whole H1*H0 array — is needed. The H1-G1
-                // unselected blocks, which the old code zeroed and
-                // scattered every step, are never touched: no PE
-                // reads them.
+                // Expand only the blocks some row's rank-1 SAF
+                // selected for this group, straight from the
+                // level-2/3 metadata, each at most once per step no
+                // matter how many rows selected it (the expansion
+                // depends only on the metadata, never on the row):
+                // a selected block is zeroed (H0 words) and scattered
+                // just before the PEs read it, so no all-zero
+                // invariant — and no per-step std::fill over the
+                // whole H1*H0 array — is needed. Unselected blocks
+                // are never touched: no PE reads them.
+                ++epoch_;
                 const std::int64_t first_block = set_idx * h1;
                 const std::int64_t set_start =
                     first_block == 0 ? 0
                                      : bc->blockEndAt(first_block - 1);
-                for (int p = 0; p < g1; ++p) {
-                    const int j = static_cast<int>(
-                        block_offsets_[static_cast<std::size_t>(p)]);
+                const std::size_t pe_slots =
+                    static_cast<std::size_t>(nrows) *
+                    static_cast<std::size_t>(g1);
+                for (std::size_t s = 0; s < pe_slots; ++s) {
+                    const int j =
+                        static_cast<int>(block_offsets_[s]);
+                    if (expanded_stamp_[static_cast<std::size_t>(j)] ==
+                        epoch_)
+                        continue;
+                    expanded_stamp_[static_cast<std::size_t>(j)] =
+                        epoch_;
                     const std::int64_t blk = first_block + j;
                     const std::int64_t begin =
                         blk == 0 ? 0 : bc->blockEndAt(blk - 1);
@@ -190,29 +230,44 @@ RowWorker::runRow(std::int64_t row, DenseTensor &out)
                     truncatedStream(set_idx, set_span, got);
             }
 
-            // One processing step: all PEs in parallel, partial sums
-            // spatially accumulated, then one RF update.
-            double psum = 0.0;
-            for (int p = 0; p < g1; ++p) {
-                const float *blk =
-                    blocks_.data() +
-                    static_cast<std::int64_t>(
-                        block_offsets_[static_cast<std::size_t>(p)]) *
-                        h0;
-                psum += pes_[static_cast<std::size_t>(p)].step(blk, h0);
+            // One processing step per row: each row's PEs in
+            // parallel, partial sums spatially accumulated, then one
+            // RF update per row — the exact serial per-row operation
+            // sequence, so outputs are byte-identical to ungrouped
+            // execution.
+            for (int r = 0; r < nrows; ++r) {
+                const std::size_t pe_base =
+                    static_cast<std::size_t>(r) *
+                    static_cast<std::size_t>(g1);
+                double psum = 0.0;
+                for (int p = 0; p < g1; ++p) {
+                    const std::size_t slot =
+                        pe_base + static_cast<std::size_t>(p);
+                    const float *blk =
+                        blocks_.data() +
+                        static_cast<std::int64_t>(
+                            block_offsets_[slot]) *
+                            h0;
+                    psum += pes_[slot].step(blk, h0);
+                }
+                ++stats_.cycles;
+                ++stats_.psum_updates;
+                const std::int64_t out_idx = (row0 + r) * n + col;
+                out.setFlatUnchecked(out_idx,
+                                     out.atFlatUnchecked(out_idx) +
+                                         static_cast<float>(psum));
             }
-            ++stats_.cycles;
-            ++stats_.psum_updates;
-            const std::int64_t out_idx = row * n + col;
-            out.setFlatUnchecked(out_idx,
-                                 out.atFlatUnchecked(out_idx) +
-                                     static_cast<float>(psum));
         }
     }
 
-    // Fold this row's component activity into the worker aggregate.
-    stats_.glb_b.accumulate(glb_.stats());
-    stats_.vfmu.accumulate(vfmu_.stats());
+    // Fold the group's component activity into the worker aggregate.
+    // The GLB/VFMU pass was shared physically but is accounted
+    // restream-equivalently: its counters are a pure function of the
+    // stream and shift sequence (row-independent), so each row of the
+    // group is charged one full pass — keeping every total
+    // byte-identical to ungrouped execution.
+    stats_.glb_b.accumulateScaled(glb_.stats(), nrows);
+    stats_.vfmu.accumulateScaled(vfmu_.stats(), nrows);
     for (const auto &pe : pes_)
         stats_.pe.accumulate(pe.stats());
 }
@@ -222,6 +277,9 @@ HighlightSimulator::HighlightSimulator(MicrosimConfig config)
 {
     if (config_.glb_row_words < 1)
         fatal("HighlightSimulator: glb_row_words < 1");
+    if (config_.group_rows < 0)
+        fatal(msgOf("HighlightSimulator: group_rows ",
+                    config_.group_rows, " < 0 (0 means auto)"));
 }
 
 SimResult
@@ -306,27 +364,39 @@ HighlightSimulator::run(const DenseTensor &a, const HssSpec &a_spec,
 
     SimResult result{DenseTensor(TensorShape({{"M", m}, {"N", n}})), {}};
 
-    // Row-parallel steady state: output rows are shared-nothing (each
-    // restreams B from the top through its own GLB view and VFMU), so
-    // they fan out across the runtime pool. One RowWorker per pool
-    // slot, leased per row; grain 1 because one row is milliseconds of
-    // work. Each row writes only its own output slots with the serial
-    // code's exact operation sequence, so results are byte-identical
-    // at any thread count.
+    // Group-parallel steady state: rows are partitioned into fixed
+    // contiguous groups of `group` rows; each group performs one
+    // shared operand-B pass broadcast to its rows (the hardware's
+    // column broadcast), and disjoint groups are shared-nothing, so
+    // they fan out across the runtime pool. One RowGroupWorker per
+    // pool slot, leased per group; one group per claim because one
+    // group is milliseconds of work. Each group writes only its own
+    // rows' output slots with the serial code's exact per-row
+    // operation sequence, and the partition depends only on (M,
+    // group), so results are byte-identical at any thread count and
+    // any group size.
+    const std::int64_t group = std::max<std::int64_t>(
+        1, std::min<std::int64_t>(
+               m, config_.group_rows > 0
+                      ? config_.group_rows
+                      : static_cast<std::int64_t>(
+                            MicrosimConfig::kDefaultGroupRows)));
+    const std::int64_t num_groups = (m + group - 1) / group;
     ThreadPool &pool = ThreadPool::global();
     const std::size_t num_workers = static_cast<std::size_t>(
-        std::min<std::int64_t>(m, pool.numThreads()));
-    WorkerSlots<RowWorker> workers(num_workers, [&](std::size_t) {
-        return std::make_unique<RowWorker>(ctx);
+        std::min<std::int64_t>(num_groups, pool.numThreads()));
+    WorkerSlots<RowGroupWorker> workers(num_workers, [&](std::size_t) {
+        return std::make_unique<RowGroupWorker>(
+            ctx, static_cast<int>(group));
     });
-    pool.parallelFor(
-        static_cast<std::size_t>(m),
-        [&](std::size_t row) {
+    pool.parallelForGroups(
+        static_cast<std::size_t>(m), static_cast<std::size_t>(group),
+        [&](std::size_t begin, std::size_t end) {
             auto worker = workers.acquire();
-            worker->runRow(static_cast<std::int64_t>(row),
-                           result.output);
-        },
-        /*grain=*/1);
+            worker->runGroup(static_cast<std::int64_t>(begin),
+                             static_cast<int>(end - begin),
+                             result.output);
+        });
 
     // Deterministic ordered reduction of the per-worker counters on
     // the calling thread (no atomics): every counter is additive, so

@@ -53,6 +53,19 @@ struct MicrosimConfig
     int vfmu_capacity_words = 0;
     /** Stream operand B compressed (Sec 6.4) or dense. */
     bool compress_b = false;
+    /**
+     * Output rows executed per shared operand-B pass (the software
+     * analogue of the PE array's column broadcast: one VFMU stream
+     * feeds a whole group of rows instead of each row restreaming B
+     * privately). 0 = auto (kDefaultGroupRows, clamped to M). Any
+     * value produces byte-identical outputs and counters — fidelity
+     * counters are accounted restream-equivalently per row — so this
+     * is purely a host-performance knob.
+     */
+    int group_rows = 0;
+
+    /** The auto resolution of group_rows = 0. */
+    static constexpr int kDefaultGroupRows = 8;
 };
 
 /** Aggregated activity of one simulation. */
@@ -119,31 +132,57 @@ struct SimContext
 };
 
 /**
- * The per-row steady state of the datapath: one GLB view over the
- * shared stream, one VFMU, the G1-PE array, and all loop scratch —
- * constructed once (per thread-pool slot) and reset per output row.
- * Rows are shared-nothing (each A row restreams operand B from the
- * top), so any number of workers can run disjoint rows concurrently
- * with byte-identical outputs and counters. runRow() never allocates.
+ * The steady state of the datapath for a contiguous group of output
+ * rows: one GLB view over the shared stream, one VFMU, a per-row
+ * G1-PE array, and all loop scratch — constructed once (per
+ * thread-pool slot) and reset per group. A group performs ONE shared
+ * VFMU pass over the operand-B stream and fans every decoded/expanded
+ * block out to the group's per-row PE accumulation states, mirroring
+ * the hardware's column broadcast — instead of each row restreaming B
+ * through a private VFMU.
+ *
+ * Fidelity counters stay restream-equivalent: the shared pass's
+ * GLB/VFMU activity is a pure function of the stream and the shift
+ * sequence (it does not depend on the A row), so it is accounted once
+ * per row of the group — byte-identical totals to ungrouped serial
+ * execution at any group size and any thread count. Groups are
+ * shared-nothing, so any number of workers can run disjoint groups
+ * concurrently. runGroup() never allocates.
  */
-class RowWorker
+class RowGroupWorker
 {
   public:
-    explicit RowWorker(const SimContext &ctx);
+    /**
+     * @param ctx            The shared read-only run context.
+     * @param group_capacity Max rows per runGroup() call (scratch and
+     *                       PE state are sized for this many rows).
+     */
+    explicit RowGroupWorker(const SimContext &ctx,
+                            int group_capacity = 1);
 
-    RowWorker(const RowWorker &) = delete;
-    RowWorker &operator=(const RowWorker &) = delete;
+    RowGroupWorker(const RowGroupWorker &) = delete;
+    RowGroupWorker &operator=(const RowGroupWorker &) = delete;
 
     /**
-     * Simulate output row `row`, accumulating into out[row*N .. +N).
-     * Panics if the operand-B stream ends early (a short VFMU read
-     * would otherwise silently compute with stale scratch from the
-     * previous step).
+     * Simulate output rows [row0, row0 + nrows), accumulating into
+     * out[r*N .. +N) for each row r, via one shared operand-B pass.
+     * `nrows` must be in [1, groupCapacity()]. Panics if the
+     * operand-B stream ends early (a short VFMU read would otherwise
+     * silently compute with stale scratch from the previous step).
      */
-    void runRow(std::int64_t row, DenseTensor &out);
+    void runGroup(std::int64_t row0, int nrows, DenseTensor &out);
+
+    /** Single-row convenience (the ungrouped steady state). */
+    void
+    runRow(std::int64_t row, DenseTensor &out)
+    {
+        runGroup(row, 1, out);
+    }
 
     /** Activity accumulated over every row this worker has run. */
     const SimStats &stats() const { return stats_; }
+
+    int groupCapacity() const { return group_capacity_; }
 
   private:
     /**
@@ -153,20 +192,38 @@ class RowWorker
      * worker (as the SimContext doc requires).
      */
     const SimContext ctx_;
+    const int group_capacity_;
     MicroGlb glb_; ///< Own view (fetch cursor + stats) of the stream.
     Vfmu vfmu_;
+    /** group_capacity * G1 PEs, row-major (row slot r owns [r*G1, +G1)). */
     std::vector<MicroPe> pes_;
-    std::vector<std::uint8_t> block_offsets_; ///< Selected rank-1 offsets.
+    /** Selected rank-1 offsets, group_capacity * G1, row-major. */
+    std::vector<std::uint8_t> block_offsets_;
     std::vector<float> words_;  ///< One shift's packed words.
     /**
-     * H1 aligned blocks, flat h1*h0. On the compressed-B path only
-     * the G1 SAF-selected blocks of a step are zeroed and scattered
-     * (right before the PEs read them); unselected slots hold stale
-     * words no PE ever reads.
+     * H1 aligned blocks, flat h1*h0, shared by every row of the
+     * group (the expansion of a block depends only on the operand-B
+     * metadata, never on the row). On the compressed-B path only the
+     * blocks some row's rank-1 SAF selected are zeroed and scattered
+     * (each at most once per step, tracked by `expanded_stamp_`);
+     * unselected slots hold stale words no PE ever reads.
      */
     std::vector<float> blocks_;
+    /** Per-H1-slot epoch stamp: expanded this step iff == epoch_. */
+    std::vector<std::uint64_t> expanded_stamp_;
+    std::uint64_t epoch_ = 0;
+    /** Per-row-slot CP row pointers, refreshed at group start. */
+    std::vector<const float *> row_vals_;
+    std::vector<const std::uint8_t *> row_offs0_;
+    std::vector<const std::uint8_t *> row_offs1_;
     SimStats stats_;
 };
+
+/**
+ * The historical single-row worker name; a RowGroupWorker with the
+ * default group capacity of one row.
+ */
+using RowWorker = RowGroupWorker;
 
 /**
  * The micro-simulator.
@@ -177,12 +234,15 @@ class HighlightSimulator
     explicit HighlightSimulator(MicrosimConfig config = {});
 
     /**
-     * Run C = A * B, parallelized across output rows on
-     * ThreadPool::global(). Rows are shared-nothing, every worker's
-     * counters are folded in a fixed order on the calling thread, and
-     * each output element is produced by exactly the serial operation
-     * sequence — results and every SimStats counter are byte-identical
-     * at any thread count.
+     * Run C = A * B, parallelized across row groups on
+     * ThreadPool::global(): rows are partitioned into fixed
+     * contiguous groups of config().group_rows (auto-resolved), each
+     * group shares one operand-B pass, and groups fan out across the
+     * pool. Groups are shared-nothing, every worker's counters are
+     * folded in a fixed order on the calling thread, and each output
+     * element is produced by exactly the serial operation sequence —
+     * results and every SimStats counter are byte-identical at any
+     * thread count and any group size.
      *
      * @param a      Weight matrix (M x K), must conform to `a_spec`.
      * @param a_spec The HSS pattern of A (1 or 2 ranks); the PE count

@@ -46,6 +46,20 @@ struct VfmuStats
         skipped_fetches += other.skipped_fetches;
         words_out += other.words_out;
     }
+
+    /**
+     * Fold `other` in `times` times at once. Used by the row-group
+     * worker's restream-equivalent accounting: one physically shared
+     * operand pass is charged once per row of the group, so totals
+     * stay byte-identical to each row restreaming privately.
+     */
+    void
+    accumulateScaled(const VfmuStats &other, std::int64_t times)
+    {
+        shifts += other.shifts * times;
+        skipped_fetches += other.skipped_fetches * times;
+        words_out += other.words_out * times;
+    }
 };
 
 /**

@@ -183,4 +183,27 @@ ThreadPool::parallelFor(std::size_t n,
         std::rethrow_exception(job->error);
 }
 
+void
+ThreadPool::parallelForGroups(
+    std::size_t total, std::size_t group,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (group == 0)
+        fatal("ThreadPool::parallelForGroups: group size 0");
+    if (total == 0)
+        return;
+    // The fixed partition: group g covers [g*group, min(+group, total)).
+    // Only (total, group) determine it, so results that are
+    // deterministic per group are deterministic at any thread count.
+    const std::size_t num_groups = (total + group - 1) / group;
+    parallelFor(
+        num_groups,
+        [&](std::size_t g) {
+            const std::size_t begin = g * group;
+            const std::size_t end = std::min(begin + group, total);
+            fn(begin, end);
+        },
+        /*grain=*/1);
+}
+
 } // namespace highlight

@@ -103,6 +103,20 @@ class ThreadPool
     std::size_t autoGrain(std::size_t n) const;
 
     /**
+     * Run fn(begin, end) for every fixed contiguous group
+     * [g*group, min((g+1)*group, total)), blocking until all complete.
+     * The partition depends only on (total, group) — never on the
+     * thread count or scheduling — so any group-local computation that
+     * is deterministic per group is deterministic overall. One group is
+     * one work item (grain 1): group bodies are expected to be
+     * milliseconds of work. Inherits parallelFor's exception and
+     * nested-call behavior.
+     */
+    void parallelForGroups(
+        std::size_t total, std::size_t group,
+        const std::function<void(std::size_t, std::size_t)> &fn);
+
+    /**
      * Deterministic map: out[i] = fn(i) for i in [0, n). The result
      * type must be default-constructible; slots are written in place
      * so the output order never depends on scheduling.

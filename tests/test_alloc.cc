@@ -249,6 +249,66 @@ TEST(AllocFree, RowWorkerSteadyStateAllocatesNothingAfterWarmUp)
     }
 }
 
+TEST(AllocFree, GroupWorkerSteadyStateAllocatesNothingAfterWarmUp)
+{
+    HIGHLIGHT_REQUIRE_COUNTING();
+    // The row-group worker sized for several rows: after construction,
+    // any mix of full groups, partial trailing groups, and single rows
+    // — dense or compressed — must not allocate a single time. The
+    // shared-pass scratch (union block expansion, per-row CP pointer
+    // tables) is all sized at construction.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(41);
+    const std::int64_t m = 10, k = spec.totalSpan() * 6, n = 12;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomUnstructured(
+        TensorShape({{"K", k}, {"N", n}}), 0.5, rng);
+    const HierarchicalCpMatrix a_cp(a, spec);
+    const std::int64_t set_span = spec.totalSpan();
+
+    const auto stream = buildOrderedBStream(b, set_span);
+    const OperandBStream b_comp(
+        stream.data(), static_cast<std::int64_t>(stream.size()), 4, 4);
+
+    SimContext ctx;
+    ctx.a_cp = &a_cp;
+    ctx.glb_row_words = 16;
+    ctx.vfmu_capacity = 48;
+    ctx.g0 = 2;
+    ctx.h0 = 4;
+    ctx.g1 = 2;
+    ctx.h1 = 4;
+    ctx.two_rank = true;
+    ctx.groups = k / set_span;
+    ctx.n = n;
+
+    DenseTensor out(TensorShape({{"M", m}, {"N", n}}));
+    for (const bool compressed : {false, true}) {
+        SimContext mode = ctx;
+        if (compressed) {
+            mode.b_comp = &b_comp;
+            mode.stream = b_comp.valuesData();
+            mode.stream_len = b_comp.dataWords();
+        } else {
+            mode.stream = stream.data();
+            mode.stream_len = static_cast<std::int64_t>(stream.size());
+        }
+        RowGroupWorker worker(mode, /*group_capacity=*/4);
+        const long long before = g_allocs.load();
+        for (int pass = 0; pass < 3; ++pass) {
+            worker.runGroup(0, 4, out);  // full group
+            worker.runGroup(4, 4, out);  // full group
+            worker.runGroup(8, 2, out);  // partial trailing group
+            worker.runRow(0, out);       // single-row convenience
+        }
+        const long long after = g_allocs.load();
+        EXPECT_EQ(after - before, 0)
+            << (compressed ? "compressed" : "dense") << " groups";
+        EXPECT_GT(worker.stats().cycles, 0);
+    }
+}
+
 TEST(AllocFree, PeLoadAndStepFromPointersNeverAllocate)
 {
     HIGHLIGHT_REQUIRE_COUNTING();

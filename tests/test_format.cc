@@ -14,6 +14,7 @@
 #include "format/hierarchical_cp.hh"
 #include "format/operand_b.hh"
 #include "format/rle.hh"
+#include "runtime/thread_pool.hh"
 #include "sparsity/sparsify.hh"
 #include "tensor/generator.hh"
 
@@ -138,6 +139,66 @@ TEST(HierarchicalCp, DenseSpecCompressionRatioBelowOne)
     const HierarchicalCpMatrix cp(dense, spec);
     EXPECT_LT(cp.compressionRatio(), 1.0);
     EXPECT_TRUE(cp.decompress().equals(dense));
+}
+
+TEST(HierarchicalCp, ParallelCompressionByteIdenticalToSerial)
+{
+    // Matrix compression fans row-blocks out on the global pool; the
+    // compressed payload must be byte-identical to the 1-thread run at
+    // any pool size. 37 rows exercises a partial trailing row-block.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(4, 8)});
+    Rng rng(53);
+    const std::int64_t rows = 37, cols = spec.totalSpan() * 4;
+    const auto sparse = hssSparsify(
+        randomDense(TensorShape({{"M", rows}, {"K", cols}}), rng),
+        spec);
+
+    ThreadPool::setGlobalThreads(1);
+    const HierarchicalCpMatrix serial(sparse, spec);
+    for (const int threads : {2, ThreadPool::defaultThreadCount()}) {
+        ThreadPool::setGlobalThreads(threads);
+        const HierarchicalCpMatrix parallel(sparse, spec);
+        ASSERT_EQ(parallel.numRows(), serial.numRows());
+        for (std::int64_t r = 0; r < serial.numRows(); ++r) {
+            const HierarchicalCpRow &a = serial.row(r);
+            const HierarchicalCpRow &b = parallel.row(r);
+            EXPECT_EQ(a.values(), b.values())
+                << "row " << r << " threads=" << threads;
+            for (std::size_t n = 0; n < spec.numRanks(); ++n) {
+                EXPECT_EQ(a.offsets(n), b.offsets(n))
+                    << "row " << r << " rank " << n
+                    << " threads=" << threads;
+            }
+        }
+        EXPECT_EQ(parallel.dataWords(), serial.dataWords());
+        EXPECT_EQ(parallel.metadataBits(), serial.metadataBits());
+    }
+    ThreadPool::setGlobalThreads(0);
+}
+
+TEST(HierarchicalCp, ScratchReuseMatchesFreshScratchRows)
+{
+    // One CpRowScratch reused across rows (the parallel workers'
+    // steady state) must produce the same compression as a fresh
+    // scratch per row — scratch is pure workspace, never state.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(59);
+    const std::int64_t rows = 6, cols = spec.totalSpan() * 3;
+    const auto sparse = hssSparsify(
+        randomDense(TensorShape({{"M", rows}, {"K", cols}}), rng),
+        spec);
+    const float *data = sparse.data().data();
+
+    CpRowScratch reused;
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const HierarchicalCpRow with_reuse(data + r * cols, cols, spec,
+                                           reused);
+        const HierarchicalCpRow fresh(data + r * cols, cols, spec);
+        EXPECT_EQ(with_reuse.values(), fresh.values()) << "row " << r;
+        for (std::size_t n = 0; n < spec.numRanks(); ++n)
+            EXPECT_EQ(with_reuse.offsets(n), fresh.offsets(n))
+                << "row " << r << " rank " << n;
+    }
 }
 
 TEST(OperandB, Fig12WorkedExample)

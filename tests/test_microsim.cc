@@ -635,6 +635,125 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 /**
+ * Group-size determinism: the row-group worker's shared operand-B pass
+ * with restream-equivalent accounting must leave outputs AND every
+ * SimStats counter byte-identical to ungrouped serial execution, at
+ * every group size x pool size x compress_b. The ungrouped serial run
+ * (group_rows=1, one thread) is the reference: it restreams B per row
+ * exactly like the pre-row-group implementation.
+ */
+class GroupDeterminism : public ::testing::TestWithParam<bool>
+{
+  protected:
+    void TearDown() override { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST_P(GroupDeterminism, MatchesUngroupedSerialAtEveryGroupAndPoolSize)
+{
+    const bool compress_b = GetParam();
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng_a(81), rng_b(82);
+    // m = 10 exercises a partial trailing group at sizes 4 and 8.
+    const std::int64_t m = 10;
+    const std::int64_t k = spec.totalSpan() * 4;
+    const std::int64_t n = 16;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng_a), spec);
+    const auto b =
+        compress_b
+            ? randomUnstructured(TensorShape({{"K", k}, {"N", n}}), 0.5,
+                                 rng_b)
+            : randomDense(TensorShape({{"K", k}, {"N", n}}), rng_b);
+
+    MicrosimConfig base_cfg;
+    base_cfg.compress_b = compress_b;
+    base_cfg.group_rows = 1;
+    ThreadPool::setGlobalThreads(1);
+    const auto base = HighlightSimulator(base_cfg).run(a, spec, b);
+    EXPECT_GT(base.stats.cycles, 0);
+
+    for (const int group_rows : {1, 2, 4, 8}) {
+        for (const int threads :
+             {1, 2, ThreadPool::defaultThreadCount()}) {
+            ThreadPool::setGlobalThreads(threads);
+            MicrosimConfig cfg;
+            cfg.compress_b = compress_b;
+            cfg.group_rows = group_rows;
+            const auto r = HighlightSimulator(cfg).run(a, spec, b);
+            const std::string at = "group_rows=" +
+                                   std::to_string(group_rows) +
+                                   " threads=" +
+                                   std::to_string(threads);
+            ASSERT_EQ(r.output.data().size(),
+                      base.output.data().size());
+            EXPECT_EQ(
+                std::memcmp(r.output.data().data(),
+                            base.output.data().data(),
+                            base.output.data().size() * sizeof(float)),
+                0)
+                << at;
+            const SimStats &s = r.stats, &g = base.stats;
+            EXPECT_EQ(s.cycles, g.cycles) << at;
+            EXPECT_EQ(s.a_words_loaded, g.a_words_loaded) << at;
+            EXPECT_EQ(s.psum_updates, g.psum_updates) << at;
+            EXPECT_EQ(s.dummy_blocks, g.dummy_blocks) << at;
+            EXPECT_EQ(s.glb_b.row_fetches, g.glb_b.row_fetches) << at;
+            EXPECT_EQ(s.glb_b.words_read, g.glb_b.words_read) << at;
+            EXPECT_EQ(s.vfmu.shifts, g.vfmu.shifts) << at;
+            EXPECT_EQ(s.vfmu.skipped_fetches, g.vfmu.skipped_fetches)
+                << at;
+            EXPECT_EQ(s.vfmu.words_out, g.vfmu.words_out) << at;
+            EXPECT_EQ(s.pe.mac_ops, g.pe.mac_ops) << at;
+            EXPECT_EQ(s.pe.gated_macs, g.pe.gated_macs) << at;
+            EXPECT_EQ(s.pe.mux_selects, g.pe.mux_selects) << at;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseAndCompressedB, GroupDeterminism,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "comp_b" : "dense_b";
+                         });
+
+TEST(GroupWorker, GroupCapacityMustCoverTheRequestedGroup)
+{
+    // Driving the worker directly with more rows than its scratch was
+    // sized for is a caller bug and must fail loudly, not corrupt
+    // adjacent per-row PE state.
+    const HssSpec spec({GhPattern(2, 4), GhPattern(2, 4)});
+    Rng rng(91);
+    const std::int64_t m = 4, k = spec.totalSpan() * 2, n = 4;
+    const auto a = hssSparsify(
+        randomDense(TensorShape({{"M", m}, {"K", k}}), rng), spec);
+    const auto b = randomDense(TensorShape({{"K", k}, {"N", n}}), rng);
+    const HierarchicalCpMatrix a_cp(a, spec);
+    const auto stream = buildOrderedBStream(b, spec.totalSpan());
+
+    SimContext ctx;
+    ctx.a_cp = &a_cp;
+    ctx.stream = stream.data();
+    ctx.stream_len = static_cast<std::int64_t>(stream.size());
+    ctx.glb_row_words = 16;
+    ctx.vfmu_capacity = 48;
+    ctx.g0 = 2;
+    ctx.h0 = 4;
+    ctx.g1 = 2;
+    ctx.h1 = 4;
+    ctx.two_rank = true;
+    ctx.groups = k / spec.totalSpan();
+    ctx.n = n;
+
+    RowGroupWorker worker(ctx, /*group_capacity=*/2);
+    DenseTensor out(TensorShape({{"M", m}, {"N", n}}));
+    EXPECT_THROW(worker.runGroup(0, 3, out), FatalError);
+    EXPECT_THROW(worker.runGroup(0, 0, out), FatalError);
+    // Within capacity it runs fine.
+    worker.runGroup(0, 2, out);
+    EXPECT_GT(worker.stats().cycles, 0);
+}
+
+/**
  * DSSO (Sec 7.5) functional property across the supported B degrees:
  * exact results, block-level time skipping, and the Fig 17 speed ratio
  * vs. HighLight's gating-only datapath.

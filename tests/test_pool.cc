@@ -10,10 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/thread_pool.hh"
@@ -143,6 +146,64 @@ TEST(PoolEdge, HighlightThreads1MatchesMultiThreadedResults)
         ASSERT_EQ(setenv("HIGHLIGHT_THREADS", saved.c_str(), 1), 0);
     else
         ASSERT_EQ(unsetenv("HIGHLIGHT_THREADS"), 0);
+}
+
+TEST(PoolGroups, FixedPartitionCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (const std::size_t total : {1u, 7u, 8u, 9u, 64u}) {
+        for (const std::size_t group : {1u, 3u, 8u, 100u}) {
+            std::vector<std::atomic<int>> counts(total);
+            pool.parallelForGroups(
+                total, group, [&](std::size_t begin, std::size_t end) {
+                    ASSERT_LT(begin, end);
+                    ASSERT_LE(end, total);
+                    // The partition is the fixed one: begin on a group
+                    // boundary, end a full group later or the total.
+                    EXPECT_EQ(begin % group, 0u);
+                    EXPECT_TRUE(end == begin + group || end == total);
+                    for (std::size_t i = begin; i < end; ++i)
+                        counts[i].fetch_add(1);
+                });
+            for (std::size_t i = 0; i < total; ++i)
+                EXPECT_EQ(counts[i].load(), 1)
+                    << "total=" << total << " group=" << group
+                    << " i=" << i;
+        }
+    }
+}
+
+TEST(PoolGroups, ZeroTotalIsANoOpAndZeroGroupIsFatal)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelForGroups(0, 4, [&](std::size_t, std::size_t) {
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_THROW(pool.parallelForGroups(
+                     4, 0, [&](std::size_t, std::size_t) {}),
+                 FatalError);
+}
+
+TEST(PoolGroups, PartitionIsIdenticalAcrossPoolSizes)
+{
+    // The group boundaries must be a pure function of (total, group):
+    // collect them at 1 thread and at several, compare as sets.
+    const std::size_t total = 29, group = 4;
+    auto boundaries = [&](ThreadPool &pool) {
+        std::mutex mu;
+        std::vector<std::pair<std::size_t, std::size_t>> out;
+        pool.parallelForGroups(
+            total, group, [&](std::size_t begin, std::size_t end) {
+                std::lock_guard<std::mutex> lock(mu);
+                out.emplace_back(begin, end);
+            });
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    ThreadPool serial(1), parallel(4);
+    EXPECT_EQ(boundaries(serial), boundaries(parallel));
 }
 
 TEST(WorkerSlots, SlotsAreExclusiveWhileLeasedAndReusedAfter)
