@@ -145,9 +145,19 @@ main(int argc, char **argv)
               << matrix.flat().size() << " cache hits=" << stats.hits
               << " misses=" << stats.misses << " hit rate="
               << TextTable::fmt(stats.hitRate() * 100.0, 1) << "%\n";
+    bool cache_save_failed = false;
     if (!cache_cfg.file.empty()) {
+        // FlushStatus separates a real I/O failure (the warm cache
+        // was dropped — fail the driver loudly) from "saved"; NoFile
+        // is impossible here since a file is configured.
+        const auto flushed = ev.flushCache();
+        cache_save_failed = flushed != EvalCache::FlushStatus::Saved;
         std::cout << "[runtime] cache file: " << cache_cfg.file << " ("
-                  << (ev.flushCache() ? "saved" : "SAVE FAILED") << ")\n";
+                  << (cache_save_failed ? "SAVE FAILED" : "saved")
+                  << ")\n";
+        if (cache_save_failed)
+            std::cerr << "fig14: cache save to " << cache_cfg.file
+                      << " failed — the next run starts cold\n";
     }
     if (!json_path.empty() &&
         !writeResultsJson(json_path, matrix.flat())) {
@@ -157,7 +167,7 @@ main(int argc, char **argv)
     if (serial_only) {
         std::cout << "[runtime] serial sweep: "
                   << TextTable::fmt(sweep_seconds * 1e3, 2) << " ms\n";
-        return 0;
+        return cache_save_failed ? 1 : 0;
     }
     ThreadPool::setGlobalThreads(1);
     const Evaluator ev_serial{EvalCacheConfig{}}; // cold cache: fair pass
@@ -186,7 +196,7 @@ main(int argc, char **argv)
                   << "x, bit-identical: " << (identical ? "yes" : "NO")
                   << "\n";
     }
-    // A determinism regression must fail the process so CI's smoke
-    // run catches it.
-    return identical ? 0 : 1;
+    // A determinism regression (or a dropped warm cache) must fail
+    // the process so CI's smoke run catches it.
+    return identical && !cache_save_failed ? 0 : 1;
 }

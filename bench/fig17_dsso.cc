@@ -19,6 +19,18 @@
  * server pattern — reporting how many queued evaluations were
  * reclaimed. The `--json` dump covers only the tabulated degrees and
  * is byte-identical with or without --prune.
+ *
+ * `--shard i/N` evaluates only this shard's contiguous slice of the
+ * degree list (DesignSpaceExplorer::shardRange — the same pure
+ * partition function the fig15 shards use), so N processes sharing
+ * one `--cache-file` split the sweep; the shard's `--json` dump is
+ * the matching contiguous slice of the full run's array
+ * (ctest-asserted by compare_shard.cmake, which re-assembles the
+ * shards' dumps and byte-compares against the single-process dump).
+ * --prune refuses to combine with --shard: whether a speculative
+ * job lands before cancelAll() is timing-dependent, which would
+ * make the shared cache's contents — and a warm rerun's hit rate —
+ * nondeterministic.
  */
 
 #include <iostream>
@@ -26,6 +38,7 @@
 #include "common/random.hh"
 #include "common/table.hh"
 #include "core/evaluator.hh"
+#include "core/explorer.hh"
 #include "microsim/dsso_sim.hh"
 #include "microsim/simulator.hh"
 #include "runtime_flags.hh"
@@ -40,6 +53,18 @@ main(int argc, char **argv)
     const bool prune = parseFlag(argc, argv, "--prune");
     configureRuntimeThreads(argc, argv);
     const std::string json_path = parseOptionValue(argc, argv, "--json");
+    const ShardSpec shard = parseShardFlag(argc, argv);
+    if (shard.enabled() && prune)
+        fatal("--shard contradicts --prune: speculative-shed timing "
+              "would make the shared cache contents nondeterministic");
+
+    // --cache-file: persistent eval cache, shareable across shard
+    // processes (flushes are locked merge-on-flush).
+    EvalCacheConfig cache_cfg = EvalCacheConfig::fromEnv();
+    const std::string cache_file =
+        parseOptionValue(argc, argv, "--cache-file");
+    if (!cache_file.empty())
+        cache_cfg.file = cache_file;
     // Rows per shared operand-B pass for the microsim cross-checks
     // below (0 = auto). Outputs are byte-identical at any value, which
     // the smoke ctest asserts by diffing this driver's stdout across
@@ -47,7 +72,7 @@ main(int argc, char **argv)
     MicrosimConfig microsim_cfg;
     microsim_cfg.group_rows = parseGroupRowsFlag(argc, argv);
 
-    Evaluator ev;
+    Evaluator ev(cache_cfg);
     const Accelerator &hl = ev.design("HighLight");
     const Accelerator &dsso = ev.design("DSSO");
 
@@ -89,9 +114,19 @@ main(int argc, char **argv)
         EvalService::Ticket dsso_ticket = 0;
         EvalService::Ticket hl_ticket = 0;
     };
+    // The tabulated degrees, h ascending; a shard submits (and
+    // cross-checks) only its contiguous slice, so the full table is
+    // the concatenation of the shards' tables in shard order.
+    std::vector<int> hs;
+    for (int h = 2; h <= 8; ++h)
+        hs.push_back(h);
+    const auto [h_begin, h_end] = DesignSpaceExplorer::shardRange(
+        hs.size(), shard.index, shard.count);
+
     std::vector<DegreeJobs> degrees;
     std::vector<EvalResult> analytic; // dsso, hl per degree, h order
-    for (int h = 2; h <= 8; ++h) {
+    for (std::size_t i = h_begin; i < h_end; ++i) {
+        const int h = hs[i];
         const auto [w, w_hl] = workloadsFor(h);
         DegreeJobs d;
         d.h = h;
@@ -172,6 +207,13 @@ main(int argc, char **argv)
 
     if (!json_path.empty() && !writeResultsJson(json_path, analytic)) {
         std::cerr << "fig17: cannot write " << json_path << "\n";
+        return 1;
+    }
+    // Merge into the (possibly shared) cache file now so a save
+    // failure fails the shard loudly instead of warning from the
+    // destructor's best-effort flush.
+    if (ev.flushCache() == EvalCache::FlushStatus::Failed) {
+        std::cerr << "fig17: failed to save " << cache_cfg.file << "\n";
         return 1;
     }
     return 0;

@@ -25,6 +25,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/evaluator.hh"
+#include "core/frontier_io.hh"
 #include "runtime/thread_pool.hh"
 
 namespace highlight
@@ -190,19 +191,10 @@ configureTimedDriverThreads(int argc, char **argv)
     return t;
 }
 
-/** A quoted JSON string (escapes backslash and double-quote). */
-inline std::string
-jsonQuote(const std::string &s)
-{
-    std::string out = "\"";
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
+// jsonQuote / FrontierEntry / writeFrontierJson now live in
+// core/frontier_io.hh (included above) so the sharded-sweep
+// supervisor example can read, merge and re-emit frontier dumps
+// without depending on this bench-only header.
 
 /**
  * Dump eval results as a JSON array. Doubles print with max_digits10
@@ -254,40 +246,58 @@ writeDnnResultsJson(const std::string &path,
     return static_cast<bool>(out);
 }
 
-/** One Pareto-frontier point of a fig15-style sweep. */
-struct FrontierEntry
+/**
+ * One shard of a deterministically partitioned multi-process sweep:
+ * `--shard i/N` (strictly parsed, like --threads: a malformed value
+ * is fatal, because a silently ignored typo would run the full sweep
+ * N times instead of 1/N of it N times). index is in [0, count).
+ */
+struct ShardSpec
 {
-    std::string model;
-    std::string design;
-    double accuracy_loss = 0.0;
-    double norm_edp = 0.0;
+    int index = 0;
+    int count = 1;
+
+    /** True when the driver runs as one shard of a larger sweep. */
+    bool enabled() const { return count > 1; }
+
+    std::string str() const { return msgOf(index, "/", count); }
 };
 
-/**
- * Dump frontier points as a JSON array (full-precision doubles, same
- * byte-compare property as writeResultsJson). The pruned and
- * exhaustive fig15 runs must produce byte-identical files — that is
- * the soundness check for Pareto pruning, asserted by a smoke ctest.
- */
-inline bool
-writeFrontierJson(const std::string &path,
-                  const std::vector<FrontierEntry> &frontier)
+/** Parse `--shard i/N` / `--shard=i/N`; {0,1} when absent. */
+inline ShardSpec
+parseShardFlag(int argc, char **argv)
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << std::setprecision(17);
-    out << "[\n";
-    for (std::size_t i = 0; i < frontier.size(); ++i) {
-        const FrontierEntry &f = frontier[i];
-        out << "  {\"model\": " << jsonQuote(f.model)
-            << ", \"design\": " << jsonQuote(f.design)
-            << ", \"accuracy_loss\": " << f.accuracy_loss
-            << ", \"norm_edp\": " << f.norm_edp << "}"
-            << (i + 1 < frontier.size() ? "," : "") << "\n";
+    const std::string v = parseOptionValue(argc, argv, "--shard");
+    if (v.empty()) {
+        if (parseFlag(argc, argv, "--shard") ||
+            parseFlag(argc, argv, "--shard="))
+            fatal("--shard requires a value (i/N)");
+        return ShardSpec{};
     }
-    out << "]\n";
-    return static_cast<bool>(out);
+    const auto slash = v.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= v.size())
+        fatal(msgOf("--shard ", v, ": expected i/N (e.g. 0/4)"));
+    long long index = 0, count = 0;
+    // parsePositiveInt rejects 0, so parse index+1 semantics by hand:
+    // the index may be 0, the count must be >= 1.
+    const std::string index_s = v.substr(0, slash);
+    const std::string count_s = v.substr(slash + 1);
+    if (!parsePositiveInt(count_s.c_str(), 1 << 20, &count))
+        fatal(msgOf("--shard ", v,
+                    ": shard count must be a positive integer <= 2^20"));
+    if (index_s == "0") {
+        index = 0;
+    } else if (!parsePositiveInt(index_s.c_str(), 1 << 20, &index)) {
+        fatal(msgOf("--shard ", v,
+                    ": shard index must be an integer in [0, N)"));
+    }
+    if (index >= count)
+        fatal(msgOf("--shard ", v, ": index must be < count"));
+    ShardSpec s;
+    s.index = static_cast<int>(index);
+    s.count = static_cast<int>(count);
+    return s;
 }
 
 /**

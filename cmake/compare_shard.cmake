@@ -1,0 +1,113 @@
+# Smoke-check the sharded multi-process sweep against the
+# single-process run:
+#
+#   fig15: the sharded_sweep supervisor forks 2 fig15 shards sharing
+#     one --cache-file; the merged frontier must be byte-identical to
+#     the single-process --frontier-json dump. A second (warm)
+#     supervisor run against the same cache file must byte-match
+#     again AND report "hit rate=100.0%" in every shard log — which
+#     also proves the shards' concurrent locked merge-on-flush
+#     persisted the union (a clobbered cache would miss on whatever
+#     the losing shard computed).
+#
+#   fig17: the two shards' --json dumps, re-assembled in shard order,
+#     must byte-match the single-process dump (shardRange slices are
+#     contiguous, so concatenation recovers the full array).
+#
+# Usage:
+#   cmake -DFIG15=<exe> -DFIG17=<exe> -DSUPERVISOR=<exe>
+#         -DOUTDIR=<dir> -DNAME=<tag> -P compare_shard.cmake
+
+foreach(var FIG15 FIG17 SUPERVISOR OUTDIR NAME)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compare_shard.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+function(run exe)
+  execute_process(COMMAND "${exe}" ${ARGN}
+                  RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${NAME}: '${exe} ${ARGN}' failed (rc=${rc})")
+  endif()
+endfunction()
+
+function(must_match a b what)
+  foreach(f "${a}" "${b}")
+    if(NOT EXISTS "${f}")
+      message(FATAL_ERROR "${NAME}: missing dump ${f}")
+    endif()
+  endforeach()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${a}" "${b}"
+                  RESULT_VARIABLE differ)
+  if(NOT differ EQUAL 0)
+    message(FATAL_ERROR
+            "${NAME}: ${what} dumps differ — sharding changed the "
+            "reported output")
+  endif()
+endfunction()
+
+set(workroot "${OUTDIR}/${NAME}_shard")
+file(REMOVE_RECURSE "${workroot}")
+file(MAKE_DIRECTORY "${workroot}")
+set(cache "${workroot}/sweep.evalcache")
+set(ref "${workroot}/ref_frontier.json")
+
+# ------------------------------------------------------ fig15 frontier
+run("${FIG15}" --serial --frontier-json "${ref}")
+
+run("${SUPERVISOR}" --driver "${FIG15}" --shards 2
+    --cache-file "${cache}" --workdir "${workroot}/cold"
+    --out "${workroot}/merged_cold.json" --threads 1)
+must_match("${ref}" "${workroot}/merged_cold.json"
+           "single-process vs cold 2-shard frontier")
+
+# Warm rerun: same cache file, fresh shard dumps. Byte-identical
+# again, and pure cache replay in every shard.
+run("${SUPERVISOR}" --driver "${FIG15}" --shards 2
+    --cache-file "${cache}" --workdir "${workroot}/warm"
+    --out "${workroot}/merged_warm.json" --threads 1)
+must_match("${ref}" "${workroot}/merged_warm.json"
+           "single-process vs warm 2-shard frontier")
+foreach(i RANGE 1)
+  set(log "${workroot}/warm/shard_${i}.log")
+  if(NOT EXISTS "${log}")
+    message(FATAL_ERROR "${NAME}: missing shard log ${log}")
+  endif()
+  file(READ "${log}" log_text)
+  if(NOT log_text MATCHES "hit rate=100\\.0%")
+    message(FATAL_ERROR
+            "${NAME}: warm shard ${i} was not a pure cache replay — "
+            "a flush clobbered the shared cache file (${log})")
+  endif()
+endforeach()
+
+# -------------------------------------------------- fig17 shard slices
+set(f17_ref "${workroot}/fig17_ref.json")
+set(f17_cache "${workroot}/fig17.evalcache")
+run("${FIG17}" --json "${f17_ref}")
+run("${FIG17}" --shard 0/2 --cache-file "${f17_cache}"
+    --json "${workroot}/fig17_s0.json")
+run("${FIG17}" --shard 1/2 --cache-file "${f17_cache}"
+    --json "${workroot}/fig17_s1.json")
+
+# Re-assemble: strip each shard dump's array brackets and the last
+# entry's missing comma, join in shard order, re-wrap — byte-for-byte
+# the full run's dump. (Raw-string surgery, not file(STRINGS): cmake
+# list splitting mangles lines between "[" and "]" brackets.)
+set(body "")
+set(sep "")
+foreach(i RANGE 1)
+  file(READ "${workroot}/fig17_s${i}.json" text)
+  string(REGEX REPLACE "^\\[\n" "" text "${text}")
+  string(REGEX REPLACE "\\]\n$" "" text "${text}")
+  string(REGEX REPLACE ",?\n$" "" text "${text}")
+  if(NOT text STREQUAL "")
+    set(body "${body}${sep}${text}")
+    set(sep ",\n")
+  endif()
+endforeach()
+file(WRITE "${workroot}/fig17_reassembled.json" "[\n${body}\n]\n")
+must_match("${f17_ref}" "${workroot}/fig17_reassembled.json"
+           "single-process vs re-assembled 2-shard fig17")

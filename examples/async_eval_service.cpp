@@ -111,9 +111,20 @@ main()
               << TextTable::fmt(s.hitRate() * 100.0, 1) << "%), "
               << s.evictions << " evictions\n";
 
-    // Save the memo for the next invocation of this program.
-    if (ev.flushCache())
+    // Save the memo for the next invocation of this program. The
+    // flush status separates "no file configured" from an I/O
+    // failure that would silently drop the warm cache.
+    switch (ev.flushCache()) {
+      case EvalCache::FlushStatus::Saved:
         std::cout << "saved cache to " << cache_cfg.file
                   << " — rerun me to start warm\n";
+        break;
+      case EvalCache::FlushStatus::Failed:
+        std::cerr << "cache save to " << cache_cfg.file
+                  << " FAILED — the next run starts cold\n";
+        return 1;
+      case EvalCache::FlushStatus::NoFile:
+        break; // in-memory only: nothing to persist
+    }
     return 0;
 }

@@ -164,8 +164,13 @@ class Evaluator
     /** Hit/miss/eviction counters of the memoization cache. */
     EvalCacheStats cacheStats() const { return cache_.stats(); }
 
-    /** Save the cache to its configured persistence file (if any). */
-    bool flushCache() const { return cache_.flush(); }
+    /**
+     * Save the cache to its configured persistence file (locked
+     * merge-on-flush; see EvalCache::saveFile). The status separates
+     * "no file configured" from a real I/O failure so drivers can
+     * report a dropped warm cache instead of silently losing it.
+     */
+    EvalCache::FlushStatus flushCache() const { return cache_.flush(); }
 
     /** Drop all cached evaluations and reset the counters. */
     void clearCache() const { cache_.clear(); }

@@ -66,6 +66,24 @@ DesignSpaceExplorer::analyze(const HssDesignConfig &config) const
     return report;
 }
 
+std::pair<std::size_t, std::size_t>
+DesignSpaceExplorer::shardRange(std::size_t total, int index, int count)
+{
+    if (count < 1)
+        fatal(msgOf("shardRange: count ", count, " must be >= 1"));
+    if (index < 0 || index >= count)
+        fatal(msgOf("shardRange: index ", index, " not in [0, ", count,
+                    ")"));
+    // floor(total * i / count) boundaries: contiguous, disjoint,
+    // covering, near-even — and a pure function of the arguments, so
+    // N uncoordinated shard processes agree on the partition.
+    const auto lo = static_cast<std::size_t>(
+        total * static_cast<unsigned long long>(index) / count);
+    const auto hi = static_cast<std::size_t>(
+        total * (static_cast<unsigned long long>(index) + 1) / count);
+    return {lo, hi};
+}
+
 HssDesignConfig
 DesignSpaceExplorer::designS()
 {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/evaluator.hh"
@@ -186,6 +187,19 @@ class DesignSpaceExplorer
         const Evaluator &ev,
         const std::vector<ParetoCandidate> &candidates,
         bool prune) const;
+
+    /**
+     * Deterministic candidate partition for sharded multi-process
+     * sweeps: the contiguous half-open range [begin, end) of
+     * candidates owned by shard `index` of `count`. A pure function
+     * of (total, index, count) — every shard computes the same
+     * partition with no coordination, ranges are disjoint, their
+     * union covers [0, total), and sizes differ by at most one
+     * (floor(total*i/count) boundaries). count must be >= 1 and
+     * index in [0, count); violations are fatal.
+     */
+    static std::pair<std::size_t, std::size_t> shardRange(
+        std::size_t total, int index, int count);
 
     /** Fig 6's one-rank design S: 2:{2..16}, 2 PEs. */
     static HssDesignConfig designS();

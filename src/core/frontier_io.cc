@@ -1,0 +1,177 @@
+#include "core/frontier_io.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/pareto.hh"
+
+namespace highlight
+{
+
+namespace
+{
+
+/**
+ * Extract the value after `"name": ` in `line` starting at *pos.
+ * Strings are unescaped (\" and \\); numbers parse with strtod, so
+ * max_digits10 dumps round-trip bit-exactly. Advances *pos past the
+ * value on success.
+ */
+bool
+takeStringField(const std::string &line, const std::string &name,
+                std::size_t *pos, std::string *out)
+{
+    const std::string tag = "\"" + name + "\": \"";
+    const auto at = line.find(tag, *pos);
+    if (at == std::string::npos)
+        return false;
+    out->clear();
+    std::size_t i = at + tag.size();
+    while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+            if (i + 1 >= line.size())
+                return false;
+            ++i;
+        }
+        *out += line[i++];
+    }
+    if (i >= line.size())
+        return false; // unterminated string
+    *pos = i + 1;
+    return true;
+}
+
+bool
+takeNumberField(const std::string &line, const std::string &name,
+                std::size_t *pos, double *out)
+{
+    const std::string tag = "\"" + name + "\": ";
+    const auto at = line.find(tag, *pos);
+    if (at == std::string::npos)
+        return false;
+    const char *start = line.c_str() + at + tag.size();
+    char *end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start)
+        return false;
+    *pos = static_cast<std::size_t>(end - line.c_str());
+    return true;
+}
+
+} // namespace
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+bool
+writeFrontierJson(const std::string &path,
+                  const std::vector<FrontierEntry> &frontier)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << std::setprecision(17);
+    out << "[\n";
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const FrontierEntry &f = frontier[i];
+        out << "  {\"model\": " << jsonQuote(f.model)
+            << ", \"design\": " << jsonQuote(f.design)
+            << ", \"accuracy_loss\": " << f.accuracy_loss
+            << ", \"norm_edp\": " << f.norm_edp << "}"
+            << (i + 1 < frontier.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+}
+
+bool
+readFrontierJson(const std::string &path,
+                 std::vector<FrontierEntry> *out)
+{
+    out->clear();
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    bool saw_open = false, saw_close = false;
+    while (std::getline(in, line)) {
+        if (line == "[") {
+            saw_open = true;
+            continue;
+        }
+        if (line == "]") {
+            saw_close = true;
+            continue;
+        }
+        if (line.empty())
+            continue;
+        // One entry per line, exactly as writeFrontierJson emits.
+        FrontierEntry e;
+        std::size_t pos = 0;
+        if (!saw_open || saw_close ||
+            !takeStringField(line, "model", &pos, &e.model) ||
+            !takeStringField(line, "design", &pos, &e.design) ||
+            !takeNumberField(line, "accuracy_loss", &pos,
+                             &e.accuracy_loss) ||
+            !takeNumberField(line, "norm_edp", &pos, &e.norm_edp)) {
+            out->clear();
+            return false;
+        }
+        out->push_back(std::move(e));
+    }
+    if (!saw_open || !saw_close) {
+        out->clear();
+        return false;
+    }
+    return true;
+}
+
+std::vector<FrontierEntry>
+frontierOf(const std::vector<FrontierEntry> &points)
+{
+    // Group per model, preserving first-appearance model order and
+    // within-model input order — the exact iteration order of the
+    // single-process drivers (model-major sweep, candidate order
+    // within a model).
+    std::vector<std::string> model_order;
+    for (const auto &p : points) {
+        bool seen = false;
+        for (const auto &m : model_order)
+            seen |= m == p.model;
+        if (!seen)
+            model_order.push_back(p.model);
+    }
+
+    std::vector<FrontierEntry> frontier;
+    for (const auto &model : model_order) {
+        std::vector<ParetoPoint> model_points;
+        std::vector<const FrontierEntry *> model_entries;
+        for (const auto &p : points) {
+            if (p.model != model)
+                continue;
+            model_points.push_back(
+                {p.accuracy_loss, p.norm_edp, p.design});
+            model_entries.push_back(&p);
+        }
+        const auto mask = frontierMask(model_points);
+        for (std::size_t i = 0; i < model_entries.size(); ++i) {
+            if (mask[i])
+                frontier.push_back(*model_entries[i]);
+        }
+    }
+    return frontier;
+}
+
+} // namespace highlight

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Pareto-frontier point dumps: the fig15-style `--frontier-json`
+ * format, readable and writable from both the figure drivers and the
+ * sharded-sweep supervisor.
+ *
+ * The format is a JSON array of {model, design, accuracy_loss,
+ * norm_edp} objects with doubles printed at max_digits10, so a
+ * byte-compare of two dumps is a bit-identity check on the values.
+ * That property is what the sharding story rests on: each shard of a
+ * multi-process sweep dumps its candidates' *points* in this format,
+ * the supervisor merges them (model-major, shard order) and extracts
+ * the frontier with frontierOf(), and the result must be
+ * byte-identical to the single-process sweep's frontier dump — the
+ * ctest-asserted soundness check for sharding, mirroring what
+ * compare_prune.cmake asserts for pruning.
+ */
+
+#ifndef HIGHLIGHT_CORE_FRONTIER_IO_HH
+#define HIGHLIGHT_CORE_FRONTIER_IO_HH
+
+#include <string>
+#include <vector>
+
+namespace highlight
+{
+
+/** One evaluated point (or frontier member) of a fig15-style sweep. */
+struct FrontierEntry
+{
+    std::string model;
+    std::string design;
+    double accuracy_loss = 0.0;
+    double norm_edp = 0.0;
+};
+
+/** A quoted JSON string (escapes backslash and double-quote). */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * Dump entries as a JSON array (full-precision doubles: byte-equal
+ * dumps iff bit-equal values). False when the file cannot be written.
+ */
+bool writeFrontierJson(const std::string &path,
+                       const std::vector<FrontierEntry> &frontier);
+
+/**
+ * Parse a writeFrontierJson dump. Strict: false on any malformed
+ * entry (leaving *out cleared), so a supervisor merging shard dumps
+ * fails loudly instead of silently dropping a shard's points. The
+ * doubles round-trip bit-exactly (max_digits10 print + strtod).
+ */
+bool readFrontierJson(const std::string &path,
+                      std::vector<FrontierEntry> *out);
+
+/**
+ * The Pareto frontier over a set of evaluated points, grouped per
+ * model: within each model (first-appearance order preserved) an
+ * entry survives iff no other same-model entry dominates it (lower is
+ * better on both axes; same dominance as core/pareto.hh). Input order
+ * is preserved, so feeding the model-major concatenation of shard
+ * dumps yields the exact frontier (and byte-identical re-dump) of the
+ * single-process sweep.
+ */
+std::vector<FrontierEntry> frontierOf(
+    const std::vector<FrontierEntry> &points);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_CORE_FRONTIER_IO_HH

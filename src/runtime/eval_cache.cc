@@ -10,9 +10,11 @@
 #include <limits>
 #include <sstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/file_lock.hh"
 #include "common/logging.hh"
 
 namespace highlight
@@ -157,8 +159,12 @@ EvalCache::EvalCache(const EvalCacheConfig &config)
 
 EvalCache::~EvalCache()
 {
-    if (!file_.empty())
-        flush(); // best effort; an explicit flush() reports failures
+    // Best effort, but not silent: a failed save here drops a warm
+    // cache on the floor, and the destructor is the only flush most
+    // drivers ever run.
+    if (!file_.empty() && flush() == FlushStatus::Failed)
+        warn(msgOf("EvalCache: failed to persist ", file_,
+                   " at destruction"));
 }
 
 std::string
@@ -249,12 +255,8 @@ EvalCache::evictOverCapacityLocked()
 }
 
 bool
-EvalCache::loadFile(const std::string &path)
+EvalCache::parseEntries(std::istream &in, std::vector<Entry> *out)
 {
-    std::ifstream in(path);
-    if (!in)
-        return false;
-
     std::string line;
     if (!std::getline(in, line) || line != fileHeader())
         return false; // stale version / not a cache file
@@ -308,10 +310,26 @@ EvalCache::loadFile(const std::string &path)
             return false;
         staged.push_back(std::move(e));
     }
+    *out = std::move(staged);
+    return true;
+}
+
+bool
+EvalCache::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::vector<Entry> staged;
+    if (!parseEntries(in, &staged))
+        return false;
 
     std::lock_guard<std::mutex> lock(mu_);
     // The file stores entries hot-first; appending in file order keeps
-    // that recency ranking for entries not already resident.
+    // that recency ranking for entries not already resident. A key
+    // already resident is skipped: resident wins, by contract (see
+    // the header) — merge-on-flush depends on this precedence being
+    // deterministic.
     for (auto &e : staged) {
         if (map_.find(e.key) != map_.end())
             continue;
@@ -322,18 +340,101 @@ EvalCache::loadFile(const std::string &path)
     return true;
 }
 
+namespace
+{
+
+/** One serialized cache entry (the loadFile wire format). */
+void
+writeEntry(std::ostream &out, const std::string &key, const EvalResult &r)
+{
+    out << "key " << key << "\n";
+    out << "design " << r.design << "\n";
+    out << "workload " << r.workload << "\n";
+    out << "supported " << (r.supported ? 1 : 0) << "\n";
+    out << "note " << r.note << "\n";
+    out << "cycles " << exactDouble(r.cycles) << "\n";
+    out << "clock " << exactDouble(r.clock_mhz) << "\n";
+    out << "energy " << r.energy_pj.size() << "\n";
+    for (const auto &b : r.energy_pj)
+        out << exactDouble(b.value) << " " << b.name << "\n";
+    out << "area " << r.area_um2.size() << "\n";
+    for (const auto &b : r.area_um2)
+        out << exactDouble(b.value) << " " << b.name << "\n";
+    out << "end\n";
+}
+
+/** fsync `path`; false when the data may not have reached disk. */
+bool
+syncFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+/** Best-effort fsync of the directory containing `path`, so the
+ *  rename itself (the new directory entry) is durable too. */
+void
+syncParentDir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd); // best effort: some filesystems refuse dir fsync
+    ::close(fd);
+}
+
+} // namespace
+
 bool
 EvalCache::saveFile(const std::string &path) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Write to a temp file in the same directory, then atomically
-    // rename over the target: a crash (or a concurrent driver
-    // flushing the same file) mid-write can never leave a truncated
-    // half-file at `path` for the next run to silently discard as
-    // corrupt. The pid + process-wide counter keep concurrent
-    // writers' temp files apart both across processes and across
-    // caches within one process; last rename wins with a complete
-    // file either way.
+    // Serialize whole flushes across processes: without the lock two
+    // drivers sharing one cache file interleave read-merge-write and
+    // the loser's entries silently vanish (last-writer-wins). A
+    // failed acquire fails the save — never write unlocked.
+    FileLock lock(FileLock::lockPathFor(path));
+    if (!lock.acquire()) {
+        warn(msgOf("EvalCache: cannot lock ", lock.path(),
+                   " — cache not saved"));
+        return false;
+    }
+
+    // Merge-on-flush: pick up entries a concurrent writer flushed
+    // since we loaded. A missing/stale/corrupt file merges as empty —
+    // the same wholesale-ignore contract as the cold-start load.
+    std::vector<Entry> disk;
+    {
+        std::ifstream in(path);
+        if (in && !parseEntries(in, &disk))
+            disk.clear();
+    }
+
+    std::lock_guard<std::mutex> mu(mu_);
+    // Resident wins on collisions (loadFile's precedence, mirrored):
+    // keep only the on-disk entries whose keys are not resident, in
+    // file order, ranked colder than every resident entry.
+    std::vector<const Entry *> merged_tail;
+    merged_tail.reserve(disk.size());
+    for (const auto &e : disk) {
+        if (map_.find(e.key) == map_.end())
+            merged_tail.push_back(&e);
+    }
+
+    // Write to a temp file in the same directory, then fsync and
+    // atomically rename over the target: a crash mid-write can never
+    // leave a truncated half-file at `path`, and a crash right after
+    // the rename cannot surface an empty file either (without the
+    // fsync some filesystems journal the rename before the data).
+    // The pid + process-wide counter keep concurrent writers' temp
+    // files apart both across processes and across caches within one
+    // process.
     static std::atomic<std::uint64_t> save_seq{0};
     const std::string tmp = msgOf(path, ".tmp.", ::getpid(), ".",
                                   save_seq.fetch_add(1));
@@ -341,38 +442,27 @@ EvalCache::saveFile(const std::string &path) const
         std::ofstream out(tmp, std::ios::trunc);
         if (!out)
             return false;
-        out << fileHeader() << "\n" << lru_.size() << "\n";
-        for (const auto &e : lru_) {
-            const EvalResult &r = e.result;
-            out << "key " << e.key << "\n";
-            out << "design " << r.design << "\n";
-            out << "workload " << r.workload << "\n";
-            out << "supported " << (r.supported ? 1 : 0) << "\n";
-            out << "note " << r.note << "\n";
-            out << "cycles " << exactDouble(r.cycles) << "\n";
-            out << "clock " << exactDouble(r.clock_mhz) << "\n";
-            out << "energy " << r.energy_pj.size() << "\n";
-            for (const auto &b : r.energy_pj)
-                out << exactDouble(b.value) << " " << b.name << "\n";
-            out << "area " << r.area_um2.size() << "\n";
-            for (const auto &b : r.area_um2)
-                out << exactDouble(b.value) << " " << b.name << "\n";
-            out << "end\n";
-        }
+        out << fileHeader() << "\n"
+            << lru_.size() + merged_tail.size() << "\n";
+        for (const auto &e : lru_)
+            writeEntry(out, e.key, e.result);
+        for (const Entry *e : merged_tail)
+            writeEntry(out, e->key, e->result);
         out.flush();
         if (!out) {
             std::remove(tmp.c_str());
             return false;
         }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (!syncFile(tmp) || std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return false;
     }
+    syncParentDir(path);
     return true;
 }
 
-bool
+EvalCache::FlushStatus
 EvalCache::flush() const
 {
     std::string file;
@@ -381,8 +471,8 @@ EvalCache::flush() const
         file = file_;
     }
     if (file.empty())
-        return false;
-    return saveFile(file);
+        return FlushStatus::NoFile;
+    return saveFile(file) ? FlushStatus::Saved : FlushStatus::Failed;
 }
 
 EvalCacheStats

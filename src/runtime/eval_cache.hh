@@ -19,12 +19,24 @@
  * invocation starts warm. A file whose version or key schema does not
  * match — or that is truncated or corrupted — is ignored wholesale;
  * the cache simply starts cold.
+ *
+ * The file is safe to share between processes (sharded sweeps with
+ * one warm cache): every save is a *locked merge-on-flush* — under an
+ * advisory FileLock the on-disk entries are re-read and any not
+ * resident in this cache are appended to the written file, so two
+ * drivers flushing the same path end with the union of their entries
+ * instead of last-writer-wins data loss. Resident entries win over
+ * the file's on key collisions (same contract as loadFile), the
+ * resident LRU/stats are never touched by a save, and the temp file
+ * is fsync'd before the atomic rename so a crash right after the
+ * rename cannot surface an empty file.
  */
 
 #ifndef HIGHLIGHT_RUNTIME_EVAL_CACHE_HH
 #define HIGHLIGHT_RUNTIME_EVAL_CACHE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <mutex>
 #include <string>
@@ -92,6 +104,14 @@ class EvalCache
      */
     static constexpr int kFileVersion = 1;
 
+    /** Outcome of flush(): "nothing configured" is not a failure. */
+    enum class FlushStatus
+    {
+        NoFile, ///< No persistence file configured; nothing to do.
+        Saved,  ///< Written (merged with any on-disk entries).
+        Failed, ///< Real I/O or lock failure; the file was not updated.
+    };
+
     EvalCache() = default;
 
     /** Applies the config and loads the file (if set and valid). */
@@ -138,24 +158,43 @@ class EvalCache
 
     /**
      * Merge a persisted cache file. Loaded entries keep the file's
-     * recency order (first entry = most recent) and count as neither
-     * hits, misses nor insertions. Returns false — leaving the cache
-     * untouched — when the file is missing, has a version or key-
-     * schema mismatch (stale), or fails to parse (corrupt).
+     * recency order (first entry = most recent), rank colder than
+     * every resident entry, and count as neither hits, misses nor
+     * insertions. On a key collision the *resident* entry wins — even
+     * when the file's copy is newer. That precedence is the contract
+     * merge-on-flush saves rely on (this process's results are
+     * authoritative for what it computed); since evaluation is a pure
+     * function of the key, colliding values only ever differ across
+     * library versions, which the file-version header already fences.
+     * Returns false — leaving the cache untouched — when the file is
+     * missing, has a version or key-schema mismatch (stale), or fails
+     * to parse (corrupt).
      */
     bool loadFile(const std::string &path);
 
-    /** Write every resident entry, most-recently-used first. The
-     *  write is atomic: a temp file in the same directory is renamed
-     *  over `path`, so a crash or concurrent flush never leaves a
-     *  truncated file for the next run to discard. */
+    /**
+     * Locked merge-on-flush: under an advisory `path`.lock FileLock,
+     * re-reads `path` (a stale/corrupt/missing file merges as empty,
+     * preserving the cold-start contract) and writes every resident
+     * entry most-recently-used first, followed by the on-disk entries
+     * whose keys are not resident, in file order. Resident entries
+     * win collisions; this cache's LRU order, capacity and stats are
+     * left completely untouched (the merged union lives only in the
+     * file — it may well exceed `capacity()`, which only bounds
+     * residency). The write is atomic and durable: temp file in the
+     * same directory, fsync, rename over `path`, best-effort
+     * directory fsync. Returns false on lock or I/O failure — the
+     * target file is never clobbered without the lock.
+     */
     bool saveFile(const std::string &path) const;
 
     /**
-     * Save to the configured persistence file; false when no file is
-     * configured or the write fails.
+     * Save to the configured persistence file (locked merge-on-flush,
+     * see saveFile). The three outcomes are distinct so callers can
+     * tell "nothing configured" from a real I/O failure that just
+     * dropped a warm cache on the floor.
      */
-    bool flush() const;
+    FlushStatus flush() const;
 
     EvalCacheStats stats() const;
     std::size_t size() const;
@@ -174,6 +213,10 @@ class EvalCache
 
     /** Drop cold entries until size <= capacity (lock held). */
     void evictOverCapacityLocked();
+
+    /** Parse a cache stream (header + entries) into `out`; false on
+     *  any corruption, leaving no partial state anywhere. */
+    static bool parseEntries(std::istream &in, std::vector<Entry> *out);
 
     mutable std::mutex mu_;
     /** Front = most recently used. */

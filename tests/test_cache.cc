@@ -273,7 +273,7 @@ TEST(CachePersist, ConfigLoadsOnConstructAndSavesOnFlush)
         EvalCache cache(cfg); // no file yet: cold start
         EXPECT_EQ(cache.size(), 0u);
         cache.evaluate(tc, makeWorkload("w", 64));
-        ASSERT_TRUE(cache.flush());
+        ASSERT_EQ(cache.flush(), EvalCache::FlushStatus::Saved);
     }
     EvalCache warm(cfg);
     EXPECT_EQ(warm.size(), 1u);
@@ -281,9 +281,104 @@ TEST(CachePersist, ConfigLoadsOnConstructAndSavesOnFlush)
     EXPECT_TRUE(warm.lookup(EvalCache::keyOf("TC", makeWorkload("w", 64)),
                             "w", &r));
 
-    // No configured file -> flush refuses.
+    // No configured file -> flush is a no-op, distinct from failure.
     EvalCache unconfigured;
-    EXPECT_FALSE(unconfigured.flush());
+    EXPECT_EQ(unconfigured.flush(), EvalCache::FlushStatus::NoFile);
+
+    // A configured-but-unwritable file is a real failure.
+    EvalCacheConfig bad;
+    bad.file = "/nonexistent-dir/x.evalcache";
+    EvalCache unwritable(bad);
+    unwritable.evaluate(tc, makeWorkload("w", 96));
+    EXPECT_EQ(unwritable.flush(), EvalCache::FlushStatus::Failed);
+    // (the destructor re-flushes and warns; harmless here)
+}
+
+TEST(CachePersist, SaveMergesOnDiskEntriesResidentWins)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    const Accelerator &hl = ev.design("HighLight");
+    TempFile file("cache_merge.evalcache");
+
+    // Writer A persists {wa, shared}; writer B holds {wb, shared'}
+    // and saves to the same path afterwards. The file must end up
+    // with the union, and B's (resident) copy of the shared key must
+    // win over A's on-disk copy.
+    const auto wa = makeWorkload("only_a", 64);
+    const auto wb = makeWorkload("only_b", 128);
+    const auto shared = makeWorkload("shared", 256);
+    const std::string k_shared = EvalCache::keyOf("TC", shared);
+
+    EvalCache a;
+    a.evaluate(tc, wa);
+    a.insert(k_shared, ev.run("TC", makeWorkload("shared_from_a", 256)));
+    ASSERT_TRUE(a.saveFile(file.path));
+
+    EvalCache b;
+    b.evaluate(tc, wb);
+    const EvalResult b_shared =
+        ev.run("TC", makeWorkload("shared_from_b", 256));
+    b.insert(k_shared, b_shared);
+    const auto stats_before = b.stats();
+    ASSERT_TRUE(b.saveFile(file.path));
+
+    // Saving merges into the *file* only: B's resident cache and its
+    // stats are untouched.
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(b.stats().lookups(), stats_before.lookups());
+    EXPECT_EQ(b.stats().insertions, stats_before.insertions);
+    EXPECT_EQ(b.stats().evictions, stats_before.evictions);
+
+    EvalCache merged;
+    ASSERT_TRUE(merged.loadFile(file.path));
+    EXPECT_EQ(merged.size(), 3u);
+    EvalResult r;
+    EXPECT_TRUE(merged.lookup(EvalCache::keyOf("TC", wa), "a", &r));
+    EXPECT_TRUE(merged.lookup(EvalCache::keyOf("TC", wb), "b", &r));
+    ASSERT_TRUE(merged.lookup(k_shared, "s", &r));
+    expectBitIdentical(r, b_shared); // resident (B) copy won
+    // B's resident entries are hotter than A's merged-in tail.
+    const auto keys = merged.keysMruFirst();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys.back(), EvalCache::keyOf("TC", wa));
+
+    // Writing through a capacity-1 cache still persists the union:
+    // the merge happens in the file, not through the resident LRU.
+    EvalCache tiny;
+    tiny.setCapacity(1);
+    tiny.evaluate(hl, makeWorkload("only_tiny", 32));
+    ASSERT_TRUE(tiny.saveFile(file.path));
+    EXPECT_EQ(tiny.size(), 1u);
+    EXPECT_EQ(tiny.stats().evictions, 0u);
+    EvalCache all;
+    ASSERT_TRUE(all.loadFile(file.path));
+    EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(CachePersist, LoadKeepsResidentEntryOverFileEntry)
+{
+    const Evaluator ev;
+    TempFile file("cache_load_precedence.evalcache");
+
+    const auto w = makeWorkload("w", 64);
+    const std::string key = EvalCache::keyOf("TC", w);
+
+    EvalCache writer;
+    writer.insert(key, ev.run("TC", makeWorkload("from_file", 64)));
+    ASSERT_TRUE(writer.saveFile(file.path));
+
+    // A cache that already holds `key` keeps its own copy on load —
+    // the documented resident-wins precedence (fresh results beat
+    // whatever an earlier process persisted).
+    EvalCache reader;
+    const EvalResult mine = ev.run("TC", makeWorkload("resident", 64));
+    reader.insert(key, mine);
+    EXPECT_TRUE(reader.loadFile(file.path));
+    EXPECT_EQ(reader.size(), 1u);
+    EvalResult r;
+    ASSERT_TRUE(reader.lookup(key, "w", &r));
+    expectBitIdentical(r, mine);
 }
 
 TEST(CachePersist, CapacityAppliesToLoadedEntries)

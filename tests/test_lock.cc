@@ -1,0 +1,284 @@
+/**
+ * @file
+ * FileLock protocol properties — RAII release, contention, stale-lock
+ * takeover, live-holder protection — and the cross-process guarantee
+ * they exist for: two processes flushing one EvalCache file through
+ * the lock end up with the union of their entries and an
+ * always-parseable file, never a last-writer-wins clobber.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/file_lock.hh"
+#include "runtime/eval_cache.hh"
+
+namespace highlight
+{
+namespace
+{
+
+/** A scratch file path removed on scope exit. */
+struct TempFile
+{
+    explicit TempFile(const std::string &name)
+        : path(::testing::TempDir() + name)
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".lock").c_str());
+    }
+    ~TempFile()
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".lock").c_str());
+    }
+    std::string path;
+};
+
+/** A pid guaranteed dead and reaped (fork a child that exits at once). */
+pid_t
+deadPid()
+{
+    const pid_t pid = ::fork();
+    if (pid == 0)
+        ::_exit(0);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return pid;
+}
+
+TEST(FileLock, AcquireReleaseRoundTrip)
+{
+    TempFile target("lock_roundtrip.evalcache");
+    const std::string lock_path = FileLock::lockPathFor(target.path);
+    EXPECT_EQ(lock_path, target.path + ".lock");
+
+    FileLock lock(lock_path);
+    EXPECT_FALSE(lock.held());
+    ASSERT_TRUE(lock.tryAcquire());
+    EXPECT_TRUE(lock.held());
+    EXPECT_TRUE(std::ifstream(lock_path).good());
+    // Acquiring an already-held lock is an idempotent success.
+    EXPECT_TRUE(lock.tryAcquire());
+
+    lock.release();
+    EXPECT_FALSE(lock.held());
+    // Release removes the lockfile, so a new claimant starts clean.
+    EXPECT_FALSE(std::ifstream(lock_path).good());
+    EXPECT_TRUE(lock.tryAcquire());
+    lock.release();
+}
+
+TEST(FileLock, ContendedTryAcquireFailsUntilReleased)
+{
+    TempFile target("lock_contended.evalcache");
+    const std::string lock_path = FileLock::lockPathFor(target.path);
+
+    FileLock holder(lock_path);
+    ASSERT_TRUE(holder.tryAcquire());
+    FileLock rival(lock_path);
+    // The holder is this very process — alive by definition — so the
+    // rival may neither claim nor steal.
+    EXPECT_FALSE(rival.tryAcquire());
+    EXPECT_FALSE(rival.held());
+    EXPECT_TRUE(std::ifstream(lock_path).good());
+
+    holder.release();
+    EXPECT_TRUE(rival.tryAcquire());
+    rival.release();
+}
+
+TEST(FileLock, AcquireBlocksThenWinsWhenHolderReleases)
+{
+    TempFile target("lock_blocking.evalcache");
+    const std::string lock_path = FileLock::lockPathFor(target.path);
+
+    FileLock holder(lock_path);
+    ASSERT_TRUE(holder.tryAcquire());
+    std::thread releaser([&holder] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        holder.release();
+    });
+    FileLock waiter(lock_path);
+    EXPECT_TRUE(waiter.acquire()); // bounded retry outlives the 30ms
+    releaser.join();
+    waiter.release();
+}
+
+TEST(FileLock, AcquireGivesUpOnUnreachablePath)
+{
+    // Non-contended failures (here: missing directory) must fail fast
+    // instead of burning the whole retry budget.
+    FileLock lock("/nonexistent-dir/sub/x.lock");
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(lock.acquire());
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+TEST(FileLock, StaleLockOfDeadProcessIsTakenOver)
+{
+    TempFile target("lock_stale.evalcache");
+    const std::string lock_path = FileLock::lockPathFor(target.path);
+
+    // Simulate a crashed holder: a lockfile stamped with a dead pid
+    // and (because the process is gone) no live flock on it.
+    {
+        std::ofstream out(lock_path);
+        out << deadPid() << "\n";
+    }
+    FileLock lock(lock_path);
+    EXPECT_TRUE(lock.tryAcquire());
+    EXPECT_TRUE(lock.held());
+    lock.release();
+}
+
+TEST(FileLock, LiveHolderPidIsNeverStolen)
+{
+    TempFile target("lock_live.evalcache");
+    const std::string lock_path = FileLock::lockPathFor(target.path);
+
+    // A lockfile naming a live process must not be stolen even though
+    // nobody holds a flock on it (the claim may still be mid-flight).
+    {
+        std::ofstream out(lock_path);
+        out << ::getpid() << "\n";
+    }
+    FileLock lock(lock_path);
+    EXPECT_FALSE(lock.tryAcquire());
+    EXPECT_TRUE(std::ifstream(lock_path).good());
+    std::remove(lock_path.c_str());
+}
+
+TEST(FileLock, GarbageStampCountsAsDead)
+{
+    TempFile target("lock_garbage.evalcache");
+    const std::string lock_path = FileLock::lockPathFor(target.path);
+    {
+        std::ofstream out(lock_path);
+        out << "not-a-pid\n";
+    }
+    // An unreadable stamp cannot prove a live holder; with no flock on
+    // the file the takeover path reclaims it.
+    FileLock lock(lock_path);
+    EXPECT_TRUE(lock.tryAcquire());
+    lock.release();
+}
+
+TEST(FileLock, RaiiReleasesOnException)
+{
+    TempFile target("lock_raii.evalcache");
+    const std::string lock_path = FileLock::lockPathFor(target.path);
+
+    try {
+        FileLock lock(lock_path);
+        ASSERT_TRUE(lock.tryAcquire());
+        throw std::runtime_error("unwind with the lock held");
+    } catch (const std::runtime_error &) {
+    }
+    // The destructor released: the file is gone and the lock is free.
+    EXPECT_FALSE(std::ifstream(lock_path).good());
+    FileLock next(lock_path);
+    EXPECT_TRUE(next.tryAcquire());
+    next.release();
+}
+
+/** A synthetic (Evaluator-free, so fork-safe) result for `tag`. */
+EvalResult
+syntheticResult(const std::string &tag, int salt)
+{
+    EvalResult r;
+    r.design = "TC";
+    r.workload = tag;
+    r.supported = (salt % 7) != 3;
+    r.note = r.supported ? "" : "synthetic unsupported";
+    r.cycles = 1000.0 + salt;
+    r.clock_mhz = 940.0;
+    r.addEnergy("mac", 1.5 * salt);
+    r.addEnergy("sram", 0.25 * salt + 0.125);
+    return r;
+}
+
+TEST(CacheLock, ConcurrentFlushesFromTwoProcessesKeepTheUnion)
+{
+    TempFile file("lock_concurrent.evalcache");
+    constexpr int kWriters = 2;
+    constexpr int kRounds = 6;
+    constexpr int kKeysPerRound = 4;
+
+    // Each writer process repeatedly builds a *fresh* cache holding
+    // only its newest keys and saves to the one shared path. Without
+    // locked merge-on-flush, every save would clobber everything the
+    // other process (and the writer's own earlier rounds) persisted.
+    std::vector<pid_t> pids;
+    for (int w = 0; w < kWriters; ++w) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            for (int round = 0; round < kRounds; ++round) {
+                EvalCache cache;
+                for (int k = 0; k < kKeysPerRound; ++k) {
+                    const std::string key =
+                        "w" + std::to_string(w) + "_r" +
+                        std::to_string(round) + "_k" + std::to_string(k);
+                    cache.insert(key, syntheticResult(
+                                          key, w * 100 + round * 10 + k));
+                }
+                if (!cache.saveFile(file.path))
+                    ::_exit(2);
+            }
+            ::_exit(0);
+        }
+        pids.push_back(pid);
+    }
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    // The final file parses and holds every key either process ever
+    // persisted, bit-identical to what was inserted.
+    EvalCache merged;
+    ASSERT_TRUE(merged.loadFile(file.path));
+    EXPECT_EQ(merged.size(),
+              static_cast<std::size_t>(kWriters * kRounds *
+                                       kKeysPerRound));
+    for (int w = 0; w < kWriters; ++w) {
+        for (int round = 0; round < kRounds; ++round) {
+            for (int k = 0; k < kKeysPerRound; ++k) {
+                const std::string key = "w" + std::to_string(w) + "_r" +
+                                        std::to_string(round) + "_k" +
+                                        std::to_string(k);
+                EvalResult got;
+                ASSERT_TRUE(merged.lookup(key, key, &got)) << key;
+                const EvalResult want = syntheticResult(
+                    key, w * 100 + round * 10 + k);
+                EXPECT_EQ(got.supported, want.supported) << key;
+                EXPECT_EQ(got.note, want.note) << key;
+                EXPECT_EQ(got.cycles, want.cycles) << key;
+                ASSERT_EQ(got.energy_pj.size(), want.energy_pj.size());
+                for (std::size_t i = 0; i < got.energy_pj.size(); ++i)
+                    EXPECT_EQ(got.energy_pj[i].value,
+                              want.energy_pj[i].value)
+                        << key;
+            }
+        }
+    }
+    // No lock or temp litter survives the stampede.
+    EXPECT_FALSE(
+        std::ifstream(FileLock::lockPathFor(file.path)).good());
+}
+
+} // namespace
+} // namespace highlight
