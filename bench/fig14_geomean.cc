@@ -60,6 +60,7 @@ main(int argc, char **argv)
         parseOptionValue(argc, argv, "--cache-file");
     if (!cache_file.empty())
         cache_cfg.file = cache_file;
+    cache_cfg.format = parseCacheFormatFlag(argc, argv, cache_cfg.format);
 
     Evaluator ev(cache_cfg);
     const auto suite = syntheticSuite();

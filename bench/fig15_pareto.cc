@@ -191,7 +191,7 @@ printModel(const Evaluator &ev, const DnnModel &model, DnnName nm)
  */
 int
 runShard(const EvalCacheConfig &cache_cfg, const ShardSpec &shard,
-         const std::string &frontier_path)
+         const std::string &frontier_path, ArtifactFormat frontier_format)
 {
     Evaluator ev(cache_cfg);
     const auto candidates = candidatesFor();
@@ -232,7 +232,7 @@ runShard(const EvalCacheConfig &cache_cfg, const ShardSpec &shard,
               << TextTable::fmt(stats.hitRate() * 100.0, 1) << "%\n";
 
     if (!frontier_path.empty() &&
-        !writeFrontierJson(frontier_path, points)) {
+        !writeFrontierFile(frontier_path, points, frontier_format)) {
         std::cerr << "fig15: cannot write " << frontier_path << "\n";
         return 1;
     }
@@ -346,6 +346,14 @@ main(int argc, char **argv)
         parseOptionValue(argc, argv, "--cache-file");
     if (!cache_file.empty())
         cache_cfg.file = cache_file;
+    cache_cfg.format = parseCacheFormatFlag(argc, argv, cache_cfg.format);
+
+    // --frontier-format picks the `--frontier-json` encoding: text
+    // (the default, and what the figure consumers read) or the binary
+    // container (what the sharded-sweep supervisor asks its shards
+    // for). Readers auto-detect, so the two interoperate.
+    const ArtifactFormat frontier_format = parseFormatFlag(
+        argc, argv, "--frontier-format", ArtifactFormat::Text);
 
     if (shard.enabled()) {
         if (prune)
@@ -353,7 +361,8 @@ main(int argc, char **argv)
                   "completion-timing-dependent, so a pruned shard's "
                   "evaluated-job set would vary run to run and break "
                   "the warm-cache determinism sharding guarantees");
-        return runShard(cache_cfg, shard, frontier_path);
+        return runShard(cache_cfg, shard, frontier_path,
+                        frontier_format);
     }
 
     if (prune) {
@@ -388,7 +397,8 @@ main(int argc, char **argv)
             return 1;
         }
         if (!frontier_path.empty() &&
-            !writeFrontierJson(frontier_path, frontier)) {
+            !writeFrontierFile(frontier_path, frontier,
+                               frontier_format)) {
             std::cerr << "fig15: cannot write " << frontier_path
                       << "\n";
             return 1;
@@ -429,7 +439,7 @@ main(int argc, char **argv)
         return 1;
     }
     if (!frontier_path.empty() &&
-        !writeFrontierJson(frontier_path, frontier)) {
+        !writeFrontierFile(frontier_path, frontier, frontier_format)) {
         std::cerr << "fig15: cannot write " << frontier_path << "\n";
         return 1;
     }

@@ -65,6 +65,7 @@ main(int argc, char **argv)
         parseOptionValue(argc, argv, "--cache-file");
     if (!cache_file.empty())
         cache_cfg.file = cache_file;
+    cache_cfg.format = parseCacheFormatFlag(argc, argv, cache_cfg.format);
     // Rows per shared operand-B pass for the microsim cross-checks
     // below (0 = auto). Outputs are byte-identical at any value, which
     // the smoke ctest asserts by diffing this driver's stdout across

@@ -144,6 +144,39 @@ configureRuntimeThreads(int argc, char **argv)
 }
 
 /**
+ * Artifact format requested on the command line as `--<flag> F` /
+ * `--<flag>=F` with F in {text, binary}; `fallback` when the flag is
+ * absent. A malformed or bare flag is a user error and fatal — same
+ * contract as `--threads` — while the HIGHLIGHT_CACHE_FORMAT env knob
+ * warns and falls back instead (typed flags are deliberate, inherited
+ * environments often are not).
+ */
+inline ArtifactFormat
+parseFormatFlag(int argc, char **argv, const char *flag,
+                ArtifactFormat fallback)
+{
+    const std::string v = parseOptionValue(argc, argv, flag);
+    if (!v.empty()) {
+        ArtifactFormat format = fallback;
+        if (!parseArtifactFormat(v.c_str(), &format))
+            fatal(msgOf(flag, " ", v, ": expected text or binary"));
+        return format;
+    }
+    if (parseFlag(argc, argv, flag) ||
+        parseFlag(argc, argv, (std::string(flag) + "=").c_str()))
+        fatal(msgOf(flag, " requires a value"));
+    return fallback;
+}
+
+/** `--cache-format {text,binary}`: the persisted eval-cache encoding,
+ *  overriding HIGHLIGHT_CACHE_FORMAT / the binary default. */
+inline ArtifactFormat
+parseCacheFormatFlag(int argc, char **argv, ArtifactFormat fallback)
+{
+    return parseFormatFlag(argc, argv, "--cache-format", fallback);
+}
+
+/**
  * Rows per shared operand-B pass requested on the command line:
  * `--group-rows N` (strictly parsed), otherwise 0 = the simulator's
  * auto resolution. Purely a host-performance knob — the microsim's

@@ -1,0 +1,97 @@
+# Smoke-check that the on-disk cache codec is invisible to results:
+#
+#   (a) fig15 --serial with a text cache is the reference frontier.
+#   (b) the same sweep with a binary cache (cold) must emit a
+#       byte-identical frontier — the codec may not change what the
+#       sweep computes.
+#   (c) a warm rerun against the binary cache must byte-match again
+#       AND be a pure replay ("hit rate=100.0%"): every entry the
+#       binary writer persisted decodes back bit-identical, or the
+#       lookup would miss and re-evaluate.
+#   (d) cache_convert migrates the text cache to a fresh binary file;
+#       a warm run from the converted file must also replay at 100% —
+#       the converter round-trips every entry exactly.
+#
+# Usage:
+#   cmake -DFIG15=<exe> -DCONVERT=<exe> -DOUTDIR=<dir> -DNAME=<tag>
+#         -P compare_format.cmake
+
+foreach(var FIG15 CONVERT OUTDIR NAME)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compare_format.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+# Runs `exe args... > log`, failing the test on a non-zero exit.
+function(run log exe)
+  execute_process(COMMAND "${exe}" ${ARGN}
+                  RESULT_VARIABLE rc OUTPUT_FILE "${log}")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${NAME}: '${exe} ${ARGN}' failed (rc=${rc})")
+  endif()
+endfunction()
+
+function(must_match a b what)
+  foreach(f "${a}" "${b}")
+    if(NOT EXISTS "${f}")
+      message(FATAL_ERROR "${NAME}: missing dump ${f}")
+    endif()
+  endforeach()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${a}" "${b}"
+                  RESULT_VARIABLE differ)
+  if(NOT differ EQUAL 0)
+    message(FATAL_ERROR
+            "${NAME}: ${what} dumps differ — the cache format changed "
+            "the reported output")
+  endif()
+endfunction()
+
+function(must_replay log what)
+  file(READ "${log}" log_text)
+  if(NOT log_text MATCHES "hit rate=100\\.0%")
+    message(FATAL_ERROR
+            "${NAME}: ${what} was not a pure cache replay — the codec "
+            "did not round-trip every entry bit-identically (${log})")
+  endif()
+endfunction()
+
+set(workroot "${OUTDIR}/${NAME}_format")
+file(REMOVE_RECURSE "${workroot}")
+file(MAKE_DIRECTORY "${workroot}")
+set(text_cache "${workroot}/text.evalcache")
+set(bin_cache "${workroot}/binary.evalcache")
+set(ref "${workroot}/frontier_text.json")
+
+# (a) reference: text-format cache, cold.
+run("${workroot}/text_cold.log" "${FIG15}" --serial
+    --cache-file "${text_cache}" --cache-format text
+    --frontier-json "${ref}")
+
+# (b) binary-format cache, cold: identical frontier.
+run("${workroot}/bin_cold.log" "${FIG15}" --serial
+    --cache-file "${bin_cache}" --cache-format binary
+    --frontier-json "${workroot}/frontier_bin_cold.json")
+must_match("${ref}" "${workroot}/frontier_bin_cold.json"
+           "text-cache vs cold binary-cache frontier")
+
+# (c) binary cache, warm: identical frontier from pure replay.
+run("${workroot}/bin_warm.log" "${FIG15}" --serial
+    --cache-file "${bin_cache}" --cache-format binary
+    --frontier-json "${workroot}/frontier_bin_warm.json")
+must_match("${ref}" "${workroot}/frontier_bin_warm.json"
+           "text-cache vs warm binary-cache frontier")
+must_replay("${workroot}/bin_warm.log" "warm binary-cache run")
+
+# (d) text -> binary migration via the converter, then a warm run
+# from the converted file.
+set(converted "${workroot}/converted.evalcache")
+run("${workroot}/convert.log" "${CONVERT}"
+    --in "${text_cache}" --out "${converted}" --format binary)
+run("${workroot}/conv_warm.log" "${FIG15}" --serial
+    --cache-file "${converted}"
+    --frontier-json "${workroot}/frontier_conv_warm.json")
+must_match("${ref}" "${workroot}/frontier_conv_warm.json"
+           "text-cache vs converted-cache frontier")
+must_replay("${workroot}/conv_warm.log"
+            "warm run from the converted cache")

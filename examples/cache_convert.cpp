@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One-shot eval-cache format converter — the migration path for
+ * caches persisted before the binary container became the default
+ * (and the way back to text when a human needs to read one).
+ *
+ * Reads a cache in whichever format it is in (container magic sniff),
+ * rewrites it in the requested format, and preserves entry order
+ * exactly — recency ranking survives the conversion, so a warm run
+ * from the converted cache behaves identically
+ * (cmake/compare_format.cmake ctest-asserts this).
+ *
+ * Usage:
+ *   cache_convert --in warm.evalcache --out warm.bin.evalcache \
+ *       [--format text|binary]      (default: binary)
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/cache_codec.hh"
+
+namespace
+{
+
+using namespace highlight;
+
+/** Value of `--flag V`; "" when absent. */
+std::string
+optionValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    }
+    return "";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string in_path = optionValue(argc, argv, "--in");
+    const std::string out_path = optionValue(argc, argv, "--out");
+    const std::string format_s = optionValue(argc, argv, "--format");
+
+    ArtifactFormat format = ArtifactFormat::Binary;
+    if (!format_s.empty() &&
+        !parseArtifactFormat(format_s.c_str(), &format)) {
+        std::cerr << "cache_convert: --format " << format_s
+                  << ": expected text or binary\n";
+        return 2;
+    }
+    if (in_path.empty() || out_path.empty()) {
+        std::cerr << "usage: cache_convert --in PATH --out PATH "
+                     "[--format text|binary]\n";
+        return 2;
+    }
+
+    std::vector<CacheFileEntry> entries;
+    switch (readCacheFile(in_path, &entries)) {
+      case CacheReadStatus::Ok:
+        break;
+      case CacheReadStatus::Missing:
+        std::cerr << "cache_convert: no cache at " << in_path << "\n";
+        return 1;
+      case CacheReadStatus::Rejected:
+        std::cerr << "cache_convert: " << in_path
+                  << " is corrupt, truncated, or version-mismatched; "
+                     "refusing to convert\n";
+        return 1;
+    }
+
+    std::ofstream out(out_path, std::ios::trunc | std::ios::binary);
+    if (!out || !writeCacheEntries(out, entries, format)) {
+        std::cerr << "cache_convert: cannot write " << out_path << "\n";
+        return 1;
+    }
+
+    std::cout << "converted " << entries.size() << " entries: "
+              << in_path << " -> " << out_path << " ("
+              << artifactFormatName(format) << ")\n";
+    return 0;
+}

@@ -13,16 +13,19 @@
  * entries — the bug this supervisor exists to demonstrate fixed).
  *
  * Each shard dumps its evaluated *points* (not a frontier) as a
- * frontier-JSON file; the supervisor merges them model-major in
- * shard order and extracts the Pareto frontier, which is
- * byte-identical to the single-process driver's `--frontier-json`
- * dump (cmake/compare_shard.cmake ctest-asserts this, and that a
- * second, warm run is 100% cache hits in every shard).
+ * binary frontier container (`--frontier-format binary`: supervisor/
+ * shard exchange is machine-to-machine, so it skips the JSON detour);
+ * the supervisor merges them model-major in shard order and extracts
+ * the Pareto frontier, written as text, which is byte-identical to
+ * the single-process driver's `--frontier-json` dump
+ * (cmake/compare_shard.cmake ctest-asserts this, and that a second,
+ * warm run is 100% cache hits in every shard).
  *
  * Usage:
  *   sharded_sweep --driver ./fig15_pareto --shards 2 \
  *       --cache-file sweep.evalcache --workdir shards \
  *       --out merged_frontier.json [--threads N]
+ *       [--cache-format text|binary]
  */
 
 #include <cstdlib>
@@ -59,7 +62,9 @@ optionValue(int argc, char **argv, const char *flag)
 pid_t
 launchShard(const std::string &driver, int index, int shards,
             const std::string &dump, const std::string &log,
-            const std::string &cache_file, const std::string &threads)
+            const std::string &cache_file,
+            const std::string &cache_format,
+            const std::string &threads)
 {
     const pid_t pid = ::fork();
     if (pid != 0)
@@ -77,11 +82,20 @@ launchShard(const std::string &driver, int index, int shards,
     }
     const std::string shard_arg =
         std::to_string(index) + "/" + std::to_string(shards);
-    std::vector<std::string> args = {driver, "--shard", shard_arg,
-                                     "--frontier-json", dump};
+    std::vector<std::string> args = {driver,
+                                     "--shard",
+                                     shard_arg,
+                                     "--frontier-json",
+                                     dump,
+                                     "--frontier-format",
+                                     "binary"};
     if (!cache_file.empty()) {
         args.push_back("--cache-file");
         args.push_back(cache_file);
+    }
+    if (!cache_format.empty()) {
+        args.push_back("--cache-format");
+        args.push_back(cache_format);
     }
     if (!threads.empty()) {
         args.push_back("--threads");
@@ -105,6 +119,8 @@ main(int argc, char **argv)
     const std::string out_path = optionValue(argc, argv, "--out");
     const std::string cache_file =
         optionValue(argc, argv, "--cache-file");
+    const std::string cache_format =
+        optionValue(argc, argv, "--cache-format");
     const std::string threads = optionValue(argc, argv, "--threads");
     std::string workdir = optionValue(argc, argv, "--workdir");
     const std::string shards_s = optionValue(argc, argv, "--shards");
@@ -113,8 +129,16 @@ main(int argc, char **argv)
     if (driver.empty() || out_path.empty() || shards < 1) {
         std::cerr << "usage: sharded_sweep --driver FIG15_BINARY "
                      "--out MERGED.json [--shards N>=1] "
-                     "[--cache-file PATH] [--workdir DIR] "
-                     "[--threads N]\n";
+                     "[--cache-file PATH] [--cache-format text|binary] "
+                     "[--workdir DIR] [--threads N]\n";
+        return 2;
+    }
+    // Validate the forwarded format here, not in N shard logs.
+    ArtifactFormat parsed_format;
+    if (!cache_format.empty() &&
+        !parseArtifactFormat(cache_format.c_str(), &parsed_format)) {
+        std::cerr << "sharded_sweep: --cache-format " << cache_format
+                  << ": expected text or binary\n";
         return 2;
     }
     if (workdir.empty())
@@ -129,8 +153,9 @@ main(int argc, char **argv)
                         ".json");
         logs.push_back(workdir + "/shard_" + std::to_string(i) +
                        ".log");
-        const pid_t pid = launchShard(driver, i, shards, dumps.back(),
-                                      logs.back(), cache_file, threads);
+        const pid_t pid =
+            launchShard(driver, i, shards, dumps.back(), logs.back(),
+                        cache_file, cache_format, threads);
         if (pid < 0) {
             std::cerr << "sharded_sweep: fork failed for shard " << i
                       << "\n";
@@ -161,7 +186,7 @@ main(int argc, char **argv)
     std::vector<FrontierEntry> points;
     for (int i = 0; i < shards; ++i) {
         std::vector<FrontierEntry> shard_points;
-        if (!readFrontierJson(dumps[i], &shard_points)) {
+        if (!readFrontierFile(dumps[i], &shard_points)) {
             std::cerr << "sharded_sweep: cannot parse " << dumps[i]
                       << "\n";
             return 1;

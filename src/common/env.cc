@@ -1,6 +1,8 @@
 #include "common/env.hh"
 
 #include <cstdlib>
+#include <string>
+#include <string_view>
 
 #include "common/logging.hh"
 
@@ -39,6 +41,39 @@ positiveIntFromEnv(const char *name, long long max_value,
         return v;
     warn(msgOf(name, "=", s, " is not a positive integer (max ",
                max_value, "); falling back to the default"));
+    return fallback;
+}
+
+int
+parseChoice(const char *s, const char *const *choices, int count)
+{
+    if (s == nullptr || *s == '\0')
+        return -1;
+    for (int i = 0; i < count; ++i) {
+        if (std::string_view(s) == choices[i])
+            return i;
+    }
+    return -1;
+}
+
+int
+choiceFromEnv(const char *name, const char *const *choices, int count,
+              int fallback)
+{
+    const char *s = std::getenv(name);
+    if (s == nullptr)
+        return fallback;
+    const int i = parseChoice(s, choices, count);
+    if (i >= 0)
+        return i;
+    std::string accepted;
+    for (int c = 0; c < count; ++c) {
+        if (c > 0)
+            accepted += "|";
+        accepted += choices[c];
+    }
+    warn(msgOf(name, "=", s, " is not one of {", accepted,
+               "}; falling back to the default"));
     return fallback;
 }
 

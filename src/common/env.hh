@@ -35,6 +35,23 @@ bool parsePositiveInt(const char *s, long long max_value,
 long long positiveIntFromEnv(const char *name, long long max_value,
                              long long fallback);
 
+/**
+ * Index of `s` in `choices` (exact, case-sensitive match against the
+ * `count` entries). Returns -1 for null, empty, or unknown strings —
+ * same strictness as parsePositiveInt: "Text" or "text " do not match
+ * "text".
+ */
+int parseChoice(const char *s, const char *const *choices, int count);
+
+/**
+ * Read environment variable `name` as one of `choices`, returning its
+ * index. Returns `fallback` when the variable is unset; warns (naming
+ * the variable, the rejected value, and the accepted choices) and
+ * returns `fallback` when it is set to anything parseChoice rejects.
+ */
+int choiceFromEnv(const char *name, const char *const *choices,
+                  int count, int fallback);
+
 } // namespace highlight
 
 #endif // HIGHLIGHT_COMMON_ENV_HH

@@ -1,79 +1,14 @@
 #include "core/frontier_io.hh"
 
-#include <cstdlib>
 #include <fstream>
 #include <iomanip>
-#include <sstream>
+#include <utility>
 
 #include "core/pareto.hh"
+#include "io/artifact_file.hh"
 
 namespace highlight
 {
-
-namespace
-{
-
-/**
- * Extract the value after `"name": ` in `line` starting at *pos.
- * Strings are unescaped (\" and \\); numbers parse with strtod, so
- * max_digits10 dumps round-trip bit-exactly. Advances *pos past the
- * value on success.
- */
-bool
-takeStringField(const std::string &line, const std::string &name,
-                std::size_t *pos, std::string *out)
-{
-    const std::string tag = "\"" + name + "\": \"";
-    const auto at = line.find(tag, *pos);
-    if (at == std::string::npos)
-        return false;
-    out->clear();
-    std::size_t i = at + tag.size();
-    while (i < line.size() && line[i] != '"') {
-        if (line[i] == '\\') {
-            if (i + 1 >= line.size())
-                return false;
-            ++i;
-        }
-        *out += line[i++];
-    }
-    if (i >= line.size())
-        return false; // unterminated string
-    *pos = i + 1;
-    return true;
-}
-
-bool
-takeNumberField(const std::string &line, const std::string &name,
-                std::size_t *pos, double *out)
-{
-    const std::string tag = "\"" + name + "\": ";
-    const auto at = line.find(tag, *pos);
-    if (at == std::string::npos)
-        return false;
-    const char *start = line.c_str() + at + tag.size();
-    char *end = nullptr;
-    *out = std::strtod(start, &end);
-    if (end == start)
-        return false;
-    *pos = static_cast<std::size_t>(end - line.c_str());
-    return true;
-}
-
-} // namespace
-
-std::string
-jsonQuote(const std::string &s)
-{
-    std::string out = "\"";
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
 
 bool
 writeFrontierJson(const std::string &path,
@@ -121,11 +56,11 @@ readFrontierJson(const std::string &path,
         FrontierEntry e;
         std::size_t pos = 0;
         if (!saw_open || saw_close ||
-            !takeStringField(line, "model", &pos, &e.model) ||
-            !takeStringField(line, "design", &pos, &e.design) ||
-            !takeNumberField(line, "accuracy_loss", &pos,
-                             &e.accuracy_loss) ||
-            !takeNumberField(line, "norm_edp", &pos, &e.norm_edp)) {
+            !takeJsonString(line, "model", &pos, &e.model) ||
+            !takeJsonString(line, "design", &pos, &e.design) ||
+            !takeJsonNumber(line, "accuracy_loss", &pos,
+                            &e.accuracy_loss) ||
+            !takeJsonNumber(line, "norm_edp", &pos, &e.norm_edp)) {
             out->clear();
             return false;
         }
@@ -136,6 +71,87 @@ readFrontierJson(const std::string &path,
         return false;
     }
     return true;
+}
+
+namespace
+{
+
+const char kFrontierKind[] = "frontier";
+
+bool
+writeFrontierBinary(const std::string &path,
+                    const std::vector<FrontierEntry> &frontier)
+{
+    std::vector<std::string> model(frontier.size());
+    std::vector<std::string> design(frontier.size());
+    std::vector<double> accuracy_loss(frontier.size());
+    std::vector<double> norm_edp(frontier.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        model[i] = frontier[i].model;
+        design[i] = frontier[i].design;
+        accuracy_loss[i] = frontier[i].accuracy_loss;
+        norm_edp[i] = frontier[i].norm_edp;
+    }
+    ArtifactWriter writer(kFrontierKind, kFrontierFileVersion);
+    writer.addStr("model", model);
+    writer.addStr("design", design);
+    writer.addF64("accuracy_loss", accuracy_loss);
+    writer.addF64("norm_edp", norm_edp);
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out)
+        return false;
+    return writer.writeTo(out);
+}
+
+bool
+readFrontierBinary(const std::string &path,
+                   std::vector<FrontierEntry> *out)
+{
+    ArtifactReader reader;
+    if (reader.open(path, kFrontierKind, kFrontierFileVersion) !=
+        ArtifactReader::Status::Ok)
+        return false;
+    const auto *model = reader.str("model");
+    const auto *design = reader.str("design");
+    const auto *accuracy_loss = reader.f64("accuracy_loss");
+    const auto *norm_edp = reader.f64("norm_edp");
+    if (!model || !design || !accuracy_loss || !norm_edp ||
+        design->size() != model->size() ||
+        accuracy_loss->size() != model->size() ||
+        norm_edp->size() != model->size())
+        return false;
+    std::vector<FrontierEntry> staged(model->size());
+    for (std::size_t i = 0; i < model->size(); ++i)
+        staged[i] = {(*model)[i], (*design)[i], (*accuracy_loss)[i],
+                     (*norm_edp)[i]};
+    *out = std::move(staged);
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrontierFile(const std::string &path,
+                  const std::vector<FrontierEntry> &frontier,
+                  ArtifactFormat format)
+{
+    return format == ArtifactFormat::Text
+               ? writeFrontierJson(path, frontier)
+               : writeFrontierBinary(path, frontier);
+}
+
+bool
+readFrontierFile(const std::string &path,
+                 std::vector<FrontierEntry> *out)
+{
+    out->clear();
+    if (isArtifactFile(path)) {
+        if (readFrontierBinary(path, out))
+            return true;
+        out->clear();
+        return false;
+    }
+    return readFrontierJson(path, out);
 }
 
 std::vector<FrontierEntry>

@@ -4,16 +4,22 @@
  * format, readable and writable from both the figure drivers and the
  * sharded-sweep supervisor.
  *
- * The format is a JSON array of {model, design, accuracy_loss,
+ * The text format is a JSON array of {model, design, accuracy_loss,
  * norm_edp} objects with doubles printed at max_digits10, so a
  * byte-compare of two dumps is a bit-identity check on the values.
  * That property is what the sharding story rests on: each shard of a
- * multi-process sweep dumps its candidates' *points* in this format,
- * the supervisor merges them (model-major, shard order) and extracts
- * the frontier with frontierOf(), and the result must be
- * byte-identical to the single-process sweep's frontier dump — the
- * ctest-asserted soundness check for sharding, mirroring what
- * compare_prune.cmake asserts for pruning.
+ * multi-process sweep dumps its candidates' *points*, the supervisor
+ * merges them (model-major, shard order) and extracts the frontier
+ * with frontierOf(), and the result must be byte-identical to the
+ * single-process sweep's frontier dump — the ctest-asserted soundness
+ * check for sharding, mirroring what compare_prune.cmake asserts for
+ * pruning.
+ *
+ * Dumps can also travel as ArtifactFile containers (kind "frontier"),
+ * which carry the doubles as raw bit patterns — trivially bit-exact —
+ * and are what the shard supervisor exchanges with its shards.
+ * readFrontierFile auto-detects the format, so either side can be
+ * text when a human needs to look at it.
  */
 
 #ifndef HIGHLIGHT_CORE_FRONTIER_IO_HH
@@ -22,8 +28,14 @@
 #include <string>
 #include <vector>
 
+#include "io/codec.hh"
+#include "io/json.hh"
+
 namespace highlight
 {
+
+/** Bumped whenever the frontier entry schema changes. */
+constexpr int kFrontierFileVersion = 1;
 
 /** One evaluated point (or frontier member) of a fig15-style sweep. */
 struct FrontierEntry
@@ -33,9 +45,6 @@ struct FrontierEntry
     double accuracy_loss = 0.0;
     double norm_edp = 0.0;
 };
-
-/** A quoted JSON string (escapes backslash and double-quote). */
-std::string jsonQuote(const std::string &s);
 
 /**
  * Dump entries as a JSON array (full-precision doubles: byte-equal
@@ -51,6 +60,19 @@ bool writeFrontierJson(const std::string &path,
  * doubles round-trip bit-exactly (max_digits10 print + strtod).
  */
 bool readFrontierJson(const std::string &path,
+                      std::vector<FrontierEntry> *out);
+
+/** writeFrontierJson, or the ArtifactFile container, per `format`. */
+bool writeFrontierFile(const std::string &path,
+                       const std::vector<FrontierEntry> &frontier,
+                       ArtifactFormat format);
+
+/**
+ * Read a frontier dump in whichever format it was written (container
+ * magic sniff). Same strictness as readFrontierJson: false with *out
+ * cleared on any corruption — no partial loads.
+ */
+bool readFrontierFile(const std::string &path,
                       std::vector<FrontierEntry> *out);
 
 /**

@@ -1,0 +1,424 @@
+#include "io/artifact_file.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace highlight
+{
+
+namespace
+{
+
+constexpr char kHeadMagic[8] = {'H', 'L', 'A', 'R', 'T', 'F', '1', '\n'};
+constexpr char kTailMagic[8] = {'H', 'L', 'A', 'R', 'T', 'E', 'N', 'D'};
+constexpr std::size_t kFooterSize = 32;
+
+void
+putU64(std::string *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::string *out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "binary64 expected");
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+padTo8(std::string *out)
+{
+    while (out->size() % 8 != 0)
+        out->push_back('\0');
+}
+
+/** Bounds-checked cursor over an immutable byte buffer. */
+class Cursor
+{
+  public:
+    Cursor(const std::string &buf, std::size_t begin, std::size_t end)
+        : buf_(buf), pos_(begin), end_(end)
+    {
+    }
+
+    bool
+    takeU64(std::uint64_t *out)
+    {
+        if (end_ - pos_ < 8 || pos_ > end_)
+            return false;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        *out = v;
+        return true;
+    }
+
+    bool
+    takeByte(std::uint8_t *out)
+    {
+        if (pos_ >= end_)
+            return false;
+        *out = static_cast<unsigned char>(buf_[pos_++]);
+        return true;
+    }
+
+    bool
+    takeBytes(std::size_t n, std::string *out)
+    {
+        if (end_ - pos_ < n || pos_ > end_)
+            return false;
+        out->assign(buf_, pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    bool atEnd() const { return pos_ == end_; }
+
+  private:
+    const std::string &buf_;
+    std::size_t pos_;
+    std::size_t end_;
+};
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+bool
+isArtifactFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {};
+    if (!in.read(magic, sizeof(magic)))
+        return false;
+    return std::memcmp(magic, kHeadMagic, sizeof(magic)) == 0;
+}
+
+ArtifactWriter::ArtifactWriter(const std::string &kind,
+                               std::uint64_t app_version)
+{
+    body_.append(kHeadMagic, sizeof(kHeadMagic));
+    putU64(&body_, kArtifactContainerVersion);
+    putU64(&body_, app_version);
+    putU64(&body_, kind.size());
+    body_.append(kind);
+    padTo8(&body_);
+}
+
+void
+ArtifactWriter::addPayload(const std::string &name, ColumnType type,
+                           std::uint64_t count,
+                           const std::string &payload)
+{
+    Dataset d;
+    d.name = name;
+    d.type = type;
+    d.count = count;
+    d.offset = body_.size(); // already 8-aligned
+    d.size = payload.size();
+    d.checksum = fnv1a64(payload.data(), payload.size());
+    body_.append(payload);
+    padTo8(&body_);
+    dir_.push_back(std::move(d));
+}
+
+void
+ArtifactWriter::addU64(const std::string &name,
+                       const std::vector<std::uint64_t> &values)
+{
+    std::string payload;
+    payload.reserve(values.size() * 8);
+    for (const std::uint64_t v : values)
+        putU64(&payload, v);
+    addPayload(name, ColumnType::U64, values.size(), payload);
+}
+
+void
+ArtifactWriter::addF64(const std::string &name,
+                       const std::vector<double> &values)
+{
+    std::string payload;
+    payload.reserve(values.size() * 8);
+    for (const double v : values)
+        putF64(&payload, v);
+    addPayload(name, ColumnType::F64, values.size(), payload);
+}
+
+void
+ArtifactWriter::addStr(const std::string &name,
+                       const std::vector<std::string> &values)
+{
+    std::string payload;
+    std::size_t blob_size = 0;
+    for (const auto &s : values)
+        blob_size += s.size();
+    payload.reserve((values.size() + 1) * 8 + blob_size);
+    std::uint64_t offset = 0;
+    putU64(&payload, offset);
+    for (const auto &s : values) {
+        offset += s.size();
+        putU64(&payload, offset);
+    }
+    for (const auto &s : values)
+        payload.append(s);
+    addPayload(name, ColumnType::Str, values.size(), payload);
+}
+
+std::string
+ArtifactWriter::bytes() const
+{
+    std::string out = body_;
+    const std::uint64_t dir_offset = out.size();
+
+    std::string dir;
+    putU64(&dir, dir_.size());
+    for (const Dataset &d : dir_) {
+        putU64(&dir, d.name.size());
+        dir.append(d.name);
+        dir.push_back(static_cast<char>(d.type));
+        putU64(&dir, d.count);
+        putU64(&dir, d.offset);
+        putU64(&dir, d.size);
+        putU64(&dir, d.checksum);
+    }
+    out.append(dir);
+
+    putU64(&out, dir_offset);
+    putU64(&out, dir.size());
+    putU64(&out, fnv1a64(dir.data(), dir.size()));
+    out.append(kTailMagic, sizeof(kTailMagic));
+    return out;
+}
+
+bool
+ArtifactWriter::writeTo(std::ostream &out) const
+{
+    const std::string image = bytes();
+    out.write(image.data(),
+              static_cast<std::streamsize>(image.size()));
+    return static_cast<bool>(out);
+}
+
+ArtifactReader::Status
+ArtifactReader::open(const std::string &path, const std::string &kind,
+                     std::uint64_t app_version)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::Missing;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in)
+        return Status::Corrupt;
+    return parse(buf.str(), kind, app_version);
+}
+
+ArtifactReader::Status
+ArtifactReader::parse(std::string bytes, const std::string &kind,
+                      std::uint64_t app_version)
+{
+    columns_.clear();
+    const std::string buf = std::move(bytes);
+
+    // --- header: magic, container version, app version, kind.
+    const std::size_t min_header = sizeof(kHeadMagic) + 3 * 8;
+    if (buf.size() < min_header + kFooterSize)
+        return Status::Corrupt;
+    if (std::memcmp(buf.data(), kHeadMagic, sizeof(kHeadMagic)) != 0)
+        return Status::Corrupt;
+    Cursor header(buf, sizeof(kHeadMagic), buf.size());
+    std::uint64_t container_version = 0, file_app_version = 0,
+                  kind_len = 0;
+    std::string file_kind;
+    if (!header.takeU64(&container_version) ||
+        !header.takeU64(&file_app_version) ||
+        !header.takeU64(&kind_len) ||
+        !header.takeBytes(kind_len, &file_kind))
+        return Status::Corrupt;
+    if (container_version != kArtifactContainerVersion)
+        return Status::Mismatch;
+
+    // --- footer: directory location + checksum, tail magic.
+    const std::size_t footer_at = buf.size() - kFooterSize;
+    if (std::memcmp(buf.data() + footer_at + 24, kTailMagic,
+                    sizeof(kTailMagic)) != 0)
+        return Status::Corrupt;
+    Cursor footer(buf, footer_at, buf.size());
+    std::uint64_t dir_offset = 0, dir_size = 0, dir_checksum = 0;
+    footer.takeU64(&dir_offset);
+    footer.takeU64(&dir_size);
+    footer.takeU64(&dir_checksum);
+    if (dir_offset > footer_at || dir_size > footer_at - dir_offset)
+        return Status::Corrupt;
+    if (fnv1a64(buf.data() + dir_offset, dir_size) != dir_checksum)
+        return Status::Corrupt;
+
+    // --- directory: verify every dataset before exposing any.
+    Cursor dir(buf, dir_offset, dir_offset + dir_size);
+    std::uint64_t count = 0;
+    if (!dir.takeU64(&count))
+        return Status::Corrupt;
+    std::vector<Column> columns;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t name_len = 0, elems = 0, offset = 0, size = 0,
+                      checksum = 0;
+        std::uint8_t type = 0;
+        Column c;
+        if (!dir.takeU64(&name_len) ||
+            !dir.takeBytes(name_len, &c.name) ||
+            !dir.takeByte(&type) || !dir.takeU64(&elems) ||
+            !dir.takeU64(&offset) || !dir.takeU64(&size) ||
+            !dir.takeU64(&checksum))
+            return Status::Corrupt;
+        if (offset > dir_offset || size > dir_offset - offset)
+            return Status::Corrupt;
+        if (fnv1a64(buf.data() + offset, size) != checksum)
+            return Status::Corrupt;
+
+        Cursor payload(buf, offset, offset + size);
+        switch (type) {
+          case static_cast<std::uint8_t>(ColumnType::U64): {
+            c.type = ColumnType::U64;
+            // Divide, don't multiply: a hostile element count must
+            // fail the size check, not wrap it around.
+            if (size % 8 != 0 || elems != size / 8)
+                return Status::Corrupt;
+            c.u64s.reserve(elems);
+            for (std::uint64_t j = 0; j < elems; ++j) {
+                std::uint64_t v = 0;
+                payload.takeU64(&v);
+                c.u64s.push_back(v);
+            }
+            break;
+          }
+          case static_cast<std::uint8_t>(ColumnType::F64): {
+            c.type = ColumnType::F64;
+            if (size % 8 != 0 || elems != size / 8)
+                return Status::Corrupt;
+            c.f64s.reserve(elems);
+            for (std::uint64_t j = 0; j < elems; ++j) {
+                std::uint64_t v = 0;
+                payload.takeU64(&v);
+                c.f64s.push_back(bitsToDouble(v));
+            }
+            break;
+          }
+          case static_cast<std::uint8_t>(ColumnType::Str): {
+            c.type = ColumnType::Str;
+            // elems + 1 offsets must fit; checked by division so a
+            // hostile count cannot overflow the bound (or the
+            // reserve below) into an allocation bomb.
+            if (size / 8 < 1 || elems > size / 8 - 1)
+                return Status::Corrupt;
+            const std::uint64_t blob_size = size - (elems + 1) * 8;
+            std::vector<std::uint64_t> offsets;
+            offsets.reserve(elems + 1);
+            for (std::uint64_t j = 0; j <= elems; ++j) {
+                std::uint64_t v = 0;
+                payload.takeU64(&v);
+                offsets.push_back(v);
+            }
+            if (offsets.front() != 0 || offsets.back() != blob_size)
+                return Status::Corrupt;
+            for (std::uint64_t j = 0; j < elems; ++j) {
+                if (offsets[j] > offsets[j + 1])
+                    return Status::Corrupt;
+            }
+            c.strs.reserve(elems);
+            for (std::uint64_t j = 0; j < elems; ++j) {
+                std::string s;
+                // The cursor sits at the blob start after the offset
+                // table; strings are consecutive, so sequential takes
+                // reconstruct them.
+                if (!payload.takeBytes(offsets[j + 1] - offsets[j], &s))
+                    return Status::Corrupt;
+                c.strs.push_back(std::move(s));
+            }
+            break;
+          }
+          default:
+            return Status::Corrupt;
+        }
+        columns.push_back(std::move(c));
+    }
+    if (!dir.atEnd())
+        return Status::Corrupt; // trailing junk inside the directory
+
+    // Schema fencing last: a corrupted file must read as Corrupt even
+    // when the corruption also garbles the kind/version fields — only
+    // a fully *valid* container reports Mismatch.
+    if (file_kind != kind || file_app_version != app_version)
+        return Status::Mismatch;
+
+    columns_ = std::move(columns);
+    return Status::Ok;
+}
+
+const ArtifactReader::Column *
+ArtifactReader::find(const std::string &name, ColumnType type) const
+{
+    for (const Column &c : columns_) {
+        if (c.name == name)
+            return c.type == type ? &c : nullptr;
+    }
+    return nullptr;
+}
+
+const std::vector<std::uint64_t> *
+ArtifactReader::u64(const std::string &name) const
+{
+    const Column *c = find(name, ColumnType::U64);
+    return c ? &c->u64s : nullptr;
+}
+
+const std::vector<double> *
+ArtifactReader::f64(const std::string &name) const
+{
+    const Column *c = find(name, ColumnType::F64);
+    return c ? &c->f64s : nullptr;
+}
+
+const std::vector<std::string> *
+ArtifactReader::str(const std::string &name) const
+{
+    const Column *c = find(name, ColumnType::Str);
+    return c ? &c->strs : nullptr;
+}
+
+std::vector<std::string>
+ArtifactReader::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(columns_.size());
+    for (const Column &c : columns_)
+        out.push_back(c.name);
+    return out;
+}
+
+} // namespace highlight

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The binary artifact container behind every persistent artifact the
+ * runtime produces (eval caches, frontier dumps, bench snapshots).
+ *
+ * The data model is HDF5's, minus the dependency: a file holds named,
+ * typed, one-dimensional datasets (u64 / f64 / byte-string columns).
+ * The layout is single-pass-writer friendly and strict-reader
+ * friendly:
+ *
+ *   header   magic "HLARTF1\n", container version, app schema
+ *            version, app kind string (e.g. "evalcache")
+ *   datasets raw column payloads, back to back, each starting on an
+ *            8-byte boundary (mmap-friendly: fixed-width
+ *            little-endian fields at aligned offsets)
+ *   directory one entry per dataset in append order: name, type,
+ *            element count, payload offset/length, FNV-1a64 checksum
+ *            of the payload bytes
+ *   footer   fixed 32 bytes: directory offset/length, FNV-1a64
+ *            checksum of the directory bytes, tail magic "HLARTEND"
+ *
+ * Writers never seek: payloads stream out as datasets are added and
+ * the directory lands at the tail. Readers walk backwards from the
+ * footer, verify the directory checksum, then verify every dataset
+ * checksum before exposing any data — a truncated or bit-flipped file
+ * is rejected wholesale (no partial loads), with the failure reason
+ * distinguished so callers can tell "no file yet" from "your data was
+ * discarded".
+ *
+ * String columns are stored as an offset table (u64[count+1], first 0,
+ * monotonically non-decreasing) followed by the concatenated bytes, so
+ * strings may contain any byte value including NUL and newline.
+ */
+
+#ifndef HIGHLIGHT_IO_ARTIFACT_FILE_HH
+#define HIGHLIGHT_IO_ARTIFACT_FILE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace highlight
+{
+
+/** Container layout version; bumped when the byte layout changes. */
+constexpr std::uint64_t kArtifactContainerVersion = 1;
+
+/** FNV-1a 64-bit hash — the container's integrity checksum. A single
+ *  flipped byte always changes the hash (xor-then-multiply-by-odd-
+ *  prime is a bijection per step), so corruption checks here are
+ *  deterministic, not probabilistic. */
+std::uint64_t fnv1a64(const void *data, std::size_t size);
+
+/** Dataset element types. */
+enum class ColumnType : std::uint8_t
+{
+    U64 = 1, ///< unsigned 64-bit little-endian integers
+    F64 = 2, ///< IEEE-754 binary64, little-endian bit pattern
+    Str = 3, ///< byte strings (offset table + blob)
+};
+
+/** True when `path` starts with the artifact magic — the format sniff
+ *  used to auto-detect binary vs legacy text artifacts. */
+bool isArtifactFile(const std::string &path);
+
+/**
+ * Single-pass builder for an artifact container. Datasets appear in
+ * the file (and in the directory) in the order they were added.
+ */
+class ArtifactWriter
+{
+  public:
+    /** `kind` names the artifact schema (e.g. "evalcache") and
+     *  `app_version` its version; readers reject a mismatch of
+     *  either, independent of the container version. */
+    ArtifactWriter(const std::string &kind, std::uint64_t app_version);
+
+    void addU64(const std::string &name,
+                const std::vector<std::uint64_t> &values);
+    void addF64(const std::string &name,
+                const std::vector<double> &values);
+    void addStr(const std::string &name,
+                const std::vector<std::string> &values);
+
+    /** Serialize the container (header + datasets + directory +
+     *  footer); false on stream failure. */
+    bool writeTo(std::ostream &out) const;
+
+    /** The complete container image as a byte string. */
+    std::string bytes() const;
+
+  private:
+    struct Dataset
+    {
+        std::string name;
+        ColumnType type;
+        std::uint64_t count;
+        std::uint64_t offset;
+        std::uint64_t size;
+        std::uint64_t checksum;
+    };
+
+    /** Append raw payload bytes as dataset `name`, 8-aligned. */
+    void addPayload(const std::string &name, ColumnType type,
+                    std::uint64_t count, const std::string &payload);
+
+    std::string body_; ///< header + dataset payloads so far
+    std::vector<Dataset> dir_;
+};
+
+/**
+ * Strict whole-file reader. open() verifies magic, versions, bounds,
+ * the directory checksum and every dataset checksum before exposing
+ * anything; on any failure no column is accessible.
+ */
+class ArtifactReader
+{
+  public:
+    enum class Status
+    {
+        Ok,       ///< Fully verified; columns are accessible.
+        Missing,  ///< The file does not exist / cannot be opened.
+        Corrupt,  ///< Truncated, bit-flipped, or not an artifact file.
+        Mismatch, ///< Valid container, wrong kind or app version.
+    };
+
+    /** Parse and verify `path` against the expected schema. Any
+     *  status other than Ok leaves the reader empty. */
+    Status open(const std::string &path, const std::string &kind,
+                std::uint64_t app_version);
+
+    /** As open(), over an in-memory container image (tests, and
+     *  callers that already read the file). */
+    Status parse(std::string bytes, const std::string &kind,
+                 std::uint64_t app_version);
+
+    /** Typed column accessors: nullptr when the dataset is absent or
+     *  has a different type. */
+    const std::vector<std::uint64_t> *u64(const std::string &name) const;
+    const std::vector<double> *f64(const std::string &name) const;
+    const std::vector<std::string> *str(const std::string &name) const;
+
+    /** Dataset names in file (append) order. */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Column
+    {
+        std::string name;
+        ColumnType type;
+        std::vector<std::uint64_t> u64s;
+        std::vector<double> f64s;
+        std::vector<std::string> strs;
+    };
+
+    const Column *find(const std::string &name, ColumnType type) const;
+
+    std::vector<Column> columns_;
+};
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_IO_ARTIFACT_FILE_HH

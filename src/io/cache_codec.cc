@@ -1,0 +1,434 @@
+#include "io/cache_codec.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "io/artifact_file.hh"
+
+namespace highlight
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Text codec: the legacy `highlight-evalcache v1` line format,
+// byte-for-byte. Doubles print as hexfloat (lossless for finite
+// values) and parse through strtod, because istream hexfloat
+// extraction is unreliable in libstdc++.
+// ---------------------------------------------------------------------
+
+/** First line of a persisted text cache file. */
+std::string
+fileHeader()
+{
+    return msgOf("highlight-evalcache v", kCacheFileVersion);
+}
+
+std::string
+exactDouble(double v)
+{
+    std::ostringstream oss;
+    oss << std::hexfloat << v;
+    return oss.str();
+}
+
+bool
+parseDouble(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+/** "prefix rest-of-line" split; false when the prefix does not match. */
+bool
+takeField(const std::string &line, const std::string &prefix,
+          std::string *rest)
+{
+    if (line.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    if (line.size() == prefix.size()) {
+        rest->clear();
+        return true;
+    }
+    if (line[prefix.size()] != ' ')
+        return false;
+    *rest = line.substr(prefix.size() + 1);
+    return true;
+}
+
+/**
+ * Parse "<count>" then count lines of "<hexfloat> <name>" into a
+ * breakdown. Component names may contain spaces, so the value comes
+ * first and the name is the rest of the line.
+ */
+bool
+parseBreakdown(std::istream &in, std::size_t count,
+               std::vector<BreakdownEntry> *out)
+{
+    out->clear();
+    std::string line;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        const auto space = line.find(' ');
+        if (space == std::string::npos)
+            return false;
+        BreakdownEntry e;
+        e.name = line.substr(space + 1);
+        if (!parseDouble(line.substr(0, space), &e.value))
+            return false;
+        out->push_back(std::move(e));
+    }
+    return true;
+}
+
+bool
+parseCount(const std::string &s, std::size_t *out)
+{
+    // Digits only: strtoull would silently wrap "-1" to 2^64-1 and
+    // accept leading whitespace/'+'.
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+}
+
+/** Parse a text cache stream (header + entries) wholesale; false on
+ *  any corruption, leaving no partial state anywhere. */
+bool
+parseTextEntries(std::istream &in, std::vector<CacheFileEntry> *out)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != fileHeader())
+        return false; // stale version / not a cache file
+
+    std::size_t count = 0;
+    if (!std::getline(in, line) || !parseCount(line, &count))
+        return false;
+
+    // Parse everything into a staging list first so a corrupt tail
+    // cannot leave the caller half-loaded. The reserve is clamped: the
+    // count came from the (possibly corrupt) file, and a garbage
+    // value must degrade into a failed parse below, not an OOM here.
+    std::vector<CacheFileEntry> staged;
+    staged.reserve(std::min<std::size_t>(count, 4096));
+    for (std::size_t i = 0; i < count; ++i) {
+        CacheFileEntry e;
+        std::string field;
+        if (!std::getline(in, line) || !takeField(line, "key", &e.key) ||
+            e.key.empty())
+            return false;
+        if (!std::getline(in, line) ||
+            !takeField(line, "design", &e.result.design))
+            return false;
+        if (!std::getline(in, line) ||
+            !takeField(line, "workload", &e.result.workload))
+            return false;
+        if (!std::getline(in, line) ||
+            !takeField(line, "supported", &field) ||
+            (field != "0" && field != "1"))
+            return false;
+        e.result.supported = field == "1";
+        if (!std::getline(in, line) ||
+            !takeField(line, "note", &e.result.note))
+            return false;
+        if (!std::getline(in, line) || !takeField(line, "cycles", &field) ||
+            !parseDouble(field, &e.result.cycles))
+            return false;
+        if (!std::getline(in, line) || !takeField(line, "clock", &field) ||
+            !parseDouble(field, &e.result.clock_mhz))
+            return false;
+        std::size_t n = 0;
+        if (!std::getline(in, line) || !takeField(line, "energy", &field) ||
+            !parseCount(field, &n) ||
+            !parseBreakdown(in, n, &e.result.energy_pj))
+            return false;
+        if (!std::getline(in, line) || !takeField(line, "area", &field) ||
+            !parseCount(field, &n) ||
+            !parseBreakdown(in, n, &e.result.area_um2))
+            return false;
+        if (!std::getline(in, line) || line != "end")
+            return false;
+        staged.push_back(std::move(e));
+    }
+    *out = std::move(staged);
+    return true;
+}
+
+/** One serialized text cache entry (the parseTextEntries wire format). */
+void
+writeTextEntry(std::ostream &out, const std::string &key,
+               const EvalResult &r)
+{
+    out << "key " << key << "\n";
+    out << "design " << r.design << "\n";
+    out << "workload " << r.workload << "\n";
+    out << "supported " << (r.supported ? 1 : 0) << "\n";
+    out << "note " << r.note << "\n";
+    out << "cycles " << exactDouble(r.cycles) << "\n";
+    out << "clock " << exactDouble(r.clock_mhz) << "\n";
+    out << "energy " << r.energy_pj.size() << "\n";
+    for (const auto &b : r.energy_pj)
+        out << exactDouble(b.value) << " " << b.name << "\n";
+    out << "area " << r.area_um2.size() << "\n";
+    for (const auto &b : r.area_um2)
+        out << exactDouble(b.value) << " " << b.name << "\n";
+    out << "end\n";
+}
+
+class TextCacheCodec : public CacheCodec
+{
+  public:
+    ArtifactFormat format() const override { return ArtifactFormat::Text; }
+
+    CacheReadStatus
+    read(const std::string &path,
+         std::vector<CacheFileEntry> *out) const override
+    {
+        out->clear();
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return CacheReadStatus::Missing;
+        if (!parseTextEntries(in, out)) {
+            out->clear();
+            return CacheReadStatus::Rejected;
+        }
+        return CacheReadStatus::Ok;
+    }
+
+    bool
+    write(std::ostream &out,
+          const std::vector<const CacheFileEntry *> &entries) const override
+    {
+        out << fileHeader() << "\n" << entries.size() << "\n";
+        for (const CacheFileEntry *e : entries)
+            writeTextEntry(out, e->key, e->result);
+        out.flush();
+        return static_cast<bool>(out);
+    }
+};
+
+// ---------------------------------------------------------------------
+// Binary codec: the entry list as ArtifactFile columns. Per-entry
+// scalars are parallel columns; the variable-length breakdowns are
+// flattened into shared name/value columns with a per-entry length
+// column to slice them back apart.
+// ---------------------------------------------------------------------
+
+const char kCacheKind[] = "evalcache";
+
+class BinaryCacheCodec : public CacheCodec
+{
+  public:
+    ArtifactFormat format() const override
+    {
+        return ArtifactFormat::Binary;
+    }
+
+    CacheReadStatus
+    read(const std::string &path,
+         std::vector<CacheFileEntry> *out) const override
+    {
+        out->clear();
+        ArtifactReader reader;
+        switch (reader.open(path, kCacheKind, kCacheFileVersion)) {
+          case ArtifactReader::Status::Ok:
+            break;
+          case ArtifactReader::Status::Missing:
+            return CacheReadStatus::Missing;
+          case ArtifactReader::Status::Corrupt:
+          case ArtifactReader::Status::Mismatch:
+            return CacheReadStatus::Rejected;
+        }
+        if (!decode(reader, out)) {
+            out->clear();
+            return CacheReadStatus::Rejected;
+        }
+        return CacheReadStatus::Ok;
+    }
+
+    bool
+    write(std::ostream &out,
+          const std::vector<const CacheFileEntry *> &entries) const override
+    {
+        const std::size_t n = entries.size();
+        std::vector<std::string> key(n), design(n), workload(n), note(n);
+        std::vector<std::uint64_t> supported(n);
+        std::vector<double> cycles(n), clock_mhz(n);
+        std::vector<std::uint64_t> energy_len(n), area_len(n);
+        std::vector<std::string> energy_name, area_name;
+        std::vector<double> energy_value, area_value;
+        for (std::size_t i = 0; i < n; ++i) {
+            const CacheFileEntry &e = *entries[i];
+            key[i] = e.key;
+            design[i] = e.result.design;
+            workload[i] = e.result.workload;
+            note[i] = e.result.note;
+            supported[i] = e.result.supported ? 1 : 0;
+            cycles[i] = e.result.cycles;
+            clock_mhz[i] = e.result.clock_mhz;
+            energy_len[i] = e.result.energy_pj.size();
+            for (const auto &b : e.result.energy_pj) {
+                energy_name.push_back(b.name);
+                energy_value.push_back(b.value);
+            }
+            area_len[i] = e.result.area_um2.size();
+            for (const auto &b : e.result.area_um2) {
+                area_name.push_back(b.name);
+                area_value.push_back(b.value);
+            }
+        }
+        ArtifactWriter writer(kCacheKind, kCacheFileVersion);
+        writer.addStr("key", key);
+        writer.addStr("design", design);
+        writer.addStr("workload", workload);
+        writer.addStr("note", note);
+        writer.addU64("supported", supported);
+        writer.addF64("cycles", cycles);
+        writer.addF64("clock_mhz", clock_mhz);
+        writer.addU64("energy_len", energy_len);
+        writer.addStr("energy_name", energy_name);
+        writer.addF64("energy_value", energy_value);
+        writer.addU64("area_len", area_len);
+        writer.addStr("area_name", area_name);
+        writer.addF64("area_value", area_value);
+        return writer.writeTo(out);
+    }
+
+  private:
+    /** Reassemble a flattened (len, name, value) breakdown column
+     *  triple for entry after entry, consuming from *next. */
+    static bool
+    slice(std::uint64_t len, const std::vector<std::string> &names,
+          const std::vector<double> &values, std::size_t *next,
+          std::vector<BreakdownEntry> *out)
+    {
+        // Divide-free bound check: `*next + len` could wrap.
+        if (len > names.size() - *next)
+            return false;
+        out->clear();
+        out->reserve(static_cast<std::size_t>(len));
+        for (std::uint64_t i = 0; i < len; ++i) {
+            const std::size_t at = (*next)++;
+            out->push_back({names[at], values[at]});
+        }
+        return true;
+    }
+
+    static bool
+    decode(const ArtifactReader &reader, std::vector<CacheFileEntry> *out)
+    {
+        const auto *key = reader.str("key");
+        const auto *design = reader.str("design");
+        const auto *workload = reader.str("workload");
+        const auto *note = reader.str("note");
+        const auto *supported = reader.u64("supported");
+        const auto *cycles = reader.f64("cycles");
+        const auto *clock_mhz = reader.f64("clock_mhz");
+        const auto *energy_len = reader.u64("energy_len");
+        const auto *energy_name = reader.str("energy_name");
+        const auto *energy_value = reader.f64("energy_value");
+        const auto *area_len = reader.u64("area_len");
+        const auto *area_name = reader.str("area_name");
+        const auto *area_value = reader.f64("area_value");
+        if (!key || !design || !workload || !note || !supported ||
+            !cycles || !clock_mhz || !energy_len || !energy_name ||
+            !energy_value || !area_len || !area_name || !area_value)
+            return false;
+        const std::size_t n = key->size();
+        if (design->size() != n || workload->size() != n ||
+            note->size() != n || supported->size() != n ||
+            cycles->size() != n || clock_mhz->size() != n ||
+            energy_len->size() != n || area_len->size() != n ||
+            energy_name->size() != energy_value->size() ||
+            area_name->size() != area_value->size())
+            return false;
+
+        std::vector<CacheFileEntry> staged(n);
+        std::size_t next_energy = 0, next_area = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            CacheFileEntry &e = staged[i];
+            e.key = (*key)[i];
+            if (e.key.empty())
+                return false; // same strictness as the text parser
+            e.result.design = (*design)[i];
+            e.result.workload = (*workload)[i];
+            e.result.note = (*note)[i];
+            if ((*supported)[i] > 1)
+                return false;
+            e.result.supported = (*supported)[i] == 1;
+            e.result.cycles = (*cycles)[i];
+            e.result.clock_mhz = (*clock_mhz)[i];
+            if (!slice((*energy_len)[i], *energy_name, *energy_value,
+                       &next_energy, &e.result.energy_pj))
+                return false;
+            if (!slice((*area_len)[i], *area_name, *area_value,
+                       &next_area, &e.result.area_um2))
+                return false;
+        }
+        // Every flattened element must be owned by some entry.
+        if (next_energy != energy_name->size() ||
+            next_area != area_name->size())
+            return false;
+        *out = std::move(staged);
+        return true;
+    }
+};
+
+} // namespace
+
+const CacheCodec &
+CacheCodec::of(ArtifactFormat format)
+{
+    static const TextCacheCodec text;
+    static const BinaryCacheCodec binary;
+    return format == ArtifactFormat::Text
+               ? static_cast<const CacheCodec &>(text)
+               : static_cast<const CacheCodec &>(binary);
+}
+
+CacheReadStatus
+readCacheFile(const std::string &path, std::vector<CacheFileEntry> *out)
+{
+    const ArtifactFormat format = isArtifactFile(path)
+                                      ? ArtifactFormat::Binary
+                                      : ArtifactFormat::Text;
+    return CacheCodec::of(format).read(path, out);
+}
+
+bool
+writeCacheEntries(std::ostream &out,
+                  const std::vector<const CacheFileEntry *> &entries,
+                  ArtifactFormat format)
+{
+    return CacheCodec::of(format).write(out, entries);
+}
+
+bool
+writeCacheEntries(std::ostream &out,
+                  const std::vector<CacheFileEntry> &entries,
+                  ArtifactFormat format)
+{
+    std::vector<const CacheFileEntry *> ptrs;
+    ptrs.reserve(entries.size());
+    for (const auto &e : entries)
+        ptrs.push_back(&e);
+    return writeCacheEntries(out, ptrs, format);
+}
+
+} // namespace highlight

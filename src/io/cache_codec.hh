@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Serialization codecs for persisted eval caches.
+ *
+ * EvalCache owns the *semantics* of persistence — locked
+ * merge-on-flush, resident-wins precedence, LRU ordering, atomic
+ * rename — and the codecs here own only the bytes: a flat,
+ * order-preserving list of (key, EvalResult) entries goes in, a file
+ * image comes out, and vice versa. The text codec is byte-for-byte
+ * the legacy `highlight-evalcache v1` line format (hexfloat-exact
+ * doubles), kept for debugging and migration; the binary codec packs
+ * the same entries into the ArtifactFile container (kind "evalcache")
+ * and is the default. Readers auto-detect the format by sniffing the
+ * container magic, so any tool can load a cache written in either.
+ *
+ * The read status is three-way on purpose: a *missing* file is the
+ * normal cold start, while a *rejected* one (corrupt, truncated, or
+ * version-mismatched) means previously computed results are about to
+ * be silently recomputed — callers surface that distinction to the
+ * user.
+ */
+
+#ifndef HIGHLIGHT_IO_CACHE_CODEC_HH
+#define HIGHLIGHT_IO_CACHE_CODEC_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/codec.hh"
+#include "model/result.hh"
+
+namespace highlight
+{
+
+/**
+ * Bumped whenever the entry layout or the EvalCache::keyOf() schema
+ * changes; both codecs stamp it (the text header line, the container
+ * app version) and reject files from another version.
+ */
+constexpr int kCacheFileVersion = 1;
+
+/** One persisted cache entry. File order is recency order: the first
+ *  entry is the most recently used. */
+struct CacheFileEntry
+{
+    std::string key;
+    EvalResult result;
+};
+
+/** Outcome of reading a persisted cache. */
+enum class CacheReadStatus
+{
+    Ok,       ///< Parsed and verified; `out` holds the entries.
+    Missing,  ///< No file at the path — the normal cold start.
+    Rejected, ///< Present but corrupt / truncated / wrong version.
+};
+
+/** Pure serialization of a cache entry list; stateless. */
+class CacheCodec
+{
+  public:
+    virtual ~CacheCodec() = default;
+
+    virtual ArtifactFormat format() const = 0;
+
+    /** Parse `path` wholesale into `out` (cleared first). Any status
+     *  other than Ok leaves `out` empty — no partial loads. */
+    virtual CacheReadStatus read(const std::string &path,
+                                 std::vector<CacheFileEntry> *out) const = 0;
+
+    /** Serialize `entries` (in order) to `out`; false on stream
+     *  failure. */
+    virtual bool
+    write(std::ostream &out,
+          const std::vector<const CacheFileEntry *> &entries) const = 0;
+
+    /** The codec for `format` (static instances; never fails). */
+    static const CacheCodec &of(ArtifactFormat format);
+};
+
+/**
+ * Read a persisted cache in whichever format it was written: sniffs
+ * the container magic and dispatches to the matching codec.
+ */
+CacheReadStatus readCacheFile(const std::string &path,
+                              std::vector<CacheFileEntry> *out);
+
+/** CacheCodec::of(format).write(...). */
+bool writeCacheEntries(std::ostream &out,
+                       const std::vector<const CacheFileEntry *> &entries,
+                       ArtifactFormat format);
+
+/** Value-vector convenience overload (converters, tests). */
+bool writeCacheEntries(std::ostream &out,
+                       const std::vector<CacheFileEntry> &entries,
+                       ArtifactFormat format);
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_IO_CACHE_CODEC_HH

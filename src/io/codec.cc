@@ -1,0 +1,42 @@
+#include "io/codec.hh"
+
+#include "common/env.hh"
+
+namespace highlight
+{
+
+namespace
+{
+
+// Indexed by ArtifactFormat — keep in enum order.
+const char *const kFormatNames[] = {"text", "binary"};
+constexpr int kFormatCount = 2;
+
+} // namespace
+
+const char *
+artifactFormatName(ArtifactFormat format)
+{
+    return kFormatNames[static_cast<int>(format)];
+}
+
+bool
+parseArtifactFormat(const char *s, ArtifactFormat *out)
+{
+    const int i = parseChoice(s, kFormatNames, kFormatCount);
+    if (i < 0)
+        return false;
+    *out = static_cast<ArtifactFormat>(i);
+    return true;
+}
+
+ArtifactFormat
+cacheFormatFromEnv()
+{
+    const int i = choiceFromEnv(
+        "HIGHLIGHT_CACHE_FORMAT", kFormatNames, kFormatCount,
+        static_cast<int>(ArtifactFormat::Binary));
+    return static_cast<ArtifactFormat>(i);
+}
+
+} // namespace highlight

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The codec seam every persistent artifact is written through: each
+ * artifact type (eval cache, frontier dump, bench snapshot) has a
+ * text codec — byte-for-byte the format the repo has always emitted,
+ * kept as the human-readable debug fallback — and a binary codec
+ * targeting the ArtifactFile container, the default for anything
+ * production-sized. Readers never need to be told the format: the
+ * container magic is sniffed, so mixed-format producers (e.g. shards
+ * configured differently) still interoperate.
+ *
+ * Format selection is uniform across the tools: the
+ * HIGHLIGHT_CACHE_FORMAT environment knob (strict parse, warn +
+ * fall back to the binary default on junk — the HIGHLIGHT_THREADS
+ * contract) and a `--cache-format` driver flag (fatal on junk, the
+ * `--threads` contract) both map onto ArtifactFormat.
+ */
+
+#ifndef HIGHLIGHT_IO_CODEC_HH
+#define HIGHLIGHT_IO_CODEC_HH
+
+namespace highlight
+{
+
+/** On-disk encoding of a persistent artifact. */
+enum class ArtifactFormat
+{
+    Text,   ///< Legacy line-oriented format; the debug fallback.
+    Binary, ///< ArtifactFile container; the default.
+};
+
+/** "text" / "binary". */
+const char *artifactFormatName(ArtifactFormat format);
+
+/** Strict parse of "text" / "binary"; false (out untouched) on
+ *  anything else. */
+bool parseArtifactFormat(const char *s, ArtifactFormat *out);
+
+/**
+ * HIGHLIGHT_CACHE_FORMAT as an ArtifactFormat: Binary when unset,
+ * warn + Binary when set to anything other than "text" / "binary".
+ */
+ArtifactFormat cacheFormatFromEnv();
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_IO_CODEC_HH

@@ -1,8 +1,6 @@
 #include "runtime/eval_cache.hh"
 
-#include <algorithm>
 #include <atomic>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -40,97 +38,6 @@ appendOperand(std::ostringstream &oss, const OperandSparsity &s)
     }
 }
 
-/** First line of a persisted cache file. */
-std::string
-fileHeader()
-{
-    return msgOf("highlight-evalcache v", EvalCache::kFileVersion);
-}
-
-/**
- * Print a double so that reloading reproduces the exact bit pattern:
- * hexfloat is lossless for finite values.
- */
-std::string
-exactDouble(double v)
-{
-    std::ostringstream oss;
-    oss << std::hexfloat << v;
-    return oss.str();
-}
-
-/**
- * Parse a hexfloat (or any strtod-accepted) double. istream hexfloat
- * extraction is unreliable in libstdc++, so go through strtod.
- */
-bool
-parseDouble(const std::string &s, double *out)
-{
-    if (s.empty())
-        return false;
-    char *end = nullptr;
-    *out = std::strtod(s.c_str(), &end);
-    return end != nullptr && *end == '\0';
-}
-
-/** "prefix rest-of-line" split; false when the prefix does not match. */
-bool
-takeField(const std::string &line, const std::string &prefix,
-          std::string *rest)
-{
-    if (line.compare(0, prefix.size(), prefix) != 0)
-        return false;
-    if (line.size() == prefix.size()) {
-        rest->clear();
-        return true;
-    }
-    if (line[prefix.size()] != ' ')
-        return false;
-    *rest = line.substr(prefix.size() + 1);
-    return true;
-}
-
-/**
- * Parse "<count>" then count lines of "<hexfloat> <name>" into a
- * breakdown. Component names may contain spaces, so the value comes
- * first and the name is the rest of the line.
- */
-bool
-parseBreakdown(std::istream &in, std::size_t count,
-               std::vector<BreakdownEntry> *out)
-{
-    out->clear();
-    std::string line;
-    for (std::size_t i = 0; i < count; ++i) {
-        if (!std::getline(in, line))
-            return false;
-        const auto space = line.find(' ');
-        if (space == std::string::npos)
-            return false;
-        BreakdownEntry e;
-        e.name = line.substr(space + 1);
-        if (!parseDouble(line.substr(0, space), &e.value))
-            return false;
-        out->push_back(std::move(e));
-    }
-    return true;
-}
-
-bool
-parseCount(const std::string &s, std::size_t *out)
-{
-    // Digits only: strtoull would silently wrap "-1" to 2^64-1 and
-    // accept leading whitespace/'+'.
-    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
-        return false;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
-        return false;
-    *out = static_cast<std::size_t>(v);
-    return true;
-}
-
 } // namespace
 
 EvalCacheConfig
@@ -147,14 +54,23 @@ EvalCacheConfig::fromEnv()
         /*fallback=*/0));
     if (const char *file = std::getenv("HIGHLIGHT_CACHE_FILE"))
         cfg.file = file;
+    cfg.format = cacheFormatFromEnv();
     return cfg;
 }
 
 EvalCache::EvalCache(const EvalCacheConfig &config)
-    : capacity_(config.capacity), file_(config.file)
+    : capacity_(config.capacity), file_(config.file),
+      format_(config.format)
 {
-    if (!file_.empty())
-        loadFile(file_); // cold start on any failure — by design
+    // Cold-starting on a bad file is by design, but not silently: a
+    // *rejected* file (present yet corrupt, truncated, or written by
+    // another version) means previously computed results are about to
+    // be recomputed, and the user should know. A missing file is just
+    // the first run.
+    if (!file_.empty() && load(file_) == LoadStatus::Rejected)
+        warn(msgOf("EvalCache: ignoring ", file_,
+                   " (corrupt, truncated, or version mismatch); "
+                   "starting cold"));
 }
 
 EvalCache::~EvalCache()
@@ -254,75 +170,18 @@ EvalCache::evictOverCapacityLocked()
     }
 }
 
-bool
-EvalCache::parseEntries(std::istream &in, std::vector<Entry> *out)
+EvalCache::LoadStatus
+EvalCache::load(const std::string &path)
 {
-    std::string line;
-    if (!std::getline(in, line) || line != fileHeader())
-        return false; // stale version / not a cache file
-
-    std::size_t count = 0;
-    if (!std::getline(in, line) || !parseCount(line, &count))
-        return false;
-
-    // Parse everything into a staging list first so a corrupt tail
-    // cannot leave the cache half-merged. The reserve is clamped: the
-    // count came from the (possibly corrupt) file, and a garbage
-    // value must degrade into a failed parse below, not an OOM here.
     std::vector<Entry> staged;
-    staged.reserve(std::min<std::size_t>(count, 4096));
-    for (std::size_t i = 0; i < count; ++i) {
-        Entry e;
-        std::string field;
-        if (!std::getline(in, line) || !takeField(line, "key", &e.key) ||
-            e.key.empty())
-            return false;
-        if (!std::getline(in, line) ||
-            !takeField(line, "design", &e.result.design))
-            return false;
-        if (!std::getline(in, line) ||
-            !takeField(line, "workload", &e.result.workload))
-            return false;
-        if (!std::getline(in, line) ||
-            !takeField(line, "supported", &field) ||
-            (field != "0" && field != "1"))
-            return false;
-        e.result.supported = field == "1";
-        if (!std::getline(in, line) ||
-            !takeField(line, "note", &e.result.note))
-            return false;
-        if (!std::getline(in, line) || !takeField(line, "cycles", &field) ||
-            !parseDouble(field, &e.result.cycles))
-            return false;
-        if (!std::getline(in, line) || !takeField(line, "clock", &field) ||
-            !parseDouble(field, &e.result.clock_mhz))
-            return false;
-        std::size_t n = 0;
-        if (!std::getline(in, line) || !takeField(line, "energy", &field) ||
-            !parseCount(field, &n) ||
-            !parseBreakdown(in, n, &e.result.energy_pj))
-            return false;
-        if (!std::getline(in, line) || !takeField(line, "area", &field) ||
-            !parseCount(field, &n) ||
-            !parseBreakdown(in, n, &e.result.area_um2))
-            return false;
-        if (!std::getline(in, line) || line != "end")
-            return false;
-        staged.push_back(std::move(e));
+    switch (readCacheFile(path, &staged)) {
+      case CacheReadStatus::Missing:
+        return LoadStatus::NoFile;
+      case CacheReadStatus::Rejected:
+        return LoadStatus::Rejected;
+      case CacheReadStatus::Ok:
+        break;
     }
-    *out = std::move(staged);
-    return true;
-}
-
-bool
-EvalCache::loadFile(const std::string &path)
-{
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::vector<Entry> staged;
-    if (!parseEntries(in, &staged))
-        return false;
 
     std::lock_guard<std::mutex> lock(mu_);
     // The file stores entries hot-first; appending in file order keeps
@@ -337,31 +196,17 @@ EvalCache::loadFile(const std::string &path)
         map_.emplace(std::prev(lru_.end())->key, std::prev(lru_.end()));
     }
     evictOverCapacityLocked();
-    return true;
+    return LoadStatus::Loaded;
+}
+
+bool
+EvalCache::loadFile(const std::string &path)
+{
+    return load(path) == LoadStatus::Loaded;
 }
 
 namespace
 {
-
-/** One serialized cache entry (the loadFile wire format). */
-void
-writeEntry(std::ostream &out, const std::string &key, const EvalResult &r)
-{
-    out << "key " << key << "\n";
-    out << "design " << r.design << "\n";
-    out << "workload " << r.workload << "\n";
-    out << "supported " << (r.supported ? 1 : 0) << "\n";
-    out << "note " << r.note << "\n";
-    out << "cycles " << exactDouble(r.cycles) << "\n";
-    out << "clock " << exactDouble(r.clock_mhz) << "\n";
-    out << "energy " << r.energy_pj.size() << "\n";
-    for (const auto &b : r.energy_pj)
-        out << exactDouble(b.value) << " " << b.name << "\n";
-    out << "area " << r.area_um2.size() << "\n";
-    for (const auto &b : r.area_um2)
-        out << exactDouble(b.value) << " " << b.name << "\n";
-    out << "end\n";
-}
 
 /** fsync `path`; false when the data may not have reached disk. */
 bool
@@ -393,7 +238,7 @@ syncParentDir(const std::string &path)
 } // namespace
 
 bool
-EvalCache::saveFile(const std::string &path) const
+EvalCache::saveFile(const std::string &path, ArtifactFormat format) const
 {
     // Serialize whole flushes across processes: without the lock two
     // drivers sharing one cache file interleave read-merge-write and
@@ -407,24 +252,25 @@ EvalCache::saveFile(const std::string &path) const
     }
 
     // Merge-on-flush: pick up entries a concurrent writer flushed
-    // since we loaded. A missing/stale/corrupt file merges as empty —
-    // the same wholesale-ignore contract as the cold-start load.
+    // since we loaded, in whichever format it wrote them. A
+    // missing/stale/corrupt file merges as empty — the same
+    // wholesale-ignore contract as the cold-start load.
     std::vector<Entry> disk;
-    {
-        std::ifstream in(path);
-        if (in && !parseEntries(in, &disk))
-            disk.clear();
-    }
+    if (readCacheFile(path, &disk) != CacheReadStatus::Ok)
+        disk.clear();
 
     std::lock_guard<std::mutex> mu(mu_);
-    // Resident wins on collisions (loadFile's precedence, mirrored):
-    // keep only the on-disk entries whose keys are not resident, in
-    // file order, ranked colder than every resident entry.
-    std::vector<const Entry *> merged_tail;
-    merged_tail.reserve(disk.size());
+    // Resident wins on collisions (load's precedence, mirrored): the
+    // written file is every resident entry MRU-first, then the
+    // on-disk entries whose keys are not resident, in file order,
+    // ranked colder than every resident entry.
+    std::vector<const Entry *> merged;
+    merged.reserve(lru_.size() + disk.size());
+    for (const auto &e : lru_)
+        merged.push_back(&e);
     for (const auto &e : disk) {
         if (map_.find(e.key) == map_.end())
-            merged_tail.push_back(&e);
+            merged.push_back(&e);
     }
 
     // Write to a temp file in the same directory, then fsync and
@@ -439,17 +285,10 @@ EvalCache::saveFile(const std::string &path) const
     const std::string tmp = msgOf(path, ".tmp.", ::getpid(), ".",
                                   save_seq.fetch_add(1));
     {
-        std::ofstream out(tmp, std::ios::trunc);
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
         if (!out)
             return false;
-        out << fileHeader() << "\n"
-            << lru_.size() + merged_tail.size() << "\n";
-        for (const auto &e : lru_)
-            writeEntry(out, e.key, e.result);
-        for (const Entry *e : merged_tail)
-            writeEntry(out, e->key, e->result);
-        out.flush();
-        if (!out) {
+        if (!writeCacheEntries(out, merged, format)) {
             std::remove(tmp.c_str());
             return false;
         }
@@ -460,6 +299,12 @@ EvalCache::saveFile(const std::string &path) const
     }
     syncParentDir(path);
     return true;
+}
+
+bool
+EvalCache::saveFile(const std::string &path) const
+{
+    return saveFile(path, format_);
 }
 
 EvalCache::FlushStatus

@@ -14,11 +14,15 @@
  * For long-running service use the table is bounded: an LRU list
  * orders entries by last touch and inserts past the capacity evict
  * from the cold end. For incremental figure regeneration the table is
- * persistent: a versioned text file (hexfloat-exact doubles) can be
- * loaded at construction and saved with flush(), so a second driver
- * invocation starts warm. A file whose version or key schema does not
- * match — or that is truncated or corrupted — is ignored wholesale;
- * the cache simply starts cold.
+ * persistent: a versioned file can be loaded at construction and saved
+ * with flush(), so a second driver invocation starts warm. The bytes
+ * go through the io/ codec seam — the binary ArtifactFile container by
+ * default, or the legacy text format (hexfloat-exact doubles) via
+ * HIGHLIGHT_CACHE_FORMAT / --cache-format — and loads auto-detect the
+ * format, so caches written in either interoperate. A file whose
+ * version or key schema does not match — or that is truncated or
+ * corrupted — is ignored wholesale; the cache starts cold, with a
+ * warning (a missing file is the normal cold start and stays silent).
  *
  * The file is safe to share between processes (sharded sweeps with
  * one warm cache): every save is a *locked merge-on-flush* — under an
@@ -36,7 +40,6 @@
 #define HIGHLIGHT_RUNTIME_EVAL_CACHE_HH
 
 #include <cstdint>
-#include <iosfwd>
 #include <list>
 #include <mutex>
 #include <string>
@@ -45,6 +48,7 @@
 
 #include "accel/harness.hh"
 #include "accel/workload.hh"
+#include "io/cache_codec.hh"
 
 namespace highlight
 {
@@ -84,9 +88,14 @@ struct EvalCacheConfig
     /** Persistence file; empty = in-memory only. */
     std::string file;
 
+    /** On-disk encoding used by saves (loads auto-detect). */
+    ArtifactFormat format = ArtifactFormat::Binary;
+
     /**
-     * HIGHLIGHT_CACHE_CAP (positive integer, else unbounded) and
-     * HIGHLIGHT_CACHE_FILE (path, else no persistence).
+     * HIGHLIGHT_CACHE_CAP (positive integer, else unbounded),
+     * HIGHLIGHT_CACHE_FILE (path, else no persistence), and
+     * HIGHLIGHT_CACHE_FORMAT (text|binary, else binary with a
+     * warning).
      */
     static EvalCacheConfig fromEnv();
 };
@@ -101,8 +110,10 @@ class EvalCache
     /**
      * Bumped whenever the file layout or the keyOf() schema changes;
      * a persisted cache from another version is ignored on load.
+     * (Alias of the codec-layer kCacheFileVersion, which both the
+     * text header and the binary container stamp.)
      */
-    static constexpr int kFileVersion = 1;
+    static constexpr int kFileVersion = kCacheFileVersion;
 
     /** Outcome of flush(): "nothing configured" is not a failure. */
     enum class FlushStatus
@@ -112,9 +123,21 @@ class EvalCache
         Failed, ///< Real I/O or lock failure; the file was not updated.
     };
 
+    /** Outcome of load(): a missing file is the normal cold start,
+     *  a rejected one means computed results were discarded. */
+    enum class LoadStatus
+    {
+        Loaded,   ///< Entries merged in.
+        NoFile,   ///< Nothing at the path; cold start.
+        Rejected, ///< Corrupt / truncated / version mismatch; ignored.
+    };
+
     EvalCache() = default;
 
-    /** Applies the config and loads the file (if set and valid). */
+    /** Applies the config and loads the file (if set). A rejected
+     *  file — present but corrupt or version-mismatched — warns, so
+     *  silently recomputing previously cached results never goes
+     *  unnoticed; a merely missing file is a silent cold start. */
     explicit EvalCache(const EvalCacheConfig &config);
 
     /** Best-effort flush() when a persistence file is configured, so
@@ -157,19 +180,23 @@ class EvalCache
     void setCapacity(std::size_t capacity);
 
     /**
-     * Merge a persisted cache file. Loaded entries keep the file's
-     * recency order (first entry = most recent), rank colder than
-     * every resident entry, and count as neither hits, misses nor
-     * insertions. On a key collision the *resident* entry wins — even
-     * when the file's copy is newer. That precedence is the contract
-     * merge-on-flush saves rely on (this process's results are
-     * authoritative for what it computed); since evaluation is a pure
-     * function of the key, colliding values only ever differ across
-     * library versions, which the file-version header already fences.
-     * Returns false — leaving the cache untouched — when the file is
-     * missing, has a version or key-schema mismatch (stale), or fails
-     * to parse (corrupt).
+     * Merge a persisted cache file, auto-detecting its format. Loaded
+     * entries keep the file's recency order (first entry = most
+     * recent), rank colder than every resident entry, and count as
+     * neither hits, misses nor insertions. On a key collision the
+     * *resident* entry wins — even when the file's copy is newer.
+     * That precedence is the contract merge-on-flush saves rely on
+     * (this process's results are authoritative for what it
+     * computed); since evaluation is a pure function of the key,
+     * colliding values only ever differ across library versions,
+     * which the file version already fences. Any status other than
+     * Loaded leaves the cache untouched: NoFile when nothing is at
+     * the path, Rejected when a file is there but corrupt, truncated,
+     * or version/schema mismatched.
      */
+    LoadStatus load(const std::string &path);
+
+    /** load(path) == LoadStatus::Loaded. */
     bool loadFile(const std::string &path);
 
     /**
@@ -184,8 +211,13 @@ class EvalCache
      * residency). The write is atomic and durable: temp file in the
      * same directory, fsync, rename over `path`, best-effort
      * directory fsync. Returns false on lock or I/O failure — the
-     * target file is never clobbered without the lock.
+     * target file is never clobbered without the lock. The merge
+     * re-read auto-detects the on-disk format, so a save can migrate
+     * a cache from one format to the other without losing entries.
      */
+    bool saveFile(const std::string &path, ArtifactFormat format) const;
+
+    /** saveFile in the configured format (binary by default). */
     bool saveFile(const std::string &path) const;
 
     /**
@@ -205,18 +237,12 @@ class EvalCache
     void clear(); ///< Drops entries and resets the counters.
 
   private:
-    struct Entry
-    {
-        std::string key;
-        EvalResult result;
-    };
+    /** Resident entries share the codec's wire struct, so flushes
+     *  serialize without copies. */
+    using Entry = CacheFileEntry;
 
     /** Drop cold entries until size <= capacity (lock held). */
     void evictOverCapacityLocked();
-
-    /** Parse a cache stream (header + entries) into `out`; false on
-     *  any corruption, leaving no partial state anywhere. */
-    static bool parseEntries(std::istream &in, std::vector<Entry> *out);
 
     mutable std::mutex mu_;
     /** Front = most recently used. */
@@ -224,6 +250,7 @@ class EvalCache
     std::unordered_map<std::string, std::list<Entry>::iterator> map_;
     std::size_t capacity_ = 0; ///< 0 = unbounded.
     std::string file_;         ///< Persistence target; empty = none.
+    ArtifactFormat format_ = ArtifactFormat::Binary;
     EvalCacheStats stats_;
 };
 

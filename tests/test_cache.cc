@@ -445,7 +445,7 @@ TEST(CachePersist, MissingCorruptAndStaleFilesAreIgnored)
         EvalCache full;
         for (int i = 0; i < 3; ++i)
             full.evaluate(tc, makeWorkload("w", 8 + i));
-        ASSERT_TRUE(full.saveFile(truncated.path));
+        ASSERT_TRUE(full.saveFile(truncated.path, ArtifactFormat::Text));
         std::ifstream in(truncated.path);
         std::string content((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
@@ -461,7 +461,7 @@ TEST(CachePersist, MissingCorruptAndStaleFilesAreIgnored)
     {
         EvalCache full;
         full.evaluate(tc, makeWorkload("w", 64));
-        ASSERT_TRUE(full.saveFile(corrupt.path));
+        ASSERT_TRUE(full.saveFile(corrupt.path, ArtifactFormat::Text));
         std::ifstream in(corrupt.path);
         std::string content((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
@@ -478,6 +478,175 @@ TEST(CachePersist, MissingCorruptAndStaleFilesAreIgnored)
     // After all the rejections the cache still works.
     cache.evaluate(tc, makeWorkload("w", 64));
     EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CachePersist, BinaryRoundTripMatchesTextExactly)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    const Accelerator &hl = ev.design("HighLight");
+    TempFile text_file("fmt_text.evalcache");
+    TempFile bin_file("fmt_bin.evalcache");
+
+    EvalCache cache;
+    GemmWorkload hss = makeWorkload("hss", 128);
+    hss.a = OperandSparsity::structured(
+        HssSpec({GhPattern(2, 4), GhPattern(4, 8)}));
+    cache.evaluate(tc, makeWorkload("plain", 64));
+    cache.evaluate(hl, hss);
+    ASSERT_TRUE(cache.saveFile(text_file.path, ArtifactFormat::Text));
+    ASSERT_TRUE(cache.saveFile(bin_file.path, ArtifactFormat::Binary));
+
+    // Decoded contents must be equal across the two formats: same
+    // keys, same order, every result field bit-identical.
+    EvalCache from_text, from_bin;
+    ASSERT_TRUE(from_text.loadFile(text_file.path));
+    ASSERT_TRUE(from_bin.loadFile(bin_file.path));
+    EXPECT_EQ(from_text.keysMruFirst(), cache.keysMruFirst());
+    EXPECT_EQ(from_bin.keysMruFirst(), cache.keysMruFirst());
+    for (const auto &key : cache.keysMruFirst()) {
+        EvalResult a, b;
+        ASSERT_TRUE(from_text.lookup(key, "x", &a)) << key;
+        ASSERT_TRUE(from_bin.lookup(key, "x", &b)) << key;
+        expectBitIdentical(a, b);
+    }
+}
+
+TEST(CachePersist, LoadDistinguishesMissingFromRejected)
+{
+    EvalCache cache;
+    TempFile missing("load_missing.evalcache");
+    EXPECT_EQ(cache.load(missing.path), EvalCache::LoadStatus::NoFile);
+
+    // Rejection looks the same whichever codec the file pretended to
+    // be: corrupt text and a truncated binary container both read
+    // Rejected, never NoFile (entries exist but were discarded).
+    TempFile bad_text("load_bad_text.evalcache");
+    {
+        std::ofstream out(bad_text.path);
+        out << "highlight-evalcache v999\n1\nkey bogus\n";
+    }
+    EXPECT_EQ(cache.load(bad_text.path),
+              EvalCache::LoadStatus::Rejected);
+
+    const Evaluator ev;
+    TempFile bad_bin("load_bad_bin.evalcache");
+    {
+        EvalCache full;
+        full.evaluate(ev.design("TC"), makeWorkload("w", 64));
+        ASSERT_TRUE(
+            full.saveFile(bad_bin.path, ArtifactFormat::Binary));
+        std::ifstream in(bad_bin.path, std::ios::binary);
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        in.close();
+        std::ofstream out(bad_bin.path,
+                          std::ios::trunc | std::ios::binary);
+        out << content.substr(0, content.size() - 7);
+    }
+    EXPECT_EQ(cache.load(bad_bin.path),
+              EvalCache::LoadStatus::Rejected);
+    EXPECT_EQ(cache.size(), 0u);
+
+    TempFile good("load_good.evalcache");
+    {
+        EvalCache full;
+        full.evaluate(ev.design("TC"), makeWorkload("w", 64));
+        ASSERT_TRUE(full.saveFile(good.path));
+    }
+    EXPECT_EQ(cache.load(good.path), EvalCache::LoadStatus::Loaded);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CachePersist, ConstructorWarnsOnRejectedFileNotOnMissing)
+{
+    // A missing file is the normal first run: silent cold start.
+    TempFile missing("ctor_missing.evalcache");
+    EvalCacheConfig cfg;
+    cfg.file = missing.path;
+    {
+        testing::internal::CaptureStderr();
+        EvalCache cache(cfg);
+        EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+        cfg.file.clear(); // silence the destructor flush
+        std::remove(missing.path.c_str());
+    }
+
+    // A present-but-rejected file means computed results are being
+    // discarded — that must be said out loud.
+    TempFile corrupt("ctor_corrupt.evalcache");
+    {
+        std::ofstream out(corrupt.path);
+        out << "highlight-evalcache v999\n1\nkey bogus\n";
+    }
+    cfg.file = corrupt.path;
+    testing::internal::CaptureStderr();
+    {
+        EvalCache cache(cfg);
+        EXPECT_EQ(cache.size(), 0u);
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("starting cold"), std::string::npos) << err;
+    EXPECT_NE(err.find(corrupt.path), std::string::npos) << err;
+}
+
+TEST(CachePersist, MergeOnFlushUnionsAcrossMixedFormats)
+{
+    const Evaluator ev;
+    const Accelerator &tc = ev.design("TC");
+    TempFile file("mixed_merge.evalcache");
+
+    // Writer A flushes text; writer B, sharing the path, flushes
+    // binary. The merge re-read auto-detects, so B's save must carry
+    // A's entries over into the binary file — persistence semantics
+    // (union, resident-wins) are format-independent.
+    const auto wa = makeWorkload("only_a", 64);
+    const auto wb = makeWorkload("only_b", 128);
+    EvalCache a;
+    a.evaluate(tc, wa);
+    ASSERT_TRUE(a.saveFile(file.path, ArtifactFormat::Text));
+
+    EvalCache b;
+    b.evaluate(tc, wb);
+    ASSERT_TRUE(b.saveFile(file.path, ArtifactFormat::Binary));
+
+    EvalCache merged;
+    ASSERT_TRUE(merged.loadFile(file.path));
+    EXPECT_EQ(merged.size(), 2u);
+    // B resident first (MRU-first), then A's disk-only entry colder.
+    EXPECT_EQ(merged.keysMruFirst(),
+              (std::vector<std::string>{EvalCache::keyOf("TC", wb),
+                                        EvalCache::keyOf("TC", wa)}));
+
+    // And back: a text flush over a binary file keeps the union too.
+    EvalCache c;
+    c.evaluate(tc, makeWorkload("only_c", 256));
+    ASSERT_TRUE(c.saveFile(file.path, ArtifactFormat::Text));
+    EvalCache all;
+    ASSERT_TRUE(all.loadFile(file.path));
+    EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(CacheConfig, FromEnvReadsCacheFormat)
+{
+    const char *prev = std::getenv("HIGHLIGHT_CACHE_FORMAT");
+    const std::string saved = prev ? prev : "";
+
+    ::unsetenv("HIGHLIGHT_CACHE_FORMAT");
+    EXPECT_EQ(EvalCacheConfig::fromEnv().format,
+              ArtifactFormat::Binary);
+    ::setenv("HIGHLIGHT_CACHE_FORMAT", "text", 1);
+    EXPECT_EQ(EvalCacheConfig::fromEnv().format, ArtifactFormat::Text);
+    // Junk warns and falls back to the binary default rather than
+    // silently switching formats on a typo.
+    ::setenv("HIGHLIGHT_CACHE_FORMAT", "txet", 1);
+    EXPECT_EQ(EvalCacheConfig::fromEnv().format,
+              ArtifactFormat::Binary);
+
+    if (prev)
+        ::setenv("HIGHLIGHT_CACHE_FORMAT", saved.c_str(), 1);
+    else
+        ::unsetenv("HIGHLIGHT_CACHE_FORMAT");
 }
 
 } // namespace

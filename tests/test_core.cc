@@ -347,5 +347,70 @@ TEST(FrontierIo, JsonRoundTripAndFrontierExtraction)
     std::remove(path.c_str());
 }
 
+TEST(FrontierIo, BinaryContainerRoundTripsAndAutoDetects)
+{
+    const std::string bin_path =
+        ::testing::TempDir() + "frontier_io_roundtrip.bin";
+    const std::string text_path =
+        ::testing::TempDir() + "frontier_io_roundtrip_text.json";
+    std::remove(bin_path.c_str());
+    std::remove(text_path.c_str());
+
+    std::vector<FrontierEntry> points;
+    points.push_back({"ResNet50", "HL 2:4 \"half\"", 0.1, 1.0 / 3.0});
+    points.push_back({"DeiT", "HL 2:8", 0.3, 0.2500000000000001});
+
+    // The binary container carries raw double bit patterns, and
+    // readFrontierFile dispatches on the magic — the same call reads
+    // both a shard's binary dump and a text dump identically.
+    ASSERT_TRUE(writeFrontierFile(bin_path, points,
+                                  ArtifactFormat::Binary));
+    ASSERT_TRUE(writeFrontierFile(text_path, points,
+                                  ArtifactFormat::Text));
+    for (const auto &p : {bin_path, text_path}) {
+        std::vector<FrontierEntry> reread;
+        ASSERT_TRUE(readFrontierFile(p, &reread)) << p;
+        ASSERT_EQ(reread.size(), points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            EXPECT_EQ(reread[i].model, points[i].model) << p;
+            EXPECT_EQ(reread[i].design, points[i].design) << p;
+            EXPECT_EQ(reread[i].accuracy_loss,
+                      points[i].accuracy_loss)
+                << p;
+            EXPECT_EQ(reread[i].norm_edp, points[i].norm_edp) << p;
+        }
+    }
+    // The text leg is byte-for-byte writeFrontierJson.
+    {
+        const std::string copy = text_path + ".2";
+        ASSERT_TRUE(writeFrontierJson(copy, points));
+        std::ifstream f1(text_path), f2(copy);
+        const std::string b1((std::istreambuf_iterator<char>(f1)),
+                             std::istreambuf_iterator<char>());
+        const std::string b2((std::istreambuf_iterator<char>(f2)),
+                             std::istreambuf_iterator<char>());
+        EXPECT_EQ(b1, b2);
+        std::remove(copy.c_str());
+    }
+
+    // A truncated container is rejected wholesale (supervisors fail
+    // loudly rather than merging a shard's partial points).
+    {
+        std::ifstream in(bin_path, std::ios::binary);
+        const std::string bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+        in.close();
+        std::ofstream out(bin_path,
+                          std::ios::trunc | std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 9));
+    }
+    std::vector<FrontierEntry> out = {points[0]};
+    EXPECT_FALSE(readFrontierFile(bin_path, &out));
+    EXPECT_TRUE(out.empty());
+    std::remove(bin_path.c_str());
+    std::remove(text_path.c_str());
+}
+
 } // namespace
 } // namespace highlight

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * The io/ subsystem: the binary artifact container's round trip and
+ * its integrity guarantees (exhaustive truncation and byte-flip
+ * rejection — never a crash, never a partial load, never silently
+ * wrong data), the cache codec pair (text byte-for-byte against a
+ * golden pre-refactor file, binary decoding to equal contents), and
+ * the bench summary codec. The EvalCache-level persistence semantics
+ * on top of these codecs live in test_cache.cc / test_lock.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "io/artifact_file.hh"
+#include "io/bench_io.hh"
+#include "io/cache_codec.hh"
+#include "io/codec.hh"
+
+namespace highlight
+{
+namespace
+{
+
+/** A scratch file path removed on scope exit. */
+struct TempFile
+{
+    explicit TempFile(const std::string &name)
+        : path(::testing::TempDir() + name)
+    {
+        std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A container exercising every column type and hostile string
+ *  content (empty, embedded NUL, newline, quote, non-ASCII). */
+ArtifactWriter
+sampleWriter()
+{
+    ArtifactWriter w("sample", 7);
+    w.addU64("ids", {0, 1, 0xffffffffffffffffull, 42});
+    w.addF64("vals", {0.0, -1.5, 1e300, 0.1});
+    w.addStr("names", {"", std::string("nul\0byte", 8), "line\nbreak",
+                       "quote\"back\\slash", "caf\xc3\xa9"});
+    w.addU64("empty_u64", {});
+    w.addStr("empty_str", {});
+    return w;
+}
+
+void
+expectSampleContents(const ArtifactReader &r)
+{
+    const auto *ids = r.u64("ids");
+    ASSERT_NE(ids, nullptr);
+    EXPECT_EQ(*ids, (std::vector<std::uint64_t>{
+                        0, 1, 0xffffffffffffffffull, 42}));
+    const auto *vals = r.f64("vals");
+    ASSERT_NE(vals, nullptr);
+    EXPECT_EQ(*vals, (std::vector<double>{0.0, -1.5, 1e300, 0.1}));
+    const auto *names = r.str("names");
+    ASSERT_NE(names, nullptr);
+    EXPECT_EQ(*names, (std::vector<std::string>{
+                          "", std::string("nul\0byte", 8),
+                          "line\nbreak", "quote\"back\\slash",
+                          "caf\xc3\xa9"}));
+    const auto *empty_u64 = r.u64("empty_u64");
+    ASSERT_NE(empty_u64, nullptr);
+    EXPECT_TRUE(empty_u64->empty());
+    const auto *empty_str = r.str("empty_str");
+    ASSERT_NE(empty_str, nullptr);
+    EXPECT_TRUE(empty_str->empty());
+}
+
+TEST(ArtifactFile, RoundTripsEveryColumnType)
+{
+    const std::string bytes = sampleWriter().bytes();
+
+    ArtifactReader r;
+    ASSERT_EQ(r.parse(bytes, "sample", 7), ArtifactReader::Status::Ok);
+    expectSampleContents(r);
+
+    // Dataset names come back in append order.
+    EXPECT_EQ(r.names(), (std::vector<std::string>{
+                             "ids", "vals", "names", "empty_u64",
+                             "empty_str"}));
+
+    // Typed accessors are strict: wrong type or unknown name is
+    // nullptr, not a coercion.
+    EXPECT_EQ(r.f64("ids"), nullptr);
+    EXPECT_EQ(r.u64("vals"), nullptr);
+    EXPECT_EQ(r.str("ids"), nullptr);
+    EXPECT_EQ(r.u64("nope"), nullptr);
+}
+
+TEST(ArtifactFile, RoundTripsThroughDisk)
+{
+    TempFile file("artifact_roundtrip.bin");
+    {
+        std::ofstream out(file.path,
+                          std::ios::trunc | std::ios::binary);
+        ASSERT_TRUE(sampleWriter().writeTo(out));
+    }
+    EXPECT_TRUE(isArtifactFile(file.path));
+
+    ArtifactReader r;
+    ASSERT_EQ(r.open(file.path, "sample", 7),
+              ArtifactReader::Status::Ok);
+    expectSampleContents(r);
+}
+
+TEST(ArtifactFile, DistinguishesMissingMismatchAndCorrupt)
+{
+    TempFile missing("artifact_missing.bin");
+    ArtifactReader r;
+    EXPECT_EQ(r.open(missing.path, "sample", 7),
+              ArtifactReader::Status::Missing);
+
+    const std::string bytes = sampleWriter().bytes();
+    // Wrong kind / wrong app version: a fully valid container that
+    // simply is not the artifact the caller wants.
+    EXPECT_EQ(r.parse(bytes, "other", 7),
+              ArtifactReader::Status::Mismatch);
+    EXPECT_EQ(r.parse(bytes, "sample", 8),
+              ArtifactReader::Status::Mismatch);
+
+    // Not an artifact file at all.
+    EXPECT_EQ(r.parse("highlight-evalcache v1\n0\n", "sample", 7),
+              ArtifactReader::Status::Corrupt);
+    EXPECT_EQ(r.parse("", "sample", 7),
+              ArtifactReader::Status::Corrupt);
+
+    // A text file on disk is not sniffed as a container.
+    TempFile text("artifact_text.txt");
+    writeBytes(text.path, "just some text\n");
+    EXPECT_FALSE(isArtifactFile(text.path));
+}
+
+TEST(ArtifactFile, RejectsTruncationAtEveryByte)
+{
+    const std::string bytes = sampleWriter().bytes();
+    // Every proper prefix — which covers every chunk boundary — must
+    // be rejected outright: no crash, no partial column exposure.
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+        ArtifactReader r;
+        EXPECT_NE(r.parse(bytes.substr(0, n), "sample", 7),
+                  ArtifactReader::Status::Ok)
+            << "prefix of " << n << " bytes parsed";
+        EXPECT_EQ(r.u64("ids"), nullptr)
+            << "partial load at " << n << " bytes";
+    }
+}
+
+TEST(ArtifactFile, NeverReturnsWrongDataOnFlippedBytes)
+{
+    const std::string bytes = sampleWriter().bytes();
+    // Flip every byte in turn. Checksummed regions (all payloads, the
+    // directory, the footer) must be rejected; the handful of
+    // unchecksummed bytes (header schema fields read Mismatch,
+    // alignment padding decodes unchanged) may do anything EXCEPT
+    // parse Ok with different contents. FNV-1a's per-byte bijection
+    // makes the checksum rejections deterministic, not probabilistic.
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::string flipped = bytes;
+        flipped[i] = static_cast<char>(flipped[i] ^ 0x41);
+        ArtifactReader r;
+        if (r.parse(flipped, "sample", 7) ==
+            ArtifactReader::Status::Ok)
+            expectSampleContents(r);
+    }
+}
+
+TEST(ArtifactFile, ChecksumChangesOnSingleBitFlips)
+{
+    const char data[] = "highlight artifact checksum probe";
+    const std::uint64_t base = fnv1a64(data, sizeof(data));
+    for (std::size_t byte = 0; byte < sizeof(data); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            char copy[sizeof(data)];
+            std::memcpy(copy, data, sizeof(data));
+            copy[byte] = static_cast<char>(copy[byte] ^ (1 << bit));
+            EXPECT_NE(fnv1a64(copy, sizeof(copy)), base)
+                << "collision at byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+// ----------------------------------------------------------------- cache
+
+/** The two golden entries, exactly as the pre-io EvalCache persisted
+ *  them (captured from a build before the codec extraction). */
+std::vector<CacheFileEntry>
+goldenEntries()
+{
+    CacheFileEntry e1;
+    e1.key = "k|golden|1";
+    e1.result.design = "TC";
+    e1.result.workload = "golden one";
+    e1.result.supported = true;
+    e1.result.cycles = 1234.5;
+    e1.result.clock_mhz = 940.0;
+    e1.result.addEnergy("mac array", 2.5);
+    e1.result.addEnergy("sram", 0.125);
+
+    CacheFileEntry e2;
+    e2.key = "k|golden|2";
+    e2.result.design = "HighLight";
+    e2.result.workload = "golden two";
+    e2.result.supported = false;
+    e2.result.note = "synthetic unsupported, with spaces";
+    e2.result.cycles = 0.0;
+    e2.result.clock_mhz = 1000.0;
+    e2.result.area_um2.push_back({"pe grid", 42.0});
+    return {e1, e2};
+}
+
+const char kGoldenTextCache[] = "highlight-evalcache v1\n"
+                                "2\n"
+                                "key k|golden|1\n"
+                                "design TC\n"
+                                "workload golden one\n"
+                                "supported 1\n"
+                                "note \n"
+                                "cycles 0x1.34ap+10\n"
+                                "clock 0x1.d6p+9\n"
+                                "energy 2\n"
+                                "0x1.4p+1 mac array\n"
+                                "0x1p-3 sram\n"
+                                "area 0\n"
+                                "end\n"
+                                "key k|golden|2\n"
+                                "design HighLight\n"
+                                "workload golden two\n"
+                                "supported 0\n"
+                                "note synthetic unsupported, with spaces\n"
+                                "cycles 0x0p+0\n"
+                                "clock 0x1.f4p+9\n"
+                                "energy 0\n"
+                                "area 1\n"
+                                "0x1.5p+5 pe grid\n"
+                                "end\n";
+
+void
+expectEntriesEqual(const std::vector<CacheFileEntry> &a,
+                   const std::vector<CacheFileEntry> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].key, b[i].key);
+        EXPECT_EQ(a[i].result.design, b[i].result.design);
+        EXPECT_EQ(a[i].result.workload, b[i].result.workload);
+        EXPECT_EQ(a[i].result.supported, b[i].result.supported);
+        EXPECT_EQ(a[i].result.note, b[i].result.note);
+        EXPECT_EQ(a[i].result.cycles, b[i].result.cycles);
+        EXPECT_EQ(a[i].result.clock_mhz, b[i].result.clock_mhz);
+        ASSERT_EQ(a[i].result.energy_pj.size(),
+                  b[i].result.energy_pj.size());
+        for (std::size_t j = 0; j < a[i].result.energy_pj.size(); ++j) {
+            EXPECT_EQ(a[i].result.energy_pj[j].name,
+                      b[i].result.energy_pj[j].name);
+            EXPECT_EQ(a[i].result.energy_pj[j].value,
+                      b[i].result.energy_pj[j].value);
+        }
+        ASSERT_EQ(a[i].result.area_um2.size(),
+                  b[i].result.area_um2.size());
+        for (std::size_t j = 0; j < a[i].result.area_um2.size(); ++j) {
+            EXPECT_EQ(a[i].result.area_um2[j].name,
+                      b[i].result.area_um2[j].name);
+            EXPECT_EQ(a[i].result.area_um2[j].value,
+                      b[i].result.area_um2[j].value);
+        }
+    }
+}
+
+TEST(CacheCodec, TextFormatMatchesGoldenBytes)
+{
+    // The legacy writer, byte-for-byte: the codec extraction must not
+    // move a single character, or pre-refactor caches stop loading
+    // and post-refactor text caches stop loading in old builds.
+    std::ostringstream out;
+    ASSERT_TRUE(writeCacheEntries(out, goldenEntries(),
+                                  ArtifactFormat::Text));
+    EXPECT_EQ(out.str(), kGoldenTextCache);
+
+    TempFile file("golden.evalcache");
+    writeBytes(file.path, kGoldenTextCache);
+    std::vector<CacheFileEntry> decoded;
+    ASSERT_EQ(readCacheFile(file.path, &decoded), CacheReadStatus::Ok);
+    expectEntriesEqual(decoded, goldenEntries());
+}
+
+TEST(CacheCodec, BinaryDecodesToIdenticalContents)
+{
+    const auto golden = goldenEntries();
+    TempFile text_file("codec_eq.text.evalcache");
+    TempFile bin_file("codec_eq.bin.evalcache");
+    for (const auto format :
+         {ArtifactFormat::Text, ArtifactFormat::Binary}) {
+        const auto &path = format == ArtifactFormat::Text
+                               ? text_file.path
+                               : bin_file.path;
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        ASSERT_TRUE(writeCacheEntries(out, golden, format));
+    }
+    EXPECT_FALSE(isArtifactFile(text_file.path));
+    EXPECT_TRUE(isArtifactFile(bin_file.path));
+
+    // Decoded contents are equal across formats — entries, order,
+    // every field bit-exact (text via hexfloat, binary via raw bit
+    // patterns).
+    std::vector<CacheFileEntry> from_text, from_bin;
+    ASSERT_EQ(readCacheFile(text_file.path, &from_text),
+              CacheReadStatus::Ok);
+    ASSERT_EQ(readCacheFile(bin_file.path, &from_bin),
+              CacheReadStatus::Ok);
+    expectEntriesEqual(from_text, golden);
+    expectEntriesEqual(from_bin, golden);
+    expectEntriesEqual(from_text, from_bin);
+}
+
+TEST(CacheCodec, ReadDistinguishesMissingFromRejected)
+{
+    TempFile missing("codec_missing.evalcache");
+    std::vector<CacheFileEntry> out;
+    EXPECT_EQ(readCacheFile(missing.path, &out),
+              CacheReadStatus::Missing);
+
+    TempFile garbage("codec_garbage.evalcache");
+    writeBytes(garbage.path, "not a cache\n");
+    EXPECT_EQ(readCacheFile(garbage.path, &out),
+              CacheReadStatus::Rejected);
+    EXPECT_TRUE(out.empty());
+
+    // A truncated binary cache rejects wholesale too.
+    TempFile truncated("codec_truncated.evalcache");
+    {
+        std::ostringstream full;
+        ASSERT_TRUE(writeCacheEntries(full, goldenEntries(),
+                                      ArtifactFormat::Binary));
+        writeBytes(truncated.path,
+                   full.str().substr(0, full.str().size() / 2));
+    }
+    EXPECT_EQ(readCacheFile(truncated.path, &out),
+              CacheReadStatus::Rejected);
+    EXPECT_TRUE(out.empty());
+}
+
+// ----------------------------------------------------------------- bench
+
+TEST(BenchIo, RoundTripsBothFormats)
+{
+    const std::vector<BenchEntry> rows = {
+        {"BM_Microsim/2", 1234.5, 6.25e8},
+        {"BM_CacheLoad/entries:10000/binary:1", 9.875e6, 1.0125e6},
+    };
+    for (const auto format :
+         {ArtifactFormat::Text, ArtifactFormat::Binary}) {
+        TempFile file(std::string("bench_roundtrip.") +
+                      artifactFormatName(format));
+        ASSERT_TRUE(
+            writeBenchFile(file.path, "bench_kernels", rows, format));
+        EXPECT_EQ(isArtifactFile(file.path),
+                  format == ArtifactFormat::Binary);
+
+        std::string suite;
+        std::vector<BenchEntry> decoded;
+        ASSERT_TRUE(readBenchFile(file.path, &suite, &decoded))
+            << artifactFormatName(format);
+        EXPECT_EQ(suite, "bench_kernels");
+        ASSERT_EQ(decoded.size(), rows.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            EXPECT_EQ(decoded[i].name, rows[i].name);
+            EXPECT_EQ(decoded[i].ns_per_op, rows[i].ns_per_op);
+            EXPECT_EQ(decoded[i].items_per_second,
+                      rows[i].items_per_second);
+        }
+    }
+}
+
+TEST(BenchIo, TextFormatIsTheLegacySchema)
+{
+    TempFile file("bench_schema.json");
+    ASSERT_TRUE(writeBenchFile(file.path, "bench_kernels",
+                               {{"BM_PeStep", 4.0, 1e9}},
+                               ArtifactFormat::Text));
+    std::ifstream in(file.path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(),
+              "{\n"
+              "  \"schema\": \"highlight-bench-v1\",\n"
+              "  \"suite\": \"bench_kernels\",\n"
+              "  \"benchmarks\": [\n"
+              "    {\"name\": \"BM_PeStep\", \"ns_per_op\": 4, "
+              "\"items_per_second\": 1000000000}\n"
+              "  ]\n}\n");
+}
+
+TEST(BenchIo, RejectsCorruptFiles)
+{
+    TempFile missing("bench_missing.json");
+    std::string suite;
+    std::vector<BenchEntry> rows;
+    EXPECT_FALSE(readBenchFile(missing.path, &suite, &rows));
+
+    TempFile garbage("bench_garbage.json");
+    writeBytes(garbage.path, "{\"schema\": \"something-else\"}\n");
+    EXPECT_FALSE(readBenchFile(garbage.path, &suite, &rows));
+    EXPECT_TRUE(rows.empty());
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(ArtifactFormatParse, IsStrict)
+{
+    ArtifactFormat f = ArtifactFormat::Binary;
+    EXPECT_TRUE(parseArtifactFormat("text", &f));
+    EXPECT_EQ(f, ArtifactFormat::Text);
+    EXPECT_TRUE(parseArtifactFormat("binary", &f));
+    EXPECT_EQ(f, ArtifactFormat::Binary);
+
+    // Strict: case, whitespace and junk are rejected, out untouched.
+    f = ArtifactFormat::Text;
+    EXPECT_FALSE(parseArtifactFormat("Text", &f));
+    EXPECT_FALSE(parseArtifactFormat("binary ", &f));
+    EXPECT_FALSE(parseArtifactFormat("", &f));
+    EXPECT_FALSE(parseArtifactFormat(nullptr, &f));
+    EXPECT_EQ(f, ArtifactFormat::Text);
+
+    EXPECT_STREQ(artifactFormatName(ArtifactFormat::Text), "text");
+    EXPECT_STREQ(artifactFormatName(ArtifactFormat::Binary), "binary");
+}
+
+TEST(ArtifactFormatParse, EnvWarnsAndFallsBackOnJunk)
+{
+    const char *prev = std::getenv("HIGHLIGHT_CACHE_FORMAT");
+    const std::string saved = prev ? prev : "";
+
+    ::unsetenv("HIGHLIGHT_CACHE_FORMAT");
+    EXPECT_EQ(cacheFormatFromEnv(), ArtifactFormat::Binary);
+
+    ::setenv("HIGHLIGHT_CACHE_FORMAT", "text", 1);
+    EXPECT_EQ(cacheFormatFromEnv(), ArtifactFormat::Text);
+    ::setenv("HIGHLIGHT_CACHE_FORMAT", "binary", 1);
+    EXPECT_EQ(cacheFormatFromEnv(), ArtifactFormat::Binary);
+
+    // Junk warns and falls back to the binary default — same contract
+    // as HIGHLIGHT_THREADS, asserted for each rejection shape.
+    for (const char *junk : {"Text", "json", "", " binary", "binary2"}) {
+        ::setenv("HIGHLIGHT_CACHE_FORMAT", junk, 1);
+        EXPECT_EQ(cacheFormatFromEnv(), ArtifactFormat::Binary)
+            << "junk value: '" << junk << "'";
+    }
+
+    if (prev)
+        ::setenv("HIGHLIGHT_CACHE_FORMAT", saved.c_str(), 1);
+    else
+        ::unsetenv("HIGHLIGHT_CACHE_FORMAT");
+}
+
+TEST(ArtifactFormatParse, ChoiceHelperIsStrict)
+{
+    const char *const choices[] = {"alpha", "beta"};
+    EXPECT_EQ(parseChoice("alpha", choices, 2), 0);
+    EXPECT_EQ(parseChoice("beta", choices, 2), 1);
+    EXPECT_EQ(parseChoice("gamma", choices, 2), -1);
+    EXPECT_EQ(parseChoice("", choices, 2), -1);
+    EXPECT_EQ(parseChoice(nullptr, choices, 2), -1);
+    EXPECT_EQ(parseChoice("alph", choices, 2), -1);
+    EXPECT_EQ(parseChoice("alphaa", choices, 2), -1);
+}
+
+} // namespace
+} // namespace highlight

@@ -208,8 +208,16 @@ syntheticResult(const std::string &tag, int salt)
     return r;
 }
 
-TEST(CacheLock, ConcurrentFlushesFromTwoProcessesKeepTheUnion)
+/** The two-process flush stampede, parameterized on the on-disk
+ *  codec: merge-on-flush union semantics are a property of EvalCache,
+ *  so they must hold identically whichever format the writers use. */
+class CacheLockFormat
+    : public ::testing::TestWithParam<ArtifactFormat>
+{};
+
+TEST_P(CacheLockFormat, ConcurrentFlushesFromTwoProcessesKeepTheUnion)
 {
+    const ArtifactFormat format = GetParam();
     TempFile file("lock_concurrent.evalcache");
     constexpr int kWriters = 2;
     constexpr int kRounds = 6;
@@ -233,7 +241,7 @@ TEST(CacheLock, ConcurrentFlushesFromTwoProcessesKeepTheUnion)
                     cache.insert(key, syntheticResult(
                                           key, w * 100 + round * 10 + k));
                 }
-                if (!cache.saveFile(file.path))
+                if (!cache.saveFile(file.path, format))
                     ::_exit(2);
             }
             ::_exit(0);
@@ -279,6 +287,13 @@ TEST(CacheLock, ConcurrentFlushesFromTwoProcessesKeepTheUnion)
     EXPECT_FALSE(
         std::ifstream(FileLock::lockPathFor(file.path)).good());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFormats, CacheLockFormat,
+    ::testing::Values(ArtifactFormat::Text, ArtifactFormat::Binary),
+    [](const ::testing::TestParamInfo<ArtifactFormat> &info) {
+        return std::string(artifactFormatName(info.param));
+    });
 
 } // namespace
 } // namespace highlight
