@@ -1,0 +1,194 @@
+# Crash-injection smoke: prove the self-healing layers end-to-end by
+# injecting real faults (HIGHLIGHT_FAILPOINTS) and asserting full
+# recovery — not merely "no crash" but *byte-identical figures*:
+#
+#   crash:    both shards die at startup (exit 86); the supervisor's
+#             retry relaunches them clean and the merged frontier must
+#             byte-match the single-process reference, with no
+#             .incomplete marker left behind.
+#   hang:     both shards hang at startup; the --shard-timeout
+#             watchdog SIGKILLs and the retry recovers, byte-identical.
+#   torn:     every shard dies mid-cache-flush (crash-at-byte), the
+#             on-disk state a power cut leaves. Retries recover
+#             byte-identically; a warm rerun (no faults) must then be
+#             a pure replay (hit rate=100.0% in every shard log) with
+#             no orphaned .tmp.* or .lock litter next to the cache —
+#             the locked orphan sweep cleaned up after the dead
+#             writers.
+#   degrade:  crash with --max-retries 0: the sweep must *degrade*,
+#             not pretend — exit code 3, partial frontier written, an
+#             <out>.incomplete sidecar naming the failed shards.
+#   salvage:  the warm cache truncated to 65% (a real torn file, not a
+#             synthetic fixture): the driver must warm-start from the
+#             salvaged chunks (warns "salvaged", hit rate neither
+#             absent nor 0.0%), quarantine the damaged file to
+#             <cache>.corrupt.<pid>, and still emit the byte-identical
+#             frontier.
+#
+# Usage:
+#   cmake -DFIG15=<exe> -DSUPERVISOR=<exe>
+#         -DOUTDIR=<dir> -DNAME=<tag> -P compare_faults.cmake
+
+foreach(var FIG15 SUPERVISOR OUTDIR NAME)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compare_faults.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+# Run `exe args...` with HIGHLIGHT_FAILPOINTS=`faults` (empty = no
+# faults) and require exit code `expected_rc`.
+function(run_fp faults expected_rc exe)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E env
+                          "HIGHLIGHT_FAILPOINTS=${faults}"
+                          "${exe}" ${ARGN}
+                  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL expected_rc)
+    message(FATAL_ERROR
+            "${NAME}: '${exe} ${ARGN}' with faults '${faults}' exited "
+            "${rc}, expected ${expected_rc}")
+  endif()
+endfunction()
+
+function(must_match a b what)
+  foreach(f "${a}" "${b}")
+    if(NOT EXISTS "${f}")
+      message(FATAL_ERROR "${NAME}: missing dump ${f}")
+    endif()
+  endforeach()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${a}" "${b}"
+                  RESULT_VARIABLE differ)
+  if(NOT differ EQUAL 0)
+    message(FATAL_ERROR
+            "${NAME}: ${what} dumps differ — fault recovery changed "
+            "the reported output")
+  endif()
+endfunction()
+
+set(workroot "${OUTDIR}/${NAME}_faults")
+file(REMOVE_RECURSE "${workroot}")
+file(MAKE_DIRECTORY "${workroot}")
+set(ref "${workroot}/ref_frontier.json")
+
+run_fp("" 0 "${FIG15}" --serial --frontier-json "${ref}")
+
+# ------------------------------------------------------ crash at startup
+run_fp("shard-start:crash" 0 "${SUPERVISOR}"
+       --driver "${FIG15}" --shards 2
+       --cache-file "${workroot}/crash.evalcache"
+       --workdir "${workroot}/crash"
+       --out "${workroot}/merged_crash.json" --threads 1)
+must_match("${ref}" "${workroot}/merged_crash.json"
+           "reference vs crash-recovered frontier")
+if(EXISTS "${workroot}/merged_crash.json.incomplete")
+  message(FATAL_ERROR
+          "${NAME}: fully recovered sweep left an .incomplete marker")
+endif()
+
+# ------------------------------------------------- hang, killed on time
+run_fp("shard-start:hang" 0 "${SUPERVISOR}"
+       --driver "${FIG15}" --shards 2
+       --cache-file "${workroot}/hang.evalcache"
+       --workdir "${workroot}/hang"
+       --out "${workroot}/merged_hang.json" --threads 1
+       --shard-timeout 2)
+must_match("${ref}" "${workroot}/merged_hang.json"
+           "reference vs watchdog-recovered frontier")
+
+# --------------------------------------------- torn cache flush + retry
+set(cache "${workroot}/torn.evalcache")
+run_fp("evalcache-save-write:crash-at-byte:64" 0 "${SUPERVISOR}"
+       --driver "${FIG15}" --shards 2
+       --cache-file "${cache}" --workdir "${workroot}/torn_cold"
+       --out "${workroot}/merged_torn.json" --threads 1)
+must_match("${ref}" "${workroot}/merged_torn.json"
+           "reference vs torn-write-recovered frontier")
+
+run_fp("" 0 "${SUPERVISOR}"
+       --driver "${FIG15}" --shards 2
+       --cache-file "${cache}" --workdir "${workroot}/torn_warm"
+       --out "${workroot}/merged_torn_warm.json" --threads 1)
+must_match("${ref}" "${workroot}/merged_torn_warm.json"
+           "reference vs post-fault warm frontier")
+foreach(i RANGE 1)
+  set(log "${workroot}/torn_warm/shard_${i}.log")
+  if(NOT EXISTS "${log}")
+    message(FATAL_ERROR "${NAME}: missing shard log ${log}")
+  endif()
+  file(READ "${log}" log_text)
+  if(NOT log_text MATCHES "hit rate=100\\.0%")
+    message(FATAL_ERROR
+            "${NAME}: warm shard ${i} was not a pure replay — the "
+            "crashed flushes lost cache entries (${log})")
+  endif()
+endforeach()
+file(GLOB litter "${cache}.tmp.*" "${cache}.lock")
+if(litter)
+  message(FATAL_ERROR
+          "${NAME}: crashed writers left litter next to the cache: "
+          "${litter}")
+endif()
+
+# ------------------------------------------- graceful degradation at 0
+run_fp("shard-start:crash" 3 "${SUPERVISOR}"
+       --driver "${FIG15}" --shards 2
+       --cache-file "${workroot}/degrade.evalcache"
+       --workdir "${workroot}/degrade"
+       --out "${workroot}/merged_degrade.json" --threads 1
+       --max-retries 0)
+if(NOT EXISTS "${workroot}/merged_degrade.json")
+  message(FATAL_ERROR
+          "${NAME}: degraded sweep did not write the partial frontier")
+endif()
+if(NOT EXISTS "${workroot}/merged_degrade.json.incomplete")
+  message(FATAL_ERROR
+          "${NAME}: degraded sweep did not flag the frontier as "
+          "incomplete")
+endif()
+file(READ "${workroot}/merged_degrade.json.incomplete" marker)
+if(NOT marker MATCHES "failed permanently")
+  message(FATAL_ERROR
+          "${NAME}: .incomplete marker does not name the failure: "
+          "${marker}")
+endif()
+
+# -------------------------------------------- salvage of a torn cache
+# Truncate the (healthy, warm) cache to 65%: the strict reader must
+# reject it, the salvage path must warm-start from the intact chunks.
+set(salv "${workroot}/salv.evalcache")
+file(SIZE "${cache}" cache_size)
+math(EXPR keep "${cache_size} * 65 / 100")
+execute_process(COMMAND head -c ${keep} "${cache}"
+                OUTPUT_FILE "${salv}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${NAME}: could not truncate ${cache}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env HIGHLIGHT_FAILPOINTS=
+                        "${FIG15}" --serial
+                        --frontier-json "${workroot}/salv_frontier.json"
+                        --cache-file "${salv}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE salv_out ERROR_VARIABLE salv_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "${NAME}: driver failed on a damaged cache (rc=${rc}) — "
+          "salvage must degrade to a warm start, never to a failure")
+endif()
+must_match("${ref}" "${workroot}/salv_frontier.json"
+           "reference vs salvage-warm-started frontier")
+if(NOT salv_err MATCHES "salvaged")
+  message(FATAL_ERROR
+          "${NAME}: no salvage warning — the damaged cache was "
+          "silently discarded instead of recovered:\n${salv_err}")
+endif()
+if(NOT salv_out MATCHES "hit rate=" OR salv_out MATCHES "hit rate=0\\.0%")
+  message(FATAL_ERROR
+          "${NAME}: salvaged entries produced no cache hits — the "
+          "warm start recovered nothing:\n${salv_out}")
+endif()
+file(GLOB quarantine "${salv}.corrupt.*")
+if(NOT quarantine)
+  message(FATAL_ERROR
+          "${NAME}: damaged cache was not quarantined for postmortem")
+endif()

@@ -8,9 +8,33 @@
  * sharing ONE persistent eval-cache file. That sharing is safe
  * because EvalCache flushes are locked merge-on-flush: each shard's
  * save re-reads the file under an advisory FileLock and writes the
- * union, so concurrent flushes cannot clobber each other
- * (last-writer-wins would silently discard every other shard's
- * entries — the bug this supervisor exists to demonstrate fixed).
+ * union, so concurrent flushes cannot clobber each other.
+ *
+ * The supervisor is self-healing, not merely a launcher: it monitors
+ * every shard concurrently (non-blocking waitpid), SIGKILLs any shard
+ * that exceeds `--shard-timeout` seconds of wall clock, and relaunches
+ * failed or killed shards with exponential backoff up to
+ * `--max-retries` times (the FileLockConfig idiom: doubling delay
+ * under a ceiling). Retried launches run with HIGHLIGHT_FAILPOINTS
+ * cleared — injected faults model *transient* first-attempt failures,
+ * which is exactly what retry machinery exists to absorb, and is how
+ * cmake/compare_faults.cmake proves a sweep that survives injected
+ * crashes still produces the byte-identical frontier. A per-shard
+ * status table (attempts / outcome / duration) prints before the
+ * merge, so a multi-failure run reports every shard's fate rather
+ * than the first failure only.
+ *
+ * When a shard exhausts its retries the sweep degrades instead of
+ * discarding completed work: the frontier merged from the successful
+ * shards is still written to `--out`, an explicit `<out>.incomplete`
+ * sidecar lists the failed shards, and the exit code is 3. The exit
+ * contract:
+ *
+ *   0  all shards succeeded; frontier complete (any stale
+ *      `<out>.incomplete` sidecar from an earlier run is removed)
+ *   1  operational error (fork/parse/write failure)
+ *   2  usage error
+ *   3  >= 1 shard failed permanently; partial frontier + sidecar
  *
  * Each shard dumps its evaluated *points* (not a frontier) as a
  * binary frontier container (`--frontier-format binary`: supervisor/
@@ -25,26 +49,47 @@
  *   sharded_sweep --driver ./fig15_pareto --shards 2 \
  *       --cache-file sweep.evalcache --workdir shards \
  *       --out merged_frontier.json [--threads N]
- *       [--cache-format text|binary]
+ *       [--cache-format text|binary] [--max-retries N] \
+ *       [--shard-timeout SECONDS]
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/env.hh"
+#include "common/failpoint.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
 #include "core/frontier_io.hh"
+#include "io/codec.hh"
 
 namespace
 {
 
 using namespace highlight;
+using Clock = std::chrono::steady_clock;
+
+/** Retry backoff (the FileLockConfig idiom, scaled to process
+ *  relaunch cost): first retry after 100 ms, doubling to a 2 s cap. */
+constexpr std::chrono::milliseconds kRetryBackoffInitial{100};
+constexpr std::chrono::milliseconds kRetryBackoffMax{2000};
+
+/** Supervisor poll period: reap exits, enforce timeouts, fire
+ *  relaunches. */
+constexpr std::chrono::milliseconds kPollPeriod{20};
 
 /** Value of `--flag V`; "" when absent. */
 std::string
@@ -57,36 +102,87 @@ optionValue(int argc, char **argv, const char *flag)
     return "";
 }
 
+/** Strict digits-only non-negative parse ("0" is a valid retry count
+ *  and a valid "no timeout"); false on anything else. */
+bool
+parseCount(const std::string &s, long long *out)
+{
+    if (s == "0") {
+        *out = 0;
+        return true;
+    }
+    return parsePositiveInt(s.c_str(), 1000000, out);
+}
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Everything the supervisor tracks about one shard. */
+struct ShardState
+{
+    int index = 0;
+    pid_t pid = -1;
+    int attempts = 0;    ///< Launches so far (retries = attempts - 1).
+    bool running = false;
+    bool waiting_retry = false; ///< Backoff timer armed.
+    bool timed_out = false;     ///< Current attempt was SIGKILLed by us.
+    bool done = false;          ///< Terminal: ok or permanently failed.
+    bool ok = false;
+    std::string failure; ///< Last failure, human-readable.
+    std::string dump, log;
+    Clock::time_point first_launch, attempt_start, relaunch_at;
+    std::chrono::milliseconds backoff = kRetryBackoffInitial;
+    double duration_s = 0; ///< First launch to terminal state.
+};
+
 /** Launch one shard: fork, redirect stdout+stderr to its log file,
  *  exec the driver. Returns the child pid (or -1). */
 pid_t
-launchShard(const std::string &driver, int index, int shards,
-            const std::string &dump, const std::string &log,
-            const std::string &cache_file,
-            const std::string &cache_format,
-            const std::string &threads)
+launchShard(const std::string &driver, const ShardState &shard,
+            int shards, const std::string &cache_file,
+            const std::string &cache_format, const std::string &threads)
 {
     const pid_t pid = ::fork();
     if (pid != 0)
         return pid;
 
-    // Child: capture output per shard so the supervisor's own stdout
-    // stays a readable summary (and so a warm-run checker can grep
-    // each shard's hit-rate line).
-    const int fd = ::open(log.c_str(), O_CREAT | O_TRUNC | O_WRONLY,
-                          0644);
+    // Child. Retried launches drop the injected-fault plan before
+    // anything can consult it: failpoints model transient
+    // first-attempt faults (a persistent fault would defeat any retry
+    // policy), and the exec'd driver inherits the cleaned
+    // environment.
+    if (shard.attempts > 1)
+        ::unsetenv("HIGHLIGHT_FAILPOINTS");
+
+    // Capture output per shard so the supervisor's own stdout stays a
+    // readable summary (and so a warm-run checker can grep each
+    // shard's hit-rate line). Opened before the failpoint so an
+    // injected startup crash is attributable from the log.
+    const int fd = ::open(shard.log.c_str(),
+                          O_CREAT | O_TRUNC | O_WRONLY, 0644);
     if (fd >= 0) {
         ::dup2(fd, STDOUT_FILENO);
         ::dup2(fd, STDERR_FILENO);
         ::close(fd);
     }
-    const std::string shard_arg =
-        std::to_string(index) + "/" + std::to_string(shards);
+
+    // Failpoint "shard-start": crash/hang/delay between fork and exec
+    // — the supervisor-facing fault surface (a shard that dies before
+    // doing any work, or never starts doing it). An `error` action
+    // maps to a failed startup.
+    if (failpointHit("shard-start").kind != FailpointHit::Kind::None)
+        ::_exit(kFailpointCrashExit);
+
+    const std::string shard_arg = std::to_string(shard.index) + "/" +
+                                  std::to_string(shards);
     std::vector<std::string> args = {driver,
                                      "--shard",
                                      shard_arg,
                                      "--frontier-json",
-                                     dump,
+                                     shard.dump,
                                      "--frontier-format",
                                      "binary"};
     if (!cache_file.empty()) {
@@ -110,6 +206,20 @@ launchShard(const std::string &driver, int index, int shards,
     ::_exit(127);
 }
 
+/** Human-readable death description from a waitpid status. */
+std::string
+describeExit(int status, bool timed_out)
+{
+    if (WIFEXITED(status))
+        return msgOf("exit ", WEXITSTATUS(status));
+    if (WIFSIGNALED(status)) {
+        if (timed_out && WTERMSIG(status) == SIGKILL)
+            return "timeout (SIGKILL)";
+        return msgOf("signal ", WTERMSIG(status));
+    }
+    return "unknown status";
+}
+
 } // namespace
 
 int
@@ -125,12 +235,21 @@ main(int argc, char **argv)
     std::string workdir = optionValue(argc, argv, "--workdir");
     const std::string shards_s = optionValue(argc, argv, "--shards");
     const int shards = shards_s.empty() ? 2 : std::atoi(shards_s.c_str());
+    const std::string retries_s = optionValue(argc, argv, "--max-retries");
+    const std::string timeout_s =
+        optionValue(argc, argv, "--shard-timeout");
 
-    if (driver.empty() || out_path.empty() || shards < 1) {
+    long long max_retries = 2, shard_timeout = 0;
+    const bool policy_ok =
+        (retries_s.empty() || parseCount(retries_s, &max_retries)) &&
+        (timeout_s.empty() || parseCount(timeout_s, &shard_timeout));
+    if (driver.empty() || out_path.empty() || shards < 1 || !policy_ok) {
         std::cerr << "usage: sharded_sweep --driver FIG15_BINARY "
                      "--out MERGED.json [--shards N>=1] "
                      "[--cache-file PATH] [--cache-format text|binary] "
-                     "[--workdir DIR] [--threads N]\n";
+                     "[--workdir DIR] [--threads N] "
+                     "[--max-retries N (default 2)] "
+                     "[--shard-timeout SECONDS (default 0 = none)]\n";
         return 2;
     }
     // Validate the forwarded format here, not in N shard logs.
@@ -146,52 +265,142 @@ main(int argc, char **argv)
     ::mkdir(workdir.c_str(), 0755); // best effort; may already exist
 
     // --- Fan out: one process per shard, all sharing the cache file.
-    std::vector<pid_t> pids;
-    std::vector<std::string> dumps, logs;
+    std::vector<ShardState> states(shards);
     for (int i = 0; i < shards; ++i) {
-        dumps.push_back(workdir + "/shard_" + std::to_string(i) +
-                        ".json");
-        logs.push_back(workdir + "/shard_" + std::to_string(i) +
-                       ".log");
-        const pid_t pid =
-            launchShard(driver, i, shards, dumps.back(), logs.back(),
-                        cache_file, cache_format, threads);
-        if (pid < 0) {
+        ShardState &s = states[i];
+        s.index = i;
+        s.dump = workdir + "/shard_" + std::to_string(i) + ".json";
+        s.log = workdir + "/shard_" + std::to_string(i) + ".log";
+        s.attempts = 1;
+        s.first_launch = s.attempt_start = Clock::now();
+        s.pid = launchShard(driver, s, shards, cache_file, cache_format,
+                            threads);
+        if (s.pid < 0) {
             std::cerr << "sharded_sweep: fork failed for shard " << i
                       << "\n";
             return 1;
         }
-        pids.push_back(pid);
-        std::cout << "shard " << i << "/" << shards << ": pid " << pid
-                  << " -> " << dumps.back() << "\n";
+        s.running = true;
+        std::cout << "shard " << i << "/" << shards << ": pid " << s.pid
+                  << " -> " << s.dump << "\n";
     }
 
-    bool ok = true;
-    for (int i = 0; i < shards; ++i) {
+    // --- Supervise: reap, time out, and relaunch concurrently until
+    // every shard is terminal. A shard is only abandoned after
+    // max_retries relaunches; everything else keeps running
+    // meanwhile.
+    auto unfinished = [&states]() {
+        for (const ShardState &s : states)
+            if (!s.done)
+                return true;
+        return false;
+    };
+    while (unfinished()) {
+        // Reap every child that has exited since the last poll.
         int status = 0;
-        if (::waitpid(pids[i], &status, 0) < 0 ||
-            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-            std::cerr << "sharded_sweep: shard " << i << " failed (see "
-                      << logs[i] << ")\n";
-            ok = false;
+        pid_t pid;
+        while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
+            ShardState *s = nullptr;
+            for (ShardState &cand : states)
+                if (cand.running && cand.pid == pid)
+                    s = &cand;
+            if (s == nullptr)
+                continue;
+            s->running = false;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                s->done = true;
+                s->ok = true;
+                s->duration_s = secondsSince(s->first_launch);
+                std::cout << "shard " << s->index << ": done (attempt "
+                          << s->attempts << ")\n";
+                continue;
+            }
+            s->failure = describeExit(status, s->timed_out);
+            s->timed_out = false;
+            if (s->attempts > max_retries) {
+                s->done = true;
+                s->duration_s = secondsSince(s->first_launch);
+                std::cerr << "sharded_sweep: shard " << s->index << " "
+                          << s->failure << "; retries exhausted (see "
+                          << s->log << ")\n";
+                continue;
+            }
+            s->waiting_retry = true;
+            s->relaunch_at = Clock::now() + s->backoff;
+            std::cerr << "sharded_sweep: shard " << s->index << " "
+                      << s->failure << "; relaunch " << (s->attempts + 1)
+                      << "/" << (max_retries + 1) << " in "
+                      << s->backoff.count() << " ms\n";
+            s->backoff = std::min(s->backoff * 2, kRetryBackoffMax);
         }
+
+        const auto now = Clock::now();
+        for (ShardState &s : states) {
+            // Watchdog: a hung shard (deadlock, injected hang) blocks
+            // the whole sweep forever without a timeout. SIGKILL, not
+            // SIGTERM — a process that stopped responding cannot be
+            // trusted to honor a polite request; the reap above turns
+            // the kill into a normal retryable failure.
+            if (s.running && shard_timeout > 0 && !s.timed_out &&
+                secondsSince(s.attempt_start) >
+                    static_cast<double>(shard_timeout)) {
+                std::cerr << "sharded_sweep: shard " << s.index
+                          << " exceeded " << shard_timeout
+                          << " s; killing pid " << s.pid << "\n";
+                s.timed_out = true;
+                ::kill(s.pid, SIGKILL);
+            }
+            // Fire due relaunches.
+            if (s.waiting_retry && now >= s.relaunch_at) {
+                s.waiting_retry = false;
+                ++s.attempts;
+                s.attempt_start = Clock::now();
+                s.pid = launchShard(driver, s, shards, cache_file,
+                                    cache_format, threads);
+                if (s.pid < 0) {
+                    s.done = true;
+                    s.failure = "fork failed";
+                    s.duration_s = secondsSince(s.first_launch);
+                    continue;
+                }
+                s.running = true;
+            }
+        }
+        std::this_thread::sleep_for(kPollPeriod);
     }
-    if (!ok)
-        return 1;
+
+    // --- Per-shard status table: a multi-failure run must report
+    // every shard's fate, not the first failure encountered.
+    TextTable table("shard status");
+    table.setHeader({"shard", "attempts", "result", "duration_s"});
+    int failed = 0;
+    for (const ShardState &s : states) {
+        failed += s.ok ? 0 : 1;
+        table.addRow({std::to_string(s.index),
+                      std::to_string(s.attempts),
+                      s.ok ? "ok" : s.failure,
+                      TextTable::fmt(s.duration_s, 2)});
+    }
+    table.print(std::cout);
 
     // --- Merge: model-major concatenation in shard order recovers
     // the single-process candidate order (shard ranges are contiguous
     // and ascending), so the extracted frontier — and its re-dump —
-    // is byte-identical to the single-process sweep's.
+    // is byte-identical to the single-process sweep's. With failed
+    // shards the sweep degrades instead of discarding completed work:
+    // the partial frontier still gets written, flagged by the
+    // `<out>.incomplete` sidecar and exit code 3.
     std::vector<FrontierEntry> points;
-    for (int i = 0; i < shards; ++i) {
+    for (const ShardState &s : states) {
+        if (!s.ok)
+            continue;
         std::vector<FrontierEntry> shard_points;
-        if (!readFrontierFile(dumps[i], &shard_points)) {
-            std::cerr << "sharded_sweep: cannot parse " << dumps[i]
+        if (!readFrontierFile(s.dump, &shard_points)) {
+            std::cerr << "sharded_sweep: cannot parse " << s.dump
                       << "\n";
             return 1;
         }
-        std::cout << "shard " << i << ": " << shard_points.size()
+        std::cout << "shard " << s.index << ": " << shard_points.size()
                   << " points\n";
         points.insert(points.end(), shard_points.begin(),
                       shard_points.end());
@@ -221,8 +430,28 @@ main(int argc, char **argv)
         std::cerr << "sharded_sweep: cannot write " << out_path << "\n";
         return 1;
     }
-    std::cout << "merged " << merged.size() << " points from " << shards
-              << " shards -> " << frontier.size()
-              << " frontier entries in " << out_path << "\n";
+    std::cout << "merged " << merged.size() << " points from "
+              << (shards - failed) << "/" << shards << " shards -> "
+              << frontier.size() << " frontier entries in " << out_path
+              << "\n";
+
+    const std::string marker = out_path + ".incomplete";
+    if (failed > 0) {
+        std::ofstream sidecar(marker, std::ios::trunc);
+        sidecar << "incomplete frontier: " << failed << " of " << shards
+                << " shards failed permanently\n";
+        for (const ShardState &s : states) {
+            if (!s.ok)
+                sidecar << "shard " << s.index << ": " << s.failure
+                        << " after " << s.attempts << " attempts (see "
+                        << s.log << ")\n";
+        }
+        std::cerr << "sharded_sweep: frontier is INCOMPLETE ("
+                  << marker << ")\n";
+        return 3;
+    }
+    // A complete run must clear the stale marker of an earlier
+    // degraded one, or the recovered frontier still reads as partial.
+    ::unlink(marker.c_str());
     return 0;
 }

@@ -1,0 +1,268 @@
+#include "common/failpoint.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace highlight
+{
+
+namespace
+{
+
+enum class Action
+{
+    Error,
+    Crash,
+    CrashAtByte,
+    Delay,
+    Hang,
+};
+
+struct Site
+{
+    std::string name;
+    Action action = Action::Error;
+    std::uint64_t arg = 0;    ///< Delay: ms; CrashAtByte: byte limit.
+    long long remaining = -1; ///< Error: hits left; -1 = unlimited.
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<Site> sites;
+    /** -1 env not parsed yet, 0 disarmed, 1 at least one site armed. */
+    std::atomic<int> state{-1};
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Strict digits-only u64 (same rigor as env.hh, but 0 is legal:
+ *  crash-at-byte:0 is "crash before the first byte"). */
+bool
+parseU64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (const char ch : s) {
+        if (ch < '0' || ch > '9')
+            return false;
+        const std::uint64_t digit = static_cast<std::uint64_t>(ch - '0');
+        if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    *out = v;
+    return true;
+}
+
+/** Parse one "site:action[:arg]" clause; false on any malformation. */
+bool
+parseClause(const std::string &clause, Site *out)
+{
+    std::vector<std::string> tokens;
+    std::size_t begin = 0;
+    while (begin <= clause.size()) {
+        const std::size_t colon = clause.find(':', begin);
+        if (colon == std::string::npos) {
+            tokens.push_back(clause.substr(begin));
+            break;
+        }
+        tokens.push_back(clause.substr(begin, colon - begin));
+        begin = colon + 1;
+    }
+    if (tokens.size() < 2 || tokens[0].empty())
+        return false;
+
+    out->name = tokens[0];
+    const std::string &action = tokens[1];
+    if (action == "error") {
+        out->action = Action::Error;
+        out->remaining = -1;
+        if (tokens.size() == 2)
+            return true;
+        std::uint64_t count = 0;
+        if (tokens.size() != 3 || !parseU64(tokens[2], &count) ||
+            count == 0 ||
+            count > static_cast<std::uint64_t>(
+                        std::numeric_limits<long long>::max()))
+            return false;
+        out->remaining = static_cast<long long>(count);
+        return true;
+    }
+    if (action == "crash") {
+        out->action = Action::Crash;
+        return tokens.size() == 2;
+    }
+    if (action == "crash-at-byte") {
+        out->action = Action::CrashAtByte;
+        return tokens.size() == 3 && parseU64(tokens[2], &out->arg);
+    }
+    if (action == "delay") {
+        out->action = Action::Delay;
+        return tokens.size() == 3 && parseU64(tokens[2], &out->arg);
+    }
+    if (action == "hang") {
+        out->action = Action::Hang;
+        return tokens.size() == 2;
+    }
+    return false;
+}
+
+void
+parseEnvLocked(Registry &r)
+{
+    r.sites.clear();
+    const char *env = std::getenv("HIGHLIGHT_FAILPOINTS");
+    if (env != nullptr && *env != '\0') {
+        const std::string spec(env);
+        std::size_t begin = 0;
+        while (begin <= spec.size()) {
+            const std::size_t comma = spec.find(',', begin);
+            const std::string clause =
+                comma == std::string::npos
+                    ? spec.substr(begin)
+                    : spec.substr(begin, comma - begin);
+            Site site;
+            if (parseClause(clause, &site))
+                r.sites.push_back(std::move(site));
+            else if (!clause.empty())
+                warn(msgOf("failpoint: ignoring malformed clause \"",
+                           clause, "\" in HIGHLIGHT_FAILPOINTS"));
+            if (comma == std::string::npos)
+                break;
+            begin = comma + 1;
+        }
+    }
+    r.state.store(r.sites.empty() ? 0 : 1, std::memory_order_release);
+}
+
+/** Announce a process-killing action on stderr before it happens —
+ *  the supervisor and ctest logs need to attribute the death. */
+void
+announce(const char *site, const char *what)
+{
+    std::fprintf(stderr, "failpoint: %s: %s\n", site, what);
+    std::fflush(nullptr);
+}
+
+} // namespace
+
+bool
+failpointsArmed()
+{
+    Registry &r = registry();
+    int state = r.state.load(std::memory_order_acquire);
+    if (state < 0) {
+        std::lock_guard<std::mutex> lock(r.mu);
+        state = r.state.load(std::memory_order_relaxed);
+        if (state < 0) {
+            parseEnvLocked(r);
+            state = r.state.load(std::memory_order_relaxed);
+        }
+    }
+    return state == 1;
+}
+
+FailpointHit
+failpointHit(const char *site)
+{
+    if (!failpointsArmed())
+        return FailpointHit{};
+
+    Registry &r = registry();
+    Action action;
+    std::uint64_t arg = 0;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        Site *found = nullptr;
+        for (Site &s : r.sites) {
+            if (s.name == site) {
+                found = &s;
+                break;
+            }
+        }
+        if (found == nullptr)
+            return FailpointHit{};
+        if (found->action == Action::Error) {
+            if (found->remaining == 0)
+                return FailpointHit{}; // counted fault already spent
+            if (found->remaining > 0)
+                --found->remaining;
+            return FailpointHit{FailpointHit::Kind::Error, 0};
+        }
+        action = found->action;
+        arg = found->arg;
+    }
+
+    switch (action) {
+      case Action::Crash:
+        announce(site, "crashing");
+        ::_exit(kFailpointCrashExit);
+      case Action::CrashAtByte:
+        return FailpointHit{FailpointHit::Kind::CrashAtByte, arg};
+      case Action::Delay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(arg));
+        return FailpointHit{};
+      case Action::Hang:
+        announce(site, "hanging until killed");
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      case Action::Error:
+        break; // handled under the lock above
+    }
+    return FailpointHit{};
+}
+
+bool
+failpointFails(const char *site)
+{
+    return failpointHit(site).kind == FailpointHit::Kind::Error;
+}
+
+bool
+failpointGuardedWrite(std::ostream &out, const std::string &bytes,
+                      const char *site)
+{
+    const FailpointHit hit = failpointHit(site);
+    if (hit.kind == FailpointHit::Kind::Error)
+        return false;
+    if (hit.kind == FailpointHit::Kind::CrashAtByte) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(hit.byte_limit, bytes.size()));
+        out.write(bytes.data(), static_cast<std::streamsize>(n));
+        out.flush();
+        announce(site, "crashing mid-write");
+        ::_exit(kFailpointCrashExit);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
+}
+
+void
+failpointsReset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.sites.clear();
+    r.state.store(-1, std::memory_order_release);
+}
+
+} // namespace highlight

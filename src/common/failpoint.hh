@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic fault injection ("failpoints").
+ *
+ * Recovery code is only trustworthy when its failure paths run in CI,
+ * and real crashes, hung processes, and torn writes do not happen on
+ * demand. A failpoint is a named site in a recovery-critical path
+ * (cache flush, artifact write, lock acquire, shard startup) that can
+ * be armed from the environment to fail in a *chosen, deterministic*
+ * way:
+ *
+ *   HIGHLIGHT_FAILPOINTS=site:action[:arg][,site:action[:arg]...]
+ *
+ * Actions:
+ *   error[:N]        The guarded operation reports failure (the first
+ *                    N hits only when :N is given, then the site
+ *                    disarms — this is how "transient" faults are
+ *                    modeled for retry tests).
+ *   crash            _exit(kFailpointCrashExit) at the site: a process
+ *                    death with no destructors, no flushes.
+ *   crash-at-byte:N  For write sites: emit exactly N bytes of the
+ *                    payload, flush them, then _exit — a torn write,
+ *                    the on-disk state a power cut leaves behind.
+ *   delay:MS         Sleep MS milliseconds at the site (races,
+ *                    timeout tuning).
+ *   hang             Sleep forever; only SIGKILL ends the process
+ *                    (exercises supervisor watchdog timeouts).
+ *
+ * Malformed clauses warn and are ignored; unknown site names are
+ * simply never hit. When HIGHLIGHT_FAILPOINTS is unset the whole
+ * subsystem is a single relaxed atomic load per site visit — the
+ * sites live in I/O and process-management paths, never in compute
+ * kernels.
+ *
+ * The environment is parsed once, on the first site visit, so a
+ * process's fault plan is fixed at first use (deterministic across
+ * threads); failpointsReset() re-arms from the current environment
+ * for tests that change it.
+ */
+
+#ifndef HIGHLIGHT_COMMON_FAILPOINT_HH
+#define HIGHLIGHT_COMMON_FAILPOINT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace highlight
+{
+
+/**
+ * Exit code of the `crash` / `crash-at-byte` actions. Distinct from
+ * every exit code the drivers use (0/1/2/3) and from fatal-signal
+ * statuses, so a supervisor log can tell an injected crash from an
+ * organic failure.
+ */
+constexpr int kFailpointCrashExit = 86;
+
+/** Outcome of consulting a site. Side-effectful actions (crash,
+ *  delay, hang) never return in a way the caller must handle; only
+ *  the two actions the *caller* executes are reported. */
+struct FailpointHit
+{
+    enum class Kind
+    {
+        None,        ///< Site disarmed; proceed normally.
+        Error,       ///< Make the guarded operation fail.
+        CrashAtByte, ///< Write `byte_limit` bytes, then _exit.
+    };
+
+    Kind kind = Kind::None;
+    std::uint64_t byte_limit = 0; ///< CrashAtByte only.
+};
+
+/** True when HIGHLIGHT_FAILPOINTS armed at least one site. The
+ *  disabled fast path is one atomic load. */
+bool failpointsArmed();
+
+/**
+ * Consult site `site`. Executes `crash` (never returns), `delay`
+ * (sleeps, then reports None) and `hang` (never returns) in place;
+ * returns Error / CrashAtByte for the caller to act on.
+ */
+FailpointHit failpointHit(const char *site);
+
+/** True when `site` is armed with `error` (consumes one hit of a
+ *  counted `error:N`). The one-line guard for "return false here". */
+bool failpointFails(const char *site);
+
+/**
+ * Write `bytes` to `out` through site `site`: `error` fails the write
+ * without touching the stream, `crash-at-byte:N` writes exactly
+ * min(N, bytes.size()) bytes, flushes, and _exits. Returns the stream
+ * state after a full write. Disarmed, this is a plain write.
+ */
+bool failpointGuardedWrite(std::ostream &out, const std::string &bytes,
+                           const char *site);
+
+/** Drop all cached state and re-parse HIGHLIGHT_FAILPOINTS on the
+ *  next site visit (tests that set/unset the variable mid-process). */
+void failpointsReset();
+
+} // namespace highlight
+
+#endif // HIGHLIGHT_COMMON_FAILPOINT_HH

@@ -12,16 +12,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 
 namespace highlight
 {
 
-namespace
-{
-
-/** True when `pid` names a live process (or one we may not signal —
- *  EPERM still proves liveness). */
 bool
 pidAlive(long pid)
 {
@@ -29,6 +25,9 @@ pidAlive(long pid)
         return false; // unparsable stamp: treat as a dead holder
     return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
 }
+
+namespace
+{
 
 /** The pid stamped into an open lockfile; -1 when unreadable. */
 long
@@ -137,6 +136,12 @@ FileLock::tryAcquire()
 bool
 FileLock::acquire(const FileLockConfig &config)
 {
+    // Failpoint "filelock-acquire": fail (or crash/delay/hang) here
+    // to exercise every "could not lock" path — cache flushes that
+    // must report Failed, retry loops, supervisor degradation —
+    // without manufacturing real cross-process contention.
+    if (failpointFails("filelock-acquire"))
+        return false;
     auto backoff = config.initial_backoff;
     for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
         if (tryAcquire())

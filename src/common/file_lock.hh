@@ -39,6 +39,11 @@
 namespace highlight
 {
 
+/** True when `pid` names a live process (kill(pid, 0) succeeds, or
+ *  fails with EPERM — which still proves liveness). The staleness
+ *  test behind lockfile takeover and orphaned-temp-file sweeps. */
+bool pidAlive(long pid);
+
 /** Retry policy for FileLock::acquire(). */
 struct FileLockConfig
 {

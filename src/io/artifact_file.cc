@@ -1,8 +1,11 @@
 #include "io/artifact_file.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "common/failpoint.hh"
 
 namespace highlight
 {
@@ -12,7 +15,22 @@ namespace
 
 constexpr char kHeadMagic[8] = {'H', 'L', 'A', 'R', 'T', 'F', '1', '\n'};
 constexpr char kTailMagic[8] = {'H', 'L', 'A', 'R', 'T', 'E', 'N', 'D'};
+constexpr char kFrameMagic[8] = {'H', 'L', 'A', 'R', 'T', 'D', 'S', '\n'};
 constexpr std::size_t kFooterSize = 32;
+
+/** Fixed frame fields before the (padded) name: magic + type + count
+ *  + payload size + payload checksum + name length. */
+constexpr std::size_t kFrameFixed = 48;
+
+/** A salvage scan must not let a hostile name_len walk it off the
+ *  buffer arithmetic; real dataset names are tens of bytes. */
+constexpr std::uint64_t kMaxFrameName = 4096;
+
+std::size_t
+align8(std::size_t n)
+{
+    return (n + 7) & ~static_cast<std::size_t>(7);
+}
 
 void
 putU64(std::string *out, std::uint64_t v)
@@ -140,9 +158,26 @@ ArtifactWriter::addPayload(const std::string &name, ColumnType type,
     d.name = name;
     d.type = type;
     d.count = count;
-    d.offset = body_.size(); // already 8-aligned
     d.size = payload.size();
     d.checksum = fnv1a64(payload.data(), payload.size());
+
+    // Self-describing frame ahead of the payload (body_ is 8-aligned
+    // here). The strict reader ignores frames entirely — the tail
+    // directory is authoritative — but a salvage scan reconstructs
+    // datasets from them when the directory is gone.
+    std::string frame;
+    frame.append(kFrameMagic, sizeof(kFrameMagic));
+    putU64(&frame, static_cast<std::uint64_t>(type));
+    putU64(&frame, count);
+    putU64(&frame, d.size);
+    putU64(&frame, d.checksum);
+    putU64(&frame, name.size());
+    frame.append(name);
+    padTo8(&frame);
+    putU64(&frame, fnv1a64(frame.data(), frame.size()));
+    body_.append(frame);
+
+    d.offset = body_.size(); // already 8-aligned
     body_.append(payload);
     padTo8(&body_);
     dir_.push_back(std::move(d));
@@ -219,10 +254,10 @@ ArtifactWriter::bytes() const
 bool
 ArtifactWriter::writeTo(std::ostream &out) const
 {
-    const std::string image = bytes();
-    out.write(image.data(),
-              static_cast<std::streamsize>(image.size()));
-    return static_cast<bool>(out);
+    // Failpoint "artifact-write": every persisted artifact (caches,
+    // frontier dumps, bench snapshots) funnels through here, so one
+    // site can fail or tear any of them deterministically.
+    return failpointGuardedWrite(out, bytes(), "artifact-write");
 }
 
 ArtifactReader::Status
@@ -300,71 +335,8 @@ ArtifactReader::parse(std::string bytes, const std::string &kind,
             return Status::Corrupt;
         if (fnv1a64(buf.data() + offset, size) != checksum)
             return Status::Corrupt;
-
-        Cursor payload(buf, offset, offset + size);
-        switch (type) {
-          case static_cast<std::uint8_t>(ColumnType::U64): {
-            c.type = ColumnType::U64;
-            // Divide, don't multiply: a hostile element count must
-            // fail the size check, not wrap it around.
-            if (size % 8 != 0 || elems != size / 8)
-                return Status::Corrupt;
-            c.u64s.reserve(elems);
-            for (std::uint64_t j = 0; j < elems; ++j) {
-                std::uint64_t v = 0;
-                payload.takeU64(&v);
-                c.u64s.push_back(v);
-            }
-            break;
-          }
-          case static_cast<std::uint8_t>(ColumnType::F64): {
-            c.type = ColumnType::F64;
-            if (size % 8 != 0 || elems != size / 8)
-                return Status::Corrupt;
-            c.f64s.reserve(elems);
-            for (std::uint64_t j = 0; j < elems; ++j) {
-                std::uint64_t v = 0;
-                payload.takeU64(&v);
-                c.f64s.push_back(bitsToDouble(v));
-            }
-            break;
-          }
-          case static_cast<std::uint8_t>(ColumnType::Str): {
-            c.type = ColumnType::Str;
-            // elems + 1 offsets must fit; checked by division so a
-            // hostile count cannot overflow the bound (or the
-            // reserve below) into an allocation bomb.
-            if (size / 8 < 1 || elems > size / 8 - 1)
-                return Status::Corrupt;
-            const std::uint64_t blob_size = size - (elems + 1) * 8;
-            std::vector<std::uint64_t> offsets;
-            offsets.reserve(elems + 1);
-            for (std::uint64_t j = 0; j <= elems; ++j) {
-                std::uint64_t v = 0;
-                payload.takeU64(&v);
-                offsets.push_back(v);
-            }
-            if (offsets.front() != 0 || offsets.back() != blob_size)
-                return Status::Corrupt;
-            for (std::uint64_t j = 0; j < elems; ++j) {
-                if (offsets[j] > offsets[j + 1])
-                    return Status::Corrupt;
-            }
-            c.strs.reserve(elems);
-            for (std::uint64_t j = 0; j < elems; ++j) {
-                std::string s;
-                // The cursor sits at the blob start after the offset
-                // table; strings are consecutive, so sequential takes
-                // reconstruct them.
-                if (!payload.takeBytes(offsets[j + 1] - offsets[j], &s))
-                    return Status::Corrupt;
-                c.strs.push_back(std::move(s));
-            }
-            break;
-          }
-          default:
+        if (!decodePayload(buf, offset, size, type, elems, &c))
             return Status::Corrupt;
-        }
         columns.push_back(std::move(c));
     }
     if (!dir.atEnd())
@@ -378,6 +350,188 @@ ArtifactReader::parse(std::string bytes, const std::string &kind,
 
     columns_ = std::move(columns);
     return Status::Ok;
+}
+
+bool
+ArtifactReader::decodePayload(const std::string &buf, std::size_t offset,
+                              std::size_t size, std::uint8_t type,
+                              std::uint64_t elems, Column *out)
+{
+    Cursor payload(buf, offset, offset + size);
+    switch (type) {
+      case static_cast<std::uint8_t>(ColumnType::U64): {
+        out->type = ColumnType::U64;
+        // Divide, don't multiply: a hostile element count must
+        // fail the size check, not wrap it around.
+        if (size % 8 != 0 || elems != size / 8)
+            return false;
+        out->u64s.reserve(elems);
+        for (std::uint64_t j = 0; j < elems; ++j) {
+            std::uint64_t v = 0;
+            payload.takeU64(&v);
+            out->u64s.push_back(v);
+        }
+        return true;
+      }
+      case static_cast<std::uint8_t>(ColumnType::F64): {
+        out->type = ColumnType::F64;
+        if (size % 8 != 0 || elems != size / 8)
+            return false;
+        out->f64s.reserve(elems);
+        for (std::uint64_t j = 0; j < elems; ++j) {
+            std::uint64_t v = 0;
+            payload.takeU64(&v);
+            out->f64s.push_back(bitsToDouble(v));
+        }
+        return true;
+      }
+      case static_cast<std::uint8_t>(ColumnType::Str): {
+        out->type = ColumnType::Str;
+        // elems + 1 offsets must fit; checked by division so a
+        // hostile count cannot overflow the bound (or the
+        // reserve below) into an allocation bomb.
+        if (size / 8 < 1 || elems > size / 8 - 1)
+            return false;
+        const std::uint64_t blob_size = size - (elems + 1) * 8;
+        std::vector<std::uint64_t> offsets;
+        offsets.reserve(elems + 1);
+        for (std::uint64_t j = 0; j <= elems; ++j) {
+            std::uint64_t v = 0;
+            payload.takeU64(&v);
+            offsets.push_back(v);
+        }
+        if (offsets.front() != 0 || offsets.back() != blob_size)
+            return false;
+        for (std::uint64_t j = 0; j < elems; ++j) {
+            if (offsets[j] > offsets[j + 1])
+                return false;
+        }
+        out->strs.reserve(elems);
+        for (std::uint64_t j = 0; j < elems; ++j) {
+            std::string s;
+            // The cursor sits at the blob start after the offset
+            // table; strings are consecutive, so sequential takes
+            // reconstruct them.
+            if (!payload.takeBytes(offsets[j + 1] - offsets[j], &s))
+                return false;
+            out->strs.push_back(std::move(s));
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+std::size_t
+ArtifactReader::salvage(std::string bytes, const std::string &kind,
+                        std::uint64_t app_version)
+{
+    columns_.clear();
+    const std::string buf = std::move(bytes);
+
+    // The header must be intact and must match the expected schema:
+    // with the directory gone there is no other statement of what
+    // this file is, and salvaging a foreign or differently-versioned
+    // container would hand back well-checksummed bytes with the wrong
+    // meaning.
+    const std::size_t min_header = sizeof(kHeadMagic) + 3 * 8;
+    if (buf.size() < min_header)
+        return 0;
+    if (std::memcmp(buf.data(), kHeadMagic, sizeof(kHeadMagic)) != 0)
+        return 0;
+    Cursor header(buf, sizeof(kHeadMagic), buf.size());
+    std::uint64_t container_version = 0, file_app_version = 0,
+                  kind_len = 0;
+    std::string file_kind;
+    if (!header.takeU64(&container_version) ||
+        !header.takeU64(&file_app_version) ||
+        !header.takeU64(&kind_len) ||
+        !header.takeBytes(kind_len, &file_kind))
+        return 0;
+    if (container_version != kArtifactContainerVersion ||
+        file_kind != kind || file_app_version != app_version)
+        return 0;
+
+    // Scan 8-aligned positions for dataset frames. A frame whose own
+    // checksum validates is trusted for *layout* (it tells us where
+    // the payload ends, so the scan can step over a damaged payload);
+    // its dataset is only exposed when the payload checksum validates
+    // too. Anything else advances one alignment step — damage never
+    // ends the scan, it just costs the datasets it overlaps.
+    std::size_t pos = align8(min_header + file_kind.size());
+    while (pos + kFrameFixed + 8 <= buf.size()) {
+        if (std::memcmp(buf.data() + pos, kFrameMagic,
+                        sizeof(kFrameMagic)) != 0) {
+            pos += 8;
+            continue;
+        }
+        Cursor frame(buf, pos + sizeof(kFrameMagic), buf.size());
+        std::uint64_t type = 0, elems = 0, payload_size = 0,
+                      payload_checksum = 0, name_len = 0;
+        frame.takeU64(&type);
+        frame.takeU64(&elems);
+        frame.takeU64(&payload_size);
+        frame.takeU64(&payload_checksum);
+        frame.takeU64(&name_len);
+        const std::size_t header_span =
+            kFrameFixed + align8(static_cast<std::size_t>(
+                              std::min<std::uint64_t>(name_len,
+                                                      kMaxFrameName)));
+        if (name_len > kMaxFrameName ||
+            header_span + 8 > buf.size() - pos) {
+            pos += 8;
+            continue;
+        }
+        std::uint64_t header_checksum = 0;
+        Cursor tail(buf, pos + header_span, buf.size());
+        tail.takeU64(&header_checksum);
+        if (fnv1a64(buf.data() + pos, header_span) != header_checksum) {
+            pos += 8;
+            continue;
+        }
+        const std::size_t payload_at = pos + header_span + 8;
+        if (payload_size > buf.size() - payload_at) {
+            // Truncated mid-payload: this dataset is gone, and so is
+            // everything after it, but keep scanning — a hostile size
+            // field would otherwise end salvage early (the frame
+            // checksum makes that unlikely, not impossible to state).
+            pos += 8;
+            continue;
+        }
+        if (fnv1a64(buf.data() + payload_at, payload_size) ==
+            payload_checksum) {
+            Column c;
+            c.name.assign(buf, pos + kFrameFixed,
+                          static_cast<std::size_t>(name_len));
+            // type > 0xff cannot come from our writer; refuse rather
+            // than let the uint8_t cast alias it onto a real type.
+            if (type <= 0xff &&
+                decodePayload(buf, payload_at,
+                              static_cast<std::size_t>(payload_size),
+                              static_cast<std::uint8_t>(type), elems,
+                              &c))
+                columns_.push_back(std::move(c));
+        }
+        pos = align8(payload_at + static_cast<std::size_t>(payload_size));
+    }
+    return columns_.size();
+}
+
+std::size_t
+ArtifactReader::salvageFile(const std::string &path,
+                            const std::string &kind,
+                            std::uint64_t app_version)
+{
+    columns_.clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in)
+        return 0;
+    return salvage(buf.str(), kind, app_version);
 }
 
 const ArtifactReader::Column *

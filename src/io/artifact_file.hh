@@ -10,9 +10,13 @@
  *
  *   header   magic "HLARTF1\n", container version, app schema
  *            version, app kind string (e.g. "evalcache")
- *   datasets raw column payloads, back to back, each starting on an
- *            8-byte boundary (mmap-friendly: fixed-width
- *            little-endian fields at aligned offsets)
+ *   datasets per dataset, in append order: a self-describing *frame*
+ *            (frame magic "HLARTDS\n", type, element count, payload
+ *            length + FNV-1a64 checksum, name — all covered by the
+ *            frame's own checksum) followed by the raw column
+ *            payload, each starting on an 8-byte boundary
+ *            (mmap-friendly: fixed-width little-endian fields at
+ *            aligned offsets)
  *   directory one entry per dataset in append order: name, type,
  *            element count, payload offset/length, FNV-1a64 checksum
  *            of the payload bytes
@@ -26,6 +30,15 @@
  * is rejected wholesale (no partial loads), with the failure reason
  * distinguished so callers can tell "no file yet" from "your data was
  * discarded".
+ *
+ * The frames are deliberate redundancy: the strict read path never
+ * needs them (the tail directory is authoritative), but a truncated
+ * or bit-damaged file — whose directory or footer is gone — can still
+ * be *salvaged* by scanning forward for frames and recovering every
+ * dataset whose frame and payload checksums both validate
+ * (ArtifactReader::salvage). A damaged dataset is never exposed; it
+ * is skipped and the scan continues, so damage in the middle of a
+ * file does not forfeit the datasets after it.
  *
  * String columns are stored as an offset table (u64[count+1], first 0,
  * monotonically non-decreasing) followed by the concatenated bytes, so
@@ -43,8 +56,9 @@
 namespace highlight
 {
 
-/** Container layout version; bumped when the byte layout changes. */
-constexpr std::uint64_t kArtifactContainerVersion = 1;
+/** Container layout version; bumped when the byte layout changes.
+ *  v2 added the per-dataset frames that make salvage possible. */
+constexpr std::uint64_t kArtifactContainerVersion = 2;
 
 /** FNV-1a 64-bit hash — the container's integrity checksum. A single
  *  flipped byte always changes the hash (xor-then-multiply-by-odd-
@@ -135,6 +149,26 @@ class ArtifactReader
     Status parse(std::string bytes, const std::string &kind,
                  std::uint64_t app_version);
 
+    /**
+     * Best-effort recovery from a damaged container that parse()
+     * rejects: verify the header (magic, container version, kind and
+     * app version must all match — a foreign or differently-versioned
+     * file salvages nothing), then scan forward for dataset frames
+     * and expose every dataset whose frame checksum *and* payload
+     * checksum both validate, skipping damaged ones. Returns the
+     * number of datasets recovered; the reader holds exactly those.
+     * A dataset is only ever recovered bit-exact — the checksums
+     * guarantee salvage can reorder survival, never content.
+     */
+    std::size_t salvage(std::string bytes, const std::string &kind,
+                        std::uint64_t app_version);
+
+    /** salvage() over the contents of `path`; 0 when the file cannot
+     *  be read. */
+    std::size_t salvageFile(const std::string &path,
+                            const std::string &kind,
+                            std::uint64_t app_version);
+
     /** Typed column accessors: nullptr when the dataset is absent or
      *  has a different type. */
     const std::vector<std::uint64_t> *u64(const std::string &name) const;
@@ -155,6 +189,13 @@ class ArtifactReader
     };
 
     const Column *find(const std::string &name, ColumnType type) const;
+
+    /** Decode `size` payload bytes at `offset` in `buf` as `elems`
+     *  elements of `type` into *out (name untouched); false on any
+     *  structural violation. Shared by parse() and salvage(). */
+    static bool decodePayload(const std::string &buf, std::size_t offset,
+                              std::size_t size, std::uint8_t type,
+                              std::uint64_t elems, Column *out);
 
     std::vector<Column> columns_;
 };

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -224,13 +225,156 @@ class TextCacheCodec : public CacheCodec
 };
 
 // ---------------------------------------------------------------------
-// Binary codec: the entry list as ArtifactFile columns. Per-entry
-// scalars are parallel columns; the variable-length breakdowns are
-// flattened into shared name/value columns with a per-entry length
-// column to slice them back apart.
+// Binary codec: the entry list as ArtifactFile columns, in chunks of
+// kCacheChunkEntries entries. Within a chunk, per-entry scalars are
+// parallel columns named "<field>/<chunk>"; the variable-length
+// breakdowns are flattened into shared name/value columns with a
+// per-entry length column to slice them back apart. A "chunks" count
+// dataset leads the file so the strict reader knows what complete
+// means. Chunking exists for salvage: each chunk's datasets carry
+// their own checksums (and frames) in the container, so a damaged
+// file yields its intact chunks instead of nothing.
 // ---------------------------------------------------------------------
 
 const char kCacheKind[] = "evalcache";
+
+/** Per-chunk dataset name: "<base>/<chunk>". */
+std::string
+colName(const char *base, std::size_t chunk)
+{
+    return msgOf(base, '/', chunk);
+}
+
+/** Serialize entries [begin, end) as chunk `chunk`'s datasets. */
+void
+encodeChunk(ArtifactWriter *writer,
+            const std::vector<const CacheFileEntry *> &entries,
+            std::size_t begin, std::size_t end, std::size_t chunk)
+{
+    const std::size_t n = end - begin;
+    std::vector<std::string> key(n), design(n), workload(n), note(n);
+    std::vector<std::uint64_t> supported(n);
+    std::vector<double> cycles(n), clock_mhz(n);
+    std::vector<std::uint64_t> energy_len(n), area_len(n);
+    std::vector<std::string> energy_name, area_name;
+    std::vector<double> energy_value, area_value;
+    for (std::size_t i = 0; i < n; ++i) {
+        const CacheFileEntry &e = *entries[begin + i];
+        key[i] = e.key;
+        design[i] = e.result.design;
+        workload[i] = e.result.workload;
+        note[i] = e.result.note;
+        supported[i] = e.result.supported ? 1 : 0;
+        cycles[i] = e.result.cycles;
+        clock_mhz[i] = e.result.clock_mhz;
+        energy_len[i] = e.result.energy_pj.size();
+        for (const auto &b : e.result.energy_pj) {
+            energy_name.push_back(b.name);
+            energy_value.push_back(b.value);
+        }
+        area_len[i] = e.result.area_um2.size();
+        for (const auto &b : e.result.area_um2) {
+            area_name.push_back(b.name);
+            area_value.push_back(b.value);
+        }
+    }
+    writer->addStr(colName("key", chunk), key);
+    writer->addStr(colName("design", chunk), design);
+    writer->addStr(colName("workload", chunk), workload);
+    writer->addStr(colName("note", chunk), note);
+    writer->addU64(colName("supported", chunk), supported);
+    writer->addF64(colName("cycles", chunk), cycles);
+    writer->addF64(colName("clock_mhz", chunk), clock_mhz);
+    writer->addU64(colName("energy_len", chunk), energy_len);
+    writer->addStr(colName("energy_name", chunk), energy_name);
+    writer->addF64(colName("energy_value", chunk), energy_value);
+    writer->addU64(colName("area_len", chunk), area_len);
+    writer->addStr(colName("area_name", chunk), area_name);
+    writer->addF64(colName("area_value", chunk), area_value);
+}
+
+/** Reassemble a flattened (len, name, value) breakdown column
+ *  triple for entry after entry, consuming from *next. */
+bool
+slice(std::uint64_t len, const std::vector<std::string> &names,
+      const std::vector<double> &values, std::size_t *next,
+      std::vector<BreakdownEntry> *out)
+{
+    // Divide-free bound check: `*next + len` could wrap.
+    if (len > names.size() - *next)
+        return false;
+    out->clear();
+    out->reserve(static_cast<std::size_t>(len));
+    for (std::uint64_t i = 0; i < len; ++i) {
+        const std::size_t at = (*next)++;
+        out->push_back({names[at], values[at]});
+    }
+    return true;
+}
+
+/** Decode chunk `chunk` from `reader`, appending its entries to
+ *  *out in file order; false when any of the chunk's datasets is
+ *  absent, mistyped, or structurally inconsistent. */
+bool
+decodeChunk(const ArtifactReader &reader, std::size_t chunk,
+            std::vector<CacheFileEntry> *out)
+{
+    const auto *key = reader.str(colName("key", chunk));
+    const auto *design = reader.str(colName("design", chunk));
+    const auto *workload = reader.str(colName("workload", chunk));
+    const auto *note = reader.str(colName("note", chunk));
+    const auto *supported = reader.u64(colName("supported", chunk));
+    const auto *cycles = reader.f64(colName("cycles", chunk));
+    const auto *clock_mhz = reader.f64(colName("clock_mhz", chunk));
+    const auto *energy_len = reader.u64(colName("energy_len", chunk));
+    const auto *energy_name = reader.str(colName("energy_name", chunk));
+    const auto *energy_value = reader.f64(colName("energy_value", chunk));
+    const auto *area_len = reader.u64(colName("area_len", chunk));
+    const auto *area_name = reader.str(colName("area_name", chunk));
+    const auto *area_value = reader.f64(colName("area_value", chunk));
+    if (!key || !design || !workload || !note || !supported ||
+        !cycles || !clock_mhz || !energy_len || !energy_name ||
+        !energy_value || !area_len || !area_name || !area_value)
+        return false;
+    const std::size_t n = key->size();
+    if (design->size() != n || workload->size() != n ||
+        note->size() != n || supported->size() != n ||
+        cycles->size() != n || clock_mhz->size() != n ||
+        energy_len->size() != n || area_len->size() != n ||
+        energy_name->size() != energy_value->size() ||
+        area_name->size() != area_value->size())
+        return false;
+
+    std::vector<CacheFileEntry> staged(n);
+    std::size_t next_energy = 0, next_area = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        CacheFileEntry &e = staged[i];
+        e.key = (*key)[i];
+        if (e.key.empty())
+            return false; // same strictness as the text parser
+        e.result.design = (*design)[i];
+        e.result.workload = (*workload)[i];
+        e.result.note = (*note)[i];
+        if ((*supported)[i] > 1)
+            return false;
+        e.result.supported = (*supported)[i] == 1;
+        e.result.cycles = (*cycles)[i];
+        e.result.clock_mhz = (*clock_mhz)[i];
+        if (!slice((*energy_len)[i], *energy_name, *energy_value,
+                   &next_energy, &e.result.energy_pj))
+            return false;
+        if (!slice((*area_len)[i], *area_name, *area_value,
+                   &next_area, &e.result.area_um2))
+            return false;
+    }
+    // Every flattened element must be owned by some entry.
+    if (next_energy != energy_name->size() ||
+        next_area != area_name->size())
+        return false;
+    out->insert(out->end(), std::make_move_iterator(staged.begin()),
+                std::make_move_iterator(staged.end()));
+    return true;
+}
 
 class BinaryCacheCodec : public CacheCodec
 {
@@ -255,7 +399,11 @@ class BinaryCacheCodec : public CacheCodec
           case ArtifactReader::Status::Mismatch:
             return CacheReadStatus::Rejected;
         }
-        if (!decode(reader, out)) {
+        const auto *chunks = reader.u64("chunks");
+        bool ok = chunks != nullptr && chunks->size() == 1;
+        for (std::uint64_t c = 0; ok && c < (*chunks)[0]; ++c)
+            ok = decodeChunk(reader, static_cast<std::size_t>(c), out);
+        if (!ok) {
             out->clear();
             return CacheReadStatus::Rejected;
         }
@@ -267,126 +415,18 @@ class BinaryCacheCodec : public CacheCodec
           const std::vector<const CacheFileEntry *> &entries) const override
     {
         const std::size_t n = entries.size();
-        std::vector<std::string> key(n), design(n), workload(n), note(n);
-        std::vector<std::uint64_t> supported(n);
-        std::vector<double> cycles(n), clock_mhz(n);
-        std::vector<std::uint64_t> energy_len(n), area_len(n);
-        std::vector<std::string> energy_name, area_name;
-        std::vector<double> energy_value, area_value;
-        for (std::size_t i = 0; i < n; ++i) {
-            const CacheFileEntry &e = *entries[i];
-            key[i] = e.key;
-            design[i] = e.result.design;
-            workload[i] = e.result.workload;
-            note[i] = e.result.note;
-            supported[i] = e.result.supported ? 1 : 0;
-            cycles[i] = e.result.cycles;
-            clock_mhz[i] = e.result.clock_mhz;
-            energy_len[i] = e.result.energy_pj.size();
-            for (const auto &b : e.result.energy_pj) {
-                energy_name.push_back(b.name);
-                energy_value.push_back(b.value);
-            }
-            area_len[i] = e.result.area_um2.size();
-            for (const auto &b : e.result.area_um2) {
-                area_name.push_back(b.name);
-                area_value.push_back(b.value);
-            }
-        }
+        const std::size_t chunks =
+            (n + kCacheChunkEntries - 1) / kCacheChunkEntries;
         ArtifactWriter writer(kCacheKind, kCacheFileVersion);
-        writer.addStr("key", key);
-        writer.addStr("design", design);
-        writer.addStr("workload", workload);
-        writer.addStr("note", note);
-        writer.addU64("supported", supported);
-        writer.addF64("cycles", cycles);
-        writer.addF64("clock_mhz", clock_mhz);
-        writer.addU64("energy_len", energy_len);
-        writer.addStr("energy_name", energy_name);
-        writer.addF64("energy_value", energy_value);
-        writer.addU64("area_len", area_len);
-        writer.addStr("area_name", area_name);
-        writer.addF64("area_value", area_value);
+        writer.addU64("chunks",
+                      {static_cast<std::uint64_t>(chunks)});
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t begin = c * kCacheChunkEntries;
+            const std::size_t end =
+                std::min(n, begin + kCacheChunkEntries);
+            encodeChunk(&writer, entries, begin, end, c);
+        }
         return writer.writeTo(out);
-    }
-
-  private:
-    /** Reassemble a flattened (len, name, value) breakdown column
-     *  triple for entry after entry, consuming from *next. */
-    static bool
-    slice(std::uint64_t len, const std::vector<std::string> &names,
-          const std::vector<double> &values, std::size_t *next,
-          std::vector<BreakdownEntry> *out)
-    {
-        // Divide-free bound check: `*next + len` could wrap.
-        if (len > names.size() - *next)
-            return false;
-        out->clear();
-        out->reserve(static_cast<std::size_t>(len));
-        for (std::uint64_t i = 0; i < len; ++i) {
-            const std::size_t at = (*next)++;
-            out->push_back({names[at], values[at]});
-        }
-        return true;
-    }
-
-    static bool
-    decode(const ArtifactReader &reader, std::vector<CacheFileEntry> *out)
-    {
-        const auto *key = reader.str("key");
-        const auto *design = reader.str("design");
-        const auto *workload = reader.str("workload");
-        const auto *note = reader.str("note");
-        const auto *supported = reader.u64("supported");
-        const auto *cycles = reader.f64("cycles");
-        const auto *clock_mhz = reader.f64("clock_mhz");
-        const auto *energy_len = reader.u64("energy_len");
-        const auto *energy_name = reader.str("energy_name");
-        const auto *energy_value = reader.f64("energy_value");
-        const auto *area_len = reader.u64("area_len");
-        const auto *area_name = reader.str("area_name");
-        const auto *area_value = reader.f64("area_value");
-        if (!key || !design || !workload || !note || !supported ||
-            !cycles || !clock_mhz || !energy_len || !energy_name ||
-            !energy_value || !area_len || !area_name || !area_value)
-            return false;
-        const std::size_t n = key->size();
-        if (design->size() != n || workload->size() != n ||
-            note->size() != n || supported->size() != n ||
-            cycles->size() != n || clock_mhz->size() != n ||
-            energy_len->size() != n || area_len->size() != n ||
-            energy_name->size() != energy_value->size() ||
-            area_name->size() != area_value->size())
-            return false;
-
-        std::vector<CacheFileEntry> staged(n);
-        std::size_t next_energy = 0, next_area = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            CacheFileEntry &e = staged[i];
-            e.key = (*key)[i];
-            if (e.key.empty())
-                return false; // same strictness as the text parser
-            e.result.design = (*design)[i];
-            e.result.workload = (*workload)[i];
-            e.result.note = (*note)[i];
-            if ((*supported)[i] > 1)
-                return false;
-            e.result.supported = (*supported)[i] == 1;
-            e.result.cycles = (*cycles)[i];
-            e.result.clock_mhz = (*clock_mhz)[i];
-            if (!slice((*energy_len)[i], *energy_name, *energy_value,
-                       &next_energy, &e.result.energy_pj))
-                return false;
-            if (!slice((*area_len)[i], *area_name, *area_value,
-                       &next_area, &e.result.area_um2))
-                return false;
-        }
-        // Every flattened element must be owned by some entry.
-        if (next_energy != energy_name->size() ||
-            next_area != area_name->size())
-            return false;
-        *out = std::move(staged);
-        return true;
     }
 };
 
@@ -409,6 +449,40 @@ readCacheFile(const std::string &path, std::vector<CacheFileEntry> *out)
                                       ? ArtifactFormat::Binary
                                       : ArtifactFormat::Text;
     return CacheCodec::of(format).read(path, out);
+}
+
+std::size_t
+salvageCacheFile(const std::string &path,
+                 std::vector<CacheFileEntry> *out)
+{
+    out->clear();
+    ArtifactReader reader;
+    if (reader.salvageFile(path, kCacheKind, kCacheFileVersion) == 0)
+        return 0;
+    // Which chunk indices survived? Scan the salvaged dataset names
+    // for "key/<c>" — the other twelve datasets of a chunk are
+    // checked by decodeChunk, which quietly skips any chunk that is
+    // not complete. The indices are decoded in ascending order so
+    // the recovered entries keep the file's recency order.
+    std::vector<std::size_t> chunks;
+    for (const std::string &name : reader.names()) {
+        if (name.compare(0, 4, "key/") != 0)
+            continue;
+        std::size_t c = 0;
+        if (parseCount(name.substr(4), &c))
+            chunks.push_back(c);
+    }
+    std::sort(chunks.begin(), chunks.end());
+    chunks.erase(std::unique(chunks.begin(), chunks.end()),
+                 chunks.end());
+    for (const std::size_t c : chunks) {
+        std::vector<CacheFileEntry> staged;
+        if (decodeChunk(reader, c, &staged))
+            out->insert(out->end(),
+                        std::make_move_iterator(staged.begin()),
+                        std::make_move_iterator(staged.end()));
+    }
+    return out->size();
 }
 
 bool

@@ -18,6 +18,14 @@
  * version-mismatched) means previously computed results are about to
  * be silently recomputed — callers surface that distinction to the
  * user.
+ *
+ * Rejection need not mean total loss for binary caches: entries are
+ * written in fixed-size *chunks* of kCacheChunkEntries, each chunk its
+ * own set of checksummed container datasets, so salvageCacheFile() can
+ * recover every fully-intact chunk from a truncated or bit-damaged
+ * file (via ArtifactReader::salvage) — EvalCache uses that to
+ * warm-start instead of cold-starting. The text format has no such
+ * redundancy; it salvages nothing.
  */
 
 #ifndef HIGHLIGHT_IO_CACHE_CODEC_HH
@@ -39,6 +47,16 @@ namespace highlight
  * app version) and reject files from another version.
  */
 constexpr int kCacheFileVersion = 1;
+
+/**
+ * Entries per binary-codec chunk. The salvage granularity: a damaged
+ * file loses at most the chunks the damage touches, so a smaller
+ * chunk salvages more from a given truncation at the cost of more
+ * per-chunk dataset overhead. 16 keeps the overhead a few percent on
+ * fig-driver-sized caches while a half-truncated file still yields
+ * most of its entries.
+ */
+constexpr std::size_t kCacheChunkEntries = 16;
 
 /** One persisted cache entry. File order is recency order: the first
  *  entry is the most recently used. */
@@ -85,6 +103,20 @@ class CacheCodec
  */
 CacheReadStatus readCacheFile(const std::string &path,
                               std::vector<CacheFileEntry> *out);
+
+/**
+ * Best-effort recovery from a binary cache file that readCacheFile
+ * rejects: salvages the container (every dataset whose checksum
+ * validates) and decodes every chunk all of whose datasets survived,
+ * appending their entries to *out (cleared first) in chunk order —
+ * i.e. in the recency order the file was written in. Returns the
+ * number of entries recovered; 0 for text caches (no redundancy to
+ * salvage), missing files, or foreign/mismatched containers. Every
+ * recovered entry is bit-exact: the checksums decide survival, never
+ * content.
+ */
+std::size_t salvageCacheFile(const std::string &path,
+                             std::vector<CacheFileEntry> *out);
 
 /** CacheCodec::of(format).write(...). */
 bool writeCacheEntries(std::ostream &out,

@@ -1,19 +1,24 @@
 #include "runtime/eval_cache.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <thread>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/failpoint.hh"
 #include "common/file_lock.hh"
 #include "common/logging.hh"
+#include "io/artifact_file.hh"
 
 namespace highlight
 {
@@ -173,12 +178,45 @@ EvalCache::evictOverCapacityLocked()
 EvalCache::LoadStatus
 EvalCache::load(const std::string &path)
 {
+    // Failpoint "evalcache-load": force the discard/cold-start path
+    // (the salvage machinery below is deliberately bypassed too).
+    if (failpointFails("evalcache-load"))
+        return LoadStatus::Rejected;
+
+    LoadStatus status = LoadStatus::Loaded;
     std::vector<Entry> staged;
     switch (readCacheFile(path, &staged)) {
       case CacheReadStatus::Missing:
         return LoadStatus::NoFile;
-      case CacheReadStatus::Rejected:
-        return LoadStatus::Rejected;
+      case CacheReadStatus::Rejected: {
+        // The strict read refused the file. For a binary container
+        // that need not mean total loss: recover every entry chunk
+        // whose checksums validate and warm-start from those, moving
+        // the damaged file aside to `<path>.corrupt.<pid>` so the
+        // next flush rebuilds a healthy file while the evidence
+        // survives for postmortem. Text caches carry no salvage
+        // redundancy, and a binary file yielding zero entries is
+        // plain Rejected (nothing recovered, nothing to quarantine —
+        // the next flush simply overwrites it).
+        if (!isArtifactFile(path) ||
+            salvageCacheFile(path, &staged) == 0)
+            return LoadStatus::Rejected;
+        const std::string quarantine =
+            msgOf(path, ".corrupt.", ::getpid());
+        if (std::rename(path.c_str(), quarantine.c_str()) == 0)
+            warn(msgOf("EvalCache: ", path, " is damaged; salvaged ",
+                       staged.size(),
+                       " intact entries and quarantined the file to ",
+                       quarantine));
+        else
+            // Quarantine is best effort: a concurrent loader may have
+            // renamed (or a flush replaced) the file first. The
+            // salvaged entries are already staged either way.
+            warn(msgOf("EvalCache: ", path, " is damaged; salvaged ",
+                       staged.size(), " intact entries"));
+        status = LoadStatus::Salvaged;
+        break;
+      }
       case CacheReadStatus::Ok:
         break;
     }
@@ -196,13 +234,14 @@ EvalCache::load(const std::string &path)
         map_.emplace(std::prev(lru_.end())->key, std::prev(lru_.end()));
     }
     evictOverCapacityLocked();
-    return LoadStatus::Loaded;
+    return status;
 }
 
 bool
 EvalCache::loadFile(const std::string &path)
 {
-    return load(path) == LoadStatus::Loaded;
+    const LoadStatus status = load(path);
+    return status == LoadStatus::Loaded || status == LoadStatus::Salvaged;
 }
 
 namespace
@@ -235,11 +274,64 @@ syncParentDir(const std::string &path)
     ::close(fd);
 }
 
+/** Sleep between the two write attempts of a flush — long enough for
+ *  a transient condition (ENOSPC race, AV scanner, NFS hiccup) to
+ *  clear, short enough to be invisible in a driver run. */
+constexpr std::chrono::milliseconds kSaveRetryBackoff{25};
+
+/**
+ * Unlink `<path>.tmp.<writer-pid>.<seq>` siblings whose writer pid is
+ * dead: a writer that crashed between creating its temp file and the
+ * rename cannot clean up after itself, and without this sweep every
+ * such crash leaks a file next to the cache forever. Only dead
+ * writers' temps are touched (same pid-liveness test as stale-lock
+ * takeover), and the caller holds the flush lock, so no live writer
+ * is concurrently renaming on this path.
+ */
+void
+sweepOrphanTemps(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const std::string prefix =
+        (slash == std::string::npos ? path : path.substr(slash + 1)) +
+        ".tmp.";
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return;
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() <= prefix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        // "<prefix><pid>.<seq>": the pid ends at the next dot. A name
+        // that does not parse that way is not one of our temps.
+        const char *pid_begin = name.c_str() + prefix.size();
+        char *pid_end = nullptr;
+        const long pid = std::strtol(pid_begin, &pid_end, 10);
+        if (pid_end == pid_begin || *pid_end != '.' || pid <= 0)
+            continue;
+        if (pidAlive(pid))
+            continue;
+        const std::string victim = dir + "/" + name;
+        if (::unlink(victim.c_str()) == 0)
+            warn(msgOf("EvalCache: removed orphaned temp ", victim,
+                       " (writer pid ", pid, " is gone)"));
+    }
+    ::closedir(d);
+}
+
 } // namespace
 
 bool
 EvalCache::saveFile(const std::string &path, ArtifactFormat format) const
 {
+    // Failpoint "evalcache-save": the whole flush reports failure
+    // before touching the lock or the file.
+    if (failpointFails("evalcache-save"))
+        return false;
+
     // Serialize whole flushes across processes: without the lock two
     // drivers sharing one cache file interleave read-merge-write and
     // the loser's entries silently vanish (last-writer-wins). A
@@ -251,13 +343,20 @@ EvalCache::saveFile(const std::string &path, ArtifactFormat format) const
         return false;
     }
 
+    // Housekeeping under the lock: temp files leaked by crashed
+    // writers would otherwise pile up next to the cache forever.
+    sweepOrphanTemps(path);
+
     // Merge-on-flush: pick up entries a concurrent writer flushed
     // since we loaded, in whichever format it wrote them. A
-    // missing/stale/corrupt file merges as empty — the same
-    // wholesale-ignore contract as the cold-start load.
+    // missing/stale file merges as empty — the same wholesale-ignore
+    // contract as the cold-start load — but a *damaged* binary file
+    // merges its salvageable chunks: this very write heals the file,
+    // so unlike load() no quarantine is needed.
     std::vector<Entry> disk;
-    if (readCacheFile(path, &disk) != CacheReadStatus::Ok)
-        disk.clear();
+    if (readCacheFile(path, &disk) == CacheReadStatus::Rejected &&
+        isArtifactFile(path))
+        salvageCacheFile(path, &disk);
 
     std::lock_guard<std::mutex> mu(mu_);
     // Resident wins on collisions (load's precedence, mirrored): the
@@ -273,6 +372,14 @@ EvalCache::saveFile(const std::string &path, ArtifactFormat format) const
             merged.push_back(&e);
     }
 
+    // Serialize once, up front: if the first write attempt fails the
+    // retry must emit identical bytes, and an encoding failure is not
+    // worth retrying at all.
+    std::ostringstream encoded;
+    if (!writeCacheEntries(encoded, merged, format))
+        return false;
+    const std::string image = encoded.str();
+
     // Write to a temp file in the same directory, then fsync and
     // atomically rename over the target: a crash mid-write can never
     // leave a truncated half-file at `path`, and a crash right after
@@ -280,23 +387,36 @@ EvalCache::saveFile(const std::string &path, ArtifactFormat format) const
     // fsync some filesystems journal the rename before the data).
     // The pid + process-wide counter keep concurrent writers' temp
     // files apart both across processes and across caches within one
-    // process.
+    // process. A failed attempt is retried once after a short backoff
+    // — still under the lock — before the flush gives up: losing a
+    // warm cache to a transient I/O error is expensive, and flushes
+    // are rare enough that one bounded retry costs nothing.
     static std::atomic<std::uint64_t> save_seq{0};
-    const std::string tmp = msgOf(path, ".tmp.", ::getpid(), ".",
-                                  save_seq.fetch_add(1));
-    {
-        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-        if (!out)
-            return false;
-        if (!writeCacheEntries(out, merged, format)) {
-            std::remove(tmp.c_str());
-            return false;
+    bool durable = false;
+    for (int attempt = 0; attempt < 2 && !durable; ++attempt) {
+        if (attempt > 0) {
+            warn(msgOf("EvalCache: write of ", path,
+                       " failed; retrying once"));
+            std::this_thread::sleep_for(kSaveRetryBackoff);
         }
+        const std::string tmp = msgOf(path, ".tmp.", ::getpid(), ".",
+                                      save_seq.fetch_add(1));
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        // Failpoint "evalcache-save-write": `error:1` fails exactly
+        // one attempt (the retry heals it); `crash-at-byte:N` dies
+        // mid-write, leaving the torn temp a crashed writer leaves.
+        bool ok = static_cast<bool>(out) &&
+                  failpointGuardedWrite(out, image,
+                                        "evalcache-save-write");
+        out.close();
+        ok = ok && static_cast<bool>(out) && syncFile(tmp) &&
+             std::rename(tmp.c_str(), path.c_str()) == 0;
+        if (!ok)
+            std::remove(tmp.c_str());
+        durable = ok;
     }
-    if (!syncFile(tmp) || std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+    if (!durable)
         return false;
-    }
     syncParentDir(path);
     return true;
 }

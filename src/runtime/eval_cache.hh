@@ -20,9 +20,14 @@
  * default, or the legacy text format (hexfloat-exact doubles) via
  * HIGHLIGHT_CACHE_FORMAT / --cache-format — and loads auto-detect the
  * format, so caches written in either interoperate. A file whose
- * version or key schema does not match — or that is truncated or
- * corrupted — is ignored wholesale; the cache starts cold, with a
- * warning (a missing file is the normal cold start and stays silent).
+ * version or key schema does not match is ignored wholesale; the
+ * cache starts cold, with a warning (a missing file is the normal
+ * cold start and stays silent). A *damaged* binary file — truncated
+ * or bit-flipped — is salvaged instead: every entry chunk whose
+ * checksums validate is merged in (warm-start), and the damaged file
+ * is quarantined to `<path>.corrupt.<pid>` for postmortem rather
+ * than silently overwritten. Text caches have no salvage redundancy
+ * and still cold-start.
  *
  * The file is safe to share between processes (sharded sweeps with
  * one warm cache): every save is a *locked merge-on-flush* — under an
@@ -130,6 +135,8 @@ class EvalCache
         Loaded,   ///< Entries merged in.
         NoFile,   ///< Nothing at the path; cold start.
         Rejected, ///< Corrupt / truncated / version mismatch; ignored.
+        Salvaged, ///< Damaged file: intact entries merged, file
+                  ///< quarantined to `<path>.corrupt.<pid>`.
     };
 
     EvalCache() = default;
@@ -189,14 +196,20 @@ class EvalCache
      * (this process's results are authoritative for what it
      * computed); since evaluation is a pure function of the key,
      * colliding values only ever differ across library versions,
-     * which the file version already fences. Any status other than
-     * Loaded leaves the cache untouched: NoFile when nothing is at
-     * the path, Rejected when a file is there but corrupt, truncated,
-     * or version/schema mismatched.
+     * which the file version already fences. NoFile (nothing at the
+     * path) and Rejected (version/schema mismatch, or an unsalvageable
+     * file) leave the cache untouched. A *damaged* binary container is
+     * salvaged rather than rejected: every entry chunk whose checksums
+     * validate merges in exactly as a Loaded file's entries would, the
+     * damaged file is renamed to `<path>.corrupt.<pid>` (so the next
+     * flush rebuilds a healthy file while the evidence survives for
+     * postmortem), a warning reports both counts, and the status is
+     * Salvaged. Salvage only ever recovers bit-exact entries — the
+     * checksums decide survival, never content.
      */
     LoadStatus load(const std::string &path);
 
-    /** load(path) == LoadStatus::Loaded. */
+    /** True when load(path) merged entries in (Loaded or Salvaged). */
     bool loadFile(const std::string &path);
 
     /**
@@ -213,7 +226,17 @@ class EvalCache
      * directory fsync. Returns false on lock or I/O failure — the
      * target file is never clobbered without the lock. The merge
      * re-read auto-detects the on-disk format, so a save can migrate
-     * a cache from one format to the other without losing entries.
+     * a cache from one format to the other without losing entries;
+     * a damaged on-disk file merges its salvageable entries (the
+     * rewrite heals it in place, no quarantine needed).
+     *
+     * Two crash-robustness duties run under the same lock: orphaned
+     * `<path>.tmp.<pid>.<seq>` files whose writer pid is dead are
+     * swept (a crashed writer's half-written temp would otherwise
+     * leak next to the cache forever), and a failed write attempt is
+     * retried once after a short backoff before the save reports
+     * failure — flushes are rare and losing a warm cache to a
+     * transient error is expensive.
      */
     bool saveFile(const std::string &path, ArtifactFormat format) const;
 

@@ -15,6 +15,10 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/failpoint.hh"
+#include "common/file_lock.hh"
 #include "core/evaluator.hh"
 #include "runtime/eval_cache.hh"
 
@@ -531,22 +535,43 @@ TEST(CachePersist, LoadDistinguishesMissingFromRejected)
 
     const Evaluator ev;
     TempFile bad_bin("load_bad_bin.evalcache");
+    std::string full_bytes;
     {
         EvalCache full;
         full.evaluate(ev.design("TC"), makeWorkload("w", 64));
         ASSERT_TRUE(
             full.saveFile(bad_bin.path, ArtifactFormat::Binary));
         std::ifstream in(bad_bin.path, std::ios::binary);
-        std::string content((std::istreambuf_iterator<char>(in)),
-                            std::istreambuf_iterator<char>());
-        in.close();
+        full_bytes.assign((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    }
+    // Cut down to the bare header, nothing survives to salvage:
+    // still Rejected, no quarantine, the cache untouched.
+    {
         std::ofstream out(bad_bin.path,
                           std::ios::trunc | std::ios::binary);
-        out << content.substr(0, content.size() - 7);
+        out << full_bytes.substr(0, 48);
     }
     EXPECT_EQ(cache.load(bad_bin.path),
               EvalCache::LoadStatus::Rejected);
     EXPECT_EQ(cache.size(), 0u);
+
+    // Missing only its footer, the same container *salvages*: the
+    // entry chunks are intact, so the load warm-starts from them and
+    // quarantines the damaged file instead of discarding the work.
+    {
+        std::ofstream out(bad_bin.path,
+                          std::ios::trunc | std::ios::binary);
+        out << full_bytes.substr(0, full_bytes.size() - 7);
+    }
+    const std::string quarantine =
+        bad_bin.path + ".corrupt." + std::to_string(::getpid());
+    EXPECT_EQ(cache.load(bad_bin.path),
+              EvalCache::LoadStatus::Salvaged);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(std::ifstream(quarantine).good());
+    EXPECT_FALSE(std::ifstream(bad_bin.path).good()); // moved aside
+    std::remove(quarantine.c_str());
 
     TempFile good("load_good.evalcache");
     {
@@ -625,6 +650,127 @@ TEST(CachePersist, MergeOnFlushUnionsAcrossMixedFormats)
     EvalCache all;
     ASSERT_TRUE(all.loadFile(file.path));
     EXPECT_EQ(all.size(), 3u);
+}
+
+/** A synthetic (Evaluator-free) result distinguishable by `salt`. */
+EvalResult
+syntheticResult(int salt)
+{
+    EvalResult r;
+    r.design = "TC";
+    r.workload = "synthetic " + std::to_string(salt);
+    r.supported = (salt % 7) != 3;
+    r.note = r.supported ? "" : "synthetic unsupported";
+    r.cycles = 1000.0 + salt;
+    r.clock_mhz = 940.0;
+    r.addEnergy("mac", 1.5 * salt);
+    r.addEnergy("sram", 0.25 * salt + 0.125);
+    return r;
+}
+
+TEST(CacheSalvage, DamagedBinaryWarmStartsAndQuarantines)
+{
+    TempFile file("salvage_warm.evalcache");
+    const std::string quarantine =
+        file.path + ".corrupt." + std::to_string(::getpid());
+    std::remove(quarantine.c_str());
+
+    // 40 entries = several 16-entry chunks, so a deep truncation
+    // still leaves whole intact chunks to warm-start from.
+    EvalCache writer;
+    for (int i = 0; i < 40; ++i)
+        writer.insert("key_" + std::to_string(i), syntheticResult(i));
+    ASSERT_TRUE(writer.saveFile(file.path, ArtifactFormat::Binary));
+    {
+        std::ifstream in(file.path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        in.close();
+        std::ofstream out(file.path,
+                          std::ios::trunc | std::ios::binary);
+        out << bytes.substr(0, bytes.size() * 6 / 10);
+    }
+
+    EvalCache cache;
+    EXPECT_EQ(cache.load(file.path), EvalCache::LoadStatus::Salvaged);
+    // Whole chunks, some but not all — and entry contents bit-exact
+    // (the file stores MRU first, so the most recent keys survive).
+    EXPECT_GT(cache.size(), 0u);
+    EXPECT_LT(cache.size(), 40u);
+    EXPECT_EQ(cache.size() % 16, 0u);
+    EvalResult r;
+    ASSERT_TRUE(cache.lookup("key_39", "w", &r));
+    expectBitIdentical(r, syntheticResult(39));
+
+    // The damaged file moved aside for postmortem; the next flush
+    // rebuilds a healthy cache at the original path.
+    EXPECT_TRUE(std::ifstream(quarantine).good());
+    EXPECT_FALSE(std::ifstream(file.path).good());
+    const std::size_t salvaged = cache.size();
+    ASSERT_TRUE(cache.saveFile(file.path));
+    EvalCache healed;
+    EXPECT_EQ(healed.load(file.path), EvalCache::LoadStatus::Loaded);
+    EXPECT_EQ(healed.size(), salvaged);
+    std::remove(quarantine.c_str());
+}
+
+TEST(CacheSalvage, SaveSweepsOrphanedTempsOfDeadWriters)
+{
+    TempFile file("sweep_orphans.evalcache");
+    // pid 999999999 exceeds every Linux pid_max: guaranteed dead. The
+    // live temp uses our own pid — a writer that is demonstrably
+    // alive — and must survive the sweep.
+    const std::string dead_tmp = file.path + ".tmp.999999999.0";
+    const std::string live_tmp =
+        file.path + ".tmp." + std::to_string(::getpid()) + ".7";
+    {
+        std::ofstream(dead_tmp) << "half-written wreckage";
+        std::ofstream(live_tmp) << "in-flight write";
+    }
+
+    EvalCache cache;
+    cache.insert("k", syntheticResult(1));
+    ASSERT_TRUE(cache.saveFile(file.path));
+    EXPECT_FALSE(std::ifstream(dead_tmp).good()) << "orphan not swept";
+    EXPECT_TRUE(std::ifstream(live_tmp).good())
+        << "live writer's temp must not be touched";
+    std::remove(live_tmp.c_str());
+}
+
+TEST(CacheSalvage, FlushRetriesOnceOnTransientWriteFailure)
+{
+    TempFile file("retry_flush.evalcache");
+    EvalCache cache;
+    cache.insert("k", syntheticResult(2));
+
+    // One transient fault: the in-flush retry absorbs it silently.
+    ::setenv("HIGHLIGHT_FAILPOINTS", "evalcache-save-write:error:1", 1);
+    failpointsReset();
+    EXPECT_TRUE(cache.saveFile(file.path));
+    EvalCache check;
+    EXPECT_TRUE(check.loadFile(file.path));
+    EXPECT_EQ(check.size(), 1u);
+
+    // A persistent fault defeats the single retry: the flush reports
+    // failure and the previous file contents stay untouched.
+    ::setenv("HIGHLIGHT_FAILPOINTS", "evalcache-save-write:error", 1);
+    failpointsReset();
+    cache.insert("k2", syntheticResult(3));
+    EXPECT_FALSE(cache.saveFile(file.path));
+    EvalCache old;
+    EXPECT_TRUE(old.loadFile(file.path));
+    EXPECT_EQ(old.size(), 1u);
+
+    // The pre-lock site fails the whole flush before it touches
+    // anything — no lockfile litter afterwards.
+    ::setenv("HIGHLIGHT_FAILPOINTS", "evalcache-save:error", 1);
+    failpointsReset();
+    EXPECT_FALSE(cache.saveFile(file.path));
+    EXPECT_FALSE(
+        std::ifstream(FileLock::lockPathFor(file.path)).good());
+
+    ::unsetenv("HIGHLIGHT_FAILPOINTS");
+    failpointsReset();
 }
 
 TEST(CacheConfig, FromEnvReadsCacheFormat)

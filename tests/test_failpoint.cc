@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Failpoint subsystem semantics: the grammar, the deterministic
+ * actions, counted transient faults, and the guarded-write torn-file
+ * behavior. These are the properties every fault-injection test in
+ * the repo (cache salvage, supervisor retry, compare_faults.cmake)
+ * builds on, so they get direct coverage — including the two
+ * process-killing actions, via gtest death tests asserting the
+ * distinct kFailpointCrashExit code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/failpoint.hh"
+#include "common/file_lock.hh"
+
+namespace highlight
+{
+namespace
+{
+
+/** Every test owns HIGHLIGHT_FAILPOINTS for its duration and hands
+ *  back a disarmed registry, so test order can never leak a fault
+ *  plan into an unrelated test. */
+class Failpoint : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disarm(); }
+    void TearDown() override { disarm(); }
+
+    static void arm(const char *spec)
+    {
+        ::setenv("HIGHLIGHT_FAILPOINTS", spec, 1);
+        failpointsReset();
+    }
+
+    static void disarm()
+    {
+        ::unsetenv("HIGHLIGHT_FAILPOINTS");
+        failpointsReset();
+    }
+};
+
+TEST_F(Failpoint, DisarmedSitesNeverFire)
+{
+    EXPECT_FALSE(failpointsArmed());
+    EXPECT_EQ(failpointHit("anything").kind, FailpointHit::Kind::None);
+    EXPECT_FALSE(failpointFails("anything"));
+
+    // A disarmed guarded write is a plain write.
+    std::ostringstream out;
+    EXPECT_TRUE(failpointGuardedWrite(out, "payload", "anything"));
+    EXPECT_EQ(out.str(), "payload");
+}
+
+TEST_F(Failpoint, ErrorFiresOnlyAtItsNamedSite)
+{
+    arm("site-a:error");
+    EXPECT_TRUE(failpointsArmed());
+    EXPECT_TRUE(failpointFails("site-a"));
+    EXPECT_TRUE(failpointFails("site-a")); // uncounted: fires forever
+    EXPECT_FALSE(failpointFails("site-b"));
+}
+
+TEST_F(Failpoint, CountedErrorModelsTransientFaults)
+{
+    // error:2 = "the first two attempts fail, then the fault clears"
+    // — precisely the shape retry logic must absorb.
+    arm("flaky:error:2");
+    EXPECT_TRUE(failpointFails("flaky"));
+    EXPECT_TRUE(failpointFails("flaky"));
+    EXPECT_FALSE(failpointFails("flaky"));
+    EXPECT_FALSE(failpointFails("flaky"));
+}
+
+TEST_F(Failpoint, MultipleClausesArmIndependently)
+{
+    arm("one:error,two:error:1");
+    EXPECT_TRUE(failpointFails("one"));
+    EXPECT_TRUE(failpointFails("two"));
+    EXPECT_FALSE(failpointFails("two")); // its count is spent
+    EXPECT_TRUE(failpointFails("one"));  // unaffected by two's count
+}
+
+TEST_F(Failpoint, MalformedClausesAreIgnoredNotFatal)
+{
+    // A typo'd clause must not disable the well-formed ones around it
+    // (nor crash the process reading the env).
+    arm("nonsense,bad:error:0,also:bogus-action,good:error");
+    EXPECT_TRUE(failpointFails("good"));
+    EXPECT_FALSE(failpointFails("bad"));     // error:0 is malformed
+    EXPECT_FALSE(failpointFails("also"));
+    EXPECT_FALSE(failpointFails("nonsense"));
+}
+
+TEST_F(Failpoint, DelaySleepsThenProceeds)
+{
+    arm("slow:delay:30");
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(failpointHit("slow").kind, FailpointHit::Kind::None);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST_F(Failpoint, ResetReparsesTheEnvironment)
+{
+    arm("site:error");
+    EXPECT_TRUE(failpointFails("site"));
+    disarm();
+    EXPECT_FALSE(failpointFails("site"));
+    arm("site:error");
+    EXPECT_TRUE(failpointFails("site"));
+}
+
+TEST_F(Failpoint, GuardedWriteErrorLeavesStreamUntouched)
+{
+    arm("w:error:1");
+    std::ostringstream out;
+    EXPECT_FALSE(failpointGuardedWrite(out, "payload", "w"));
+    EXPECT_EQ(out.str(), ""); // a failed write must not emit bytes
+    // The counted fault is spent: the retry succeeds in full.
+    EXPECT_TRUE(failpointGuardedWrite(out, "payload", "w"));
+    EXPECT_EQ(out.str(), "payload");
+}
+
+using FailpointDeath = Failpoint;
+
+TEST_F(FailpointDeath, CrashExitsWithTheDistinctCode)
+{
+    EXPECT_EXIT(
+        {
+            arm("boom:crash");
+            failpointHit("boom");
+        },
+        ::testing::ExitedWithCode(kFailpointCrashExit), "failpoint");
+}
+
+TEST_F(FailpointDeath, CrashAtByteLeavesExactlyTheTornPrefix)
+{
+    const std::string path =
+        ::testing::TempDir() + "failpoint_torn.bin";
+    std::remove(path.c_str());
+    // The child writes through the guarded site and dies mid-write;
+    // the parent then inspects the wreckage — a torn write must leave
+    // exactly the first N bytes, flushed, nothing more.
+    EXPECT_EXIT(
+        {
+            arm("torn:crash-at-byte:5");
+            std::ofstream out(path, std::ios::binary);
+            failpointGuardedWrite(out, "0123456789", "torn");
+        },
+        ::testing::ExitedWithCode(kFailpointCrashExit), "failpoint");
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string left((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(left, "01234");
+    std::remove(path.c_str());
+}
+
+TEST_F(Failpoint, FileLockAcquireSiteFailsAnUncontendedLock)
+{
+    // The lock is free — only the failpoint stands between acquire()
+    // and success. This is the hook cache-flush failure tests use
+    // without manufacturing real cross-process contention.
+    const std::string lock_path =
+        ::testing::TempDir() + "failpoint_lock.lock";
+    std::remove(lock_path.c_str());
+
+    arm("filelock-acquire:error:1");
+    FileLock lock(lock_path);
+    EXPECT_FALSE(lock.acquire());
+    EXPECT_FALSE(lock.held());
+    // Fault spent: the same lock now acquires normally.
+    EXPECT_TRUE(lock.acquire());
+    lock.release();
+}
+
+} // namespace
+} // namespace highlight

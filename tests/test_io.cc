@@ -201,6 +201,171 @@ TEST(ArtifactFile, ChecksumChangesOnSingleBitFlips)
     }
 }
 
+// --------------------------------------------------------------- salvage
+
+std::uint64_t
+u64At(const std::string &buf, std::size_t pos)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[pos + i]))
+             << (8 * i);
+    return v;
+}
+
+/** Where each dataset's frame + payload lives, recomputed from the
+ *  documented layout (not from the salvage code under test): frame =
+ *  magic(8) type(8) count(8) size(8) checksum(8) name_len(8) name
+ *  (8-padded) frame-checksum(8), then the payload. */
+struct FrameSpan
+{
+    std::string name;
+    std::size_t payload_at = 0;
+    std::size_t payload_end = 0; ///< First byte past the payload.
+};
+
+std::vector<FrameSpan>
+frameSpans(const std::string &bytes)
+{
+    const char magic[8] = {'H', 'L', 'A', 'R', 'T', 'D', 'S', '\n'};
+    std::vector<FrameSpan> spans;
+    for (std::size_t pos = 0; pos + 56 <= bytes.size(); pos += 8) {
+        if (std::memcmp(bytes.data() + pos, magic, 8) != 0)
+            continue;
+        const std::uint64_t size = u64At(bytes, pos + 24);
+        const std::uint64_t name_len = u64At(bytes, pos + 40);
+        FrameSpan s;
+        s.name = bytes.substr(pos + 48,
+                              static_cast<std::size_t>(name_len));
+        const std::size_t padded_name =
+            static_cast<std::size_t>((name_len + 7) & ~7ull);
+        s.payload_at = pos + 48 + padded_name + 8;
+        s.payload_end = s.payload_at + static_cast<std::size_t>(size);
+        spans.push_back(s);
+        // Skip past the payload so magic-looking payload bytes cannot
+        // register as phantom frames in this ground-truth scan.
+        pos = ((s.payload_end + 7) & ~7ull) - 8;
+    }
+    return spans;
+}
+
+/** Every dataset salvage exposed must be bit-exact; a dataset it did
+ *  not recover must be wholly absent (nullptr), never partial. */
+void
+expectSalvagedBitExact(const ArtifactReader &r)
+{
+    if (const auto *ids = r.u64("ids"))
+        EXPECT_EQ(*ids, (std::vector<std::uint64_t>{
+                            0, 1, 0xffffffffffffffffull, 42}));
+    if (const auto *vals = r.f64("vals"))
+        EXPECT_EQ(*vals, (std::vector<double>{0.0, -1.5, 1e300, 0.1}));
+    if (const auto *names = r.str("names"))
+        EXPECT_EQ(*names, (std::vector<std::string>{
+                              "", std::string("nul\0byte", 8),
+                              "line\nbreak", "quote\"back\\slash",
+                              "caf\xc3\xa9"}));
+    if (const auto *empty_u64 = r.u64("empty_u64"))
+        EXPECT_TRUE(empty_u64->empty());
+    if (const auto *empty_str = r.str("empty_str"))
+        EXPECT_TRUE(empty_str->empty());
+}
+
+TEST(ArtifactSalvage, IntactFileSalvagesEveryDataset)
+{
+    const std::string bytes = sampleWriter().bytes();
+    ArtifactReader r;
+    EXPECT_EQ(r.salvage(bytes, "sample", 7), 5u);
+    expectSampleContents(r); // full strict contents, not a subset
+}
+
+TEST(ArtifactSalvage, TruncationRecoversExactlyTheIntactDatasets)
+{
+    // The central salvage property, swept at *every* byte boundary: a
+    // prefix of the file yields exactly the datasets whose frame and
+    // payload fit inside it — no fewer (intact data is never
+    // forfeited), no more (a cut payload is never exposed), and what
+    // is recovered is bit-exact.
+    const std::string bytes = sampleWriter().bytes();
+    const auto spans = frameSpans(bytes);
+    const std::vector<std::string> order = {"ids", "vals", "names",
+                                            "empty_u64", "empty_str"};
+    ASSERT_EQ(spans.size(), order.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        ASSERT_EQ(spans[i].name, order[i]);
+
+    for (std::size_t n = 0; n <= bytes.size(); ++n) {
+        std::size_t intact = 0;
+        while (intact < spans.size() &&
+               spans[intact].payload_end <= n)
+            ++intact;
+        ArtifactReader r;
+        ASSERT_EQ(r.salvage(bytes.substr(0, n), "sample", 7), intact)
+            << "prefix of " << n << " bytes";
+        EXPECT_EQ(r.names(),
+                  std::vector<std::string>(order.begin(),
+                                           order.begin() +
+                                               static_cast<long>(
+                                                   intact)));
+        expectSalvagedBitExact(r);
+    }
+}
+
+TEST(ArtifactSalvage, FlippedBytesNeverYieldCorruptData)
+{
+    // Whatever a single flipped byte does — kill the header, a frame,
+    // a payload, or nothing (directory/footer bytes, which salvage
+    // ignores) — every dataset salvage still exposes must be
+    // bit-exact. Corruption may cost data; it may never alter it.
+    const std::string bytes = sampleWriter().bytes();
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::string flipped = bytes;
+        flipped[i] = static_cast<char>(flipped[i] ^ 0x41);
+        ArtifactReader r;
+        EXPECT_LE(r.salvage(flipped, "sample", 7), 5u);
+        expectSalvagedBitExact(r);
+    }
+}
+
+TEST(ArtifactSalvage, DamageInTheMiddleDoesNotForfeitLaterDatasets)
+{
+    // The reason frames exist at all: a directory-driven reader loses
+    // the whole file to one bad byte; the frame scan steps over the
+    // damaged dataset and keeps everything behind it.
+    const std::string bytes = sampleWriter().bytes();
+    const auto spans = frameSpans(bytes);
+    ASSERT_EQ(spans.size(), 5u);
+    ASSERT_GT(spans[1].payload_end, spans[1].payload_at); // "vals"
+
+    std::string damaged = bytes;
+    damaged[spans[1].payload_at] =
+        static_cast<char>(damaged[spans[1].payload_at] ^ 0x41);
+    ArtifactReader r;
+    EXPECT_EQ(r.salvage(damaged, "sample", 7), 4u);
+    EXPECT_EQ(r.names(), (std::vector<std::string>{
+                             "ids", "names", "empty_u64", "empty_str"}));
+    EXPECT_EQ(r.f64("vals"), nullptr);
+    expectSalvagedBitExact(r);
+}
+
+TEST(ArtifactSalvage, ForeignSchemaSalvagesNothing)
+{
+    // With the directory gone the header is the only statement of
+    // what the file is; salvage must refuse to resurrect datasets
+    // from a container of the wrong kind or version — well-checksummed
+    // bytes with the wrong meaning are corruption with extra steps.
+    const std::string bytes = sampleWriter().bytes();
+    ArtifactReader r;
+    EXPECT_EQ(r.salvage(bytes, "other", 7), 0u);
+    EXPECT_EQ(r.salvage(bytes, "sample", 8), 0u);
+    EXPECT_EQ(r.salvage("", "sample", 7), 0u);
+    EXPECT_EQ(r.salvage("highlight-evalcache v1\n0\n", "sample", 7),
+              0u);
+
+    TempFile missing("salvage_missing.bin");
+    EXPECT_EQ(r.salvageFile(missing.path, "sample", 7), 0u);
+}
+
 // ----------------------------------------------------------------- cache
 
 /** The two golden entries, exactly as the pre-io EvalCache persisted
@@ -359,6 +524,77 @@ TEST(CacheCodec, ReadDistinguishesMissingFromRejected)
     EXPECT_EQ(readCacheFile(truncated.path, &out),
               CacheReadStatus::Rejected);
     EXPECT_TRUE(out.empty());
+}
+
+/** `n` distinct entries spanning several 16-entry codec chunks. */
+std::vector<CacheFileEntry>
+syntheticEntries(int n)
+{
+    std::vector<CacheFileEntry> entries;
+    for (int i = 0; i < n; ++i) {
+        CacheFileEntry e;
+        e.key = "k|synthetic|" + std::to_string(i);
+        e.result.design = i % 2 ? "TC" : "HighLight";
+        e.result.workload = "wl " + std::to_string(i);
+        e.result.supported = (i % 5) != 3;
+        e.result.note = e.result.supported ? "" : "synthetic unsupported";
+        e.result.cycles = 100.0 + i * 0.5;
+        e.result.clock_mhz = 940.0;
+        e.result.addEnergy("mac", 0.25 * i);
+        if (i % 3 == 0)
+            e.result.area_um2.push_back({"pe grid", 1.0 + i});
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+TEST(CacheCodec, SalvageRecoversWholeChunksFromTruncatedFiles)
+{
+    // 40 entries = chunks of 16 + 16 + 8. Salvage works in whole
+    // chunks: a truncated file yields a chunk-aligned *prefix* of the
+    // entries (a chunk missing any of its columns is dropped whole),
+    // every recovered entry bit-exact. Swept across truncation points
+    // at a prime stride so every alignment class is hit.
+    const auto entries = syntheticEntries(40);
+    std::ostringstream encoded;
+    ASSERT_TRUE(writeCacheEntries(encoded, entries,
+                                  ArtifactFormat::Binary));
+    const std::string bytes = encoded.str();
+    TempFile file("codec_salvage.evalcache");
+
+    std::size_t prev = 0;
+    for (std::size_t n = 0; n <= bytes.size();
+         n = n == bytes.size() ? n + 1 : std::min(n + 7, bytes.size())) {
+        writeBytes(file.path, bytes.substr(0, n));
+        std::vector<CacheFileEntry> recovered;
+        const std::size_t got = salvageCacheFile(file.path, &recovered);
+        ASSERT_EQ(got, recovered.size());
+        ASSERT_TRUE(got == 0 || got == 16 || got == 32 || got == 40)
+            << "non-chunk-aligned salvage of " << got << " entries at "
+            << n << " bytes";
+        ASSERT_GE(got, prev) << "salvage went backwards at " << n;
+        prev = got;
+        expectEntriesEqual(
+            recovered,
+            std::vector<CacheFileEntry>(entries.begin(),
+                                        entries.begin() +
+                                            static_cast<long>(got)));
+    }
+    EXPECT_EQ(prev, 40u); // the intact file salvages everything
+
+    // Deep truncation still warm-starts: 60% of the file must retain
+    // at least the first chunk (the value proposition of salvage over
+    // the strict reader's wholesale rejection).
+    writeBytes(file.path, bytes.substr(0, bytes.size() * 6 / 10));
+    std::vector<CacheFileEntry> partial;
+    EXPECT_GE(salvageCacheFile(file.path, &partial), 16u);
+
+    // Text caches have no frames: salvage refuses, never misparses.
+    TempFile text("codec_salvage.text.evalcache");
+    writeBytes(text.path, kGoldenTextCache);
+    std::vector<CacheFileEntry> none;
+    EXPECT_EQ(salvageCacheFile(text.path, &none), 0u);
+    EXPECT_TRUE(none.empty());
 }
 
 // ----------------------------------------------------------------- bench
