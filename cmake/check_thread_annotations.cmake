@@ -1,0 +1,51 @@
+# Negative-compile proof that the thread-safety annotations are live.
+#
+# Run as a ctest (registered only for Clang builds):
+#   cmake -DCOMPILER=<clang++> -DSRC_DIR=<repo>/src
+#         -DPOSITIVE=<...>/positive.cc -DNEGATIVE=<...>/negative.cc
+#         -P check_thread_annotations.cmake
+#
+# Two assertions:
+#  1. positive.cc (disciplined locking) compiles cleanly under
+#     -Werror=thread-safety — the harness itself works;
+#  2. negative.cc (an unguarded write to a GUARDED_BY member) FAILS,
+#     and the diagnostic mentions the thread-safety analysis — the
+#     failure is the capability check, not some unrelated error.
+
+foreach(var COMPILER SRC_DIR POSITIVE NEGATIVE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_thread_annotations: ${var} not set")
+  endif()
+endforeach()
+
+set(FLAGS -std=c++17 -fsyntax-only -Wthread-safety
+    -Werror=thread-safety -I${SRC_DIR})
+
+execute_process(
+  COMMAND ${COMPILER} ${FLAGS} ${POSITIVE}
+  RESULT_VARIABLE positive_status
+  ERROR_VARIABLE positive_err)
+if(NOT positive_status EQUAL 0)
+  message(FATAL_ERROR
+          "positive.cc must compile under -Werror=thread-safety but "
+          "failed — the check harness is broken:\n${positive_err}")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${FLAGS} ${NEGATIVE}
+  RESULT_VARIABLE negative_status
+  ERROR_VARIABLE negative_err)
+if(negative_status EQUAL 0)
+  message(FATAL_ERROR
+          "negative.cc compiled cleanly: the unguarded GUARDED_BY "
+          "write was NOT rejected — the thread-safety annotations "
+          "are inert")
+endif()
+if(NOT negative_err MATCHES "thread-safety|guarded_by|guarded by")
+  message(FATAL_ERROR
+          "negative.cc failed for the wrong reason (expected a "
+          "thread-safety diagnostic):\n${negative_err}")
+endif()
+
+message(STATUS "thread-safety annotations verified live: unguarded "
+               "access rejected, disciplined access accepted")

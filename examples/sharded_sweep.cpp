@@ -145,37 +145,10 @@ launchShard(const std::string &driver, const ShardState &shard,
             int shards, const std::string &cache_file,
             const std::string &cache_format, const std::string &threads)
 {
-    const pid_t pid = ::fork();
-    if (pid != 0)
-        return pid;
-
-    // Child. Retried launches drop the injected-fault plan before
-    // anything can consult it: failpoints model transient
-    // first-attempt faults (a persistent fault would defeat any retry
-    // policy), and the exec'd driver inherits the cleaned
-    // environment.
-    if (shard.attempts > 1)
-        ::unsetenv("HIGHLIGHT_FAILPOINTS");
-
-    // Capture output per shard so the supervisor's own stdout stays a
-    // readable summary (and so a warm-run checker can grep each
-    // shard's hit-rate line). Opened before the failpoint so an
-    // injected startup crash is attributable from the log.
-    const int fd = ::open(shard.log.c_str(),
-                          O_CREAT | O_TRUNC | O_WRONLY, 0644);
-    if (fd >= 0) {
-        ::dup2(fd, STDOUT_FILENO);
-        ::dup2(fd, STDERR_FILENO);
-        ::close(fd);
-    }
-
-    // Failpoint "shard-start": crash/hang/delay between fork and exec
-    // — the supervisor-facing fault surface (a shard that dies before
-    // doing any work, or never starts doing it). An `error` action
-    // maps to a failed startup.
-    if (failpointHit("shard-start").kind != FailpointHit::Kind::None)
-        ::_exit(kFailpointCrashExit);
-
+    // Build the argv before forking: between fork and exec only
+    // async-signal-safe calls are allowed (open/dup2/execv/_exit —
+    // no allocation, no iostreams, no locale machinery), so all the
+    // string assembly happens on the parent side of the fork.
     const std::string shard_arg = std::to_string(shard.index) + "/" +
                                   std::to_string(shards);
     std::vector<std::string> args = {driver,
@@ -197,12 +170,51 @@ launchShard(const std::string &driver, const ShardState &shard,
         args.push_back("--threads");
         args.push_back(threads);
     }
-    std::vector<char *> argv;
+    std::vector<char *> child_argv;
+    child_argv.reserve(args.size() + 1);
     for (auto &a : args)
-        argv.push_back(a.data());
-    argv.push_back(nullptr);
-    ::execv(driver.c_str(), argv.data());
-    std::cerr << "sharded_sweep: cannot exec " << driver << "\n";
+        child_argv.push_back(a.data());
+    child_argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+
+    // Child. Retried launches drop the injected-fault plan before
+    // anything can consult it: failpoints model transient
+    // first-attempt faults (a persistent fault would defeat any retry
+    // policy), and the exec'd driver inherits the cleaned
+    // environment.
+    if (shard.attempts > 1) {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded
+        // child between fork and exec; nothing reads the environment
+        // concurrently.
+        ::unsetenv("HIGHLIGHT_FAILPOINTS");
+    }
+
+    // Capture output per shard so the supervisor's own stdout stays a
+    // readable summary (and so a warm-run checker can grep each
+    // shard's hit-rate line). Opened before the failpoint so an
+    // injected startup crash is attributable from the log.
+    const int fd = ::open(shard.log.c_str(),
+                          O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+    }
+
+    // Failpoint "shard-start": crash/hang/delay between fork and exec
+    // — the supervisor-facing fault surface (a shard that dies before
+    // doing any work, or never starts doing it). An `error` action
+    // maps to a failed startup.
+    if (failpointHit("shard-start").kind != FailpointHit::Kind::None)
+        ::_exit(kFailpointCrashExit);
+
+    ::execv(driver.c_str(), child_argv.data());
+    // exec failed; stay async-signal-safe (no iostreams after fork).
+    const char msg[] = "sharded_sweep: cannot exec driver\n";
+    ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
     ::_exit(127);
 }
 
@@ -234,7 +246,16 @@ main(int argc, char **argv)
     const std::string threads = optionValue(argc, argv, "--threads");
     std::string workdir = optionValue(argc, argv, "--workdir");
     const std::string shards_s = optionValue(argc, argv, "--shards");
-    const int shards = shards_s.empty() ? 2 : std::atoi(shards_s.c_str());
+    // Strict parse (shared with HIGHLIGHT_THREADS): atoi("2x") would
+    // silently run 2 shards and a huge typo would fork-bomb. Junk
+    // falls through as 0 and fails the usage check below.
+    long long shards_ll = 0;
+    if (shards_s.empty())
+        shards_ll = 2;
+    else if (!parsePositiveInt(shards_s.c_str(), /*max_value=*/4096,
+                               &shards_ll))
+        shards_ll = 0;
+    const int shards = static_cast<int>(shards_ll);
     const std::string retries_s = optionValue(argc, argv, "--max-retries");
     const std::string timeout_s =
         optionValue(argc, argv, "--shard-timeout");

@@ -77,4 +77,15 @@ choiceFromEnv(const char *name, const char *const *choices, int count,
     return fallback;
 }
 
+std::string
+stringFromEnv(const char *name)
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): getenv is only unsafe
+    // against a concurrent setenv; the runtime never calls setenv
+    // after main() starts (sharded_sweep mutates the environment only
+    // in the single-threaded child between fork and exec).
+    const char *s = std::getenv(name);
+    return s == nullptr ? std::string() : std::string(s);
+}
+
 } // namespace highlight

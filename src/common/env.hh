@@ -14,6 +14,8 @@
 #ifndef HIGHLIGHT_COMMON_ENV_HH
 #define HIGHLIGHT_COMMON_ENV_HH
 
+#include <string>
+
 namespace highlight
 {
 
@@ -51,6 +53,16 @@ int parseChoice(const char *s, const char *const *choices, int count);
  */
 int choiceFromEnv(const char *name, const char *const *choices,
                   int count, int fallback);
+
+/**
+ * Read environment variable `name` as a string; "" when unset. The
+ * returned copy is immune to a later setenv() invalidating the
+ * getenv() pointer, which is why raw std::getenv() elsewhere in the
+ * tree is a determinism-lint violation (rule no-raw-env): every env
+ * read goes through this file, where the single lint-allowed getenv
+ * lives.
+ */
+std::string stringFromEnv(const char *name);
 
 } // namespace highlight
 

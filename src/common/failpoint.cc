@@ -4,16 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
-#include <mutex>
 #include <ostream>
 #include <thread>
 #include <vector>
 
 #include <unistd.h>
 
+#include "common/env.hh"
 #include "common/logging.hh"
+#include "common/mutex.hh"
 
 namespace highlight
 {
@@ -40,8 +40,8 @@ struct Site
 
 struct Registry
 {
-    std::mutex mu;
-    std::vector<Site> sites;
+    Mutex mu;
+    std::vector<Site> sites GUARDED_BY(mu);
     /** -1 env not parsed yet, 0 disarmed, 1 at least one site armed. */
     std::atomic<int> state{-1};
 };
@@ -127,12 +127,11 @@ parseClause(const std::string &clause, Site *out)
 }
 
 void
-parseEnvLocked(Registry &r)
+parseEnvLocked(Registry &r) REQUIRES(r.mu)
 {
     r.sites.clear();
-    const char *env = std::getenv("HIGHLIGHT_FAILPOINTS");
-    if (env != nullptr && *env != '\0') {
-        const std::string spec(env);
+    const std::string spec = stringFromEnv("HIGHLIGHT_FAILPOINTS");
+    if (!spec.empty()) {
         std::size_t begin = 0;
         while (begin <= spec.size()) {
             const std::size_t comma = spec.find(',', begin);
@@ -171,7 +170,7 @@ failpointsArmed()
     Registry &r = registry();
     int state = r.state.load(std::memory_order_acquire);
     if (state < 0) {
-        std::lock_guard<std::mutex> lock(r.mu);
+        MutexLock lock(r.mu);
         state = r.state.load(std::memory_order_relaxed);
         if (state < 0) {
             parseEnvLocked(r);
@@ -191,7 +190,7 @@ failpointHit(const char *site)
     Action action;
     std::uint64_t arg = 0;
     {
-        std::lock_guard<std::mutex> lock(r.mu);
+        MutexLock lock(r.mu);
         Site *found = nullptr;
         for (Site &s : r.sites) {
             if (s.name == site) {
@@ -260,7 +259,7 @@ void
 failpointsReset()
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     r.sites.clear();
     r.state.store(-1, std::memory_order_release);
 }

@@ -36,6 +36,8 @@
 #include <chrono>
 #include <string>
 
+#include "common/thread_annotations.hh"
+
 namespace highlight
 {
 
@@ -60,8 +62,20 @@ struct FileLockConfig
 /**
  * One advisory lockfile. Movable-from-nothing: each instance either
  * holds its lock or does not; copying is disabled.
+ *
+ * Annotation note: the class is declared a CAPABILITY so the type
+ * reads as a lock in call signatures, but acquire()/release() are
+ * deliberately *not* ACQUIRE/RELEASE-annotated. Clang's analysis
+ * cannot soundly model this discipline: acquire() is fallible (the
+ * caller branches on the result, which only TRY_ACQUIRE on a scoped
+ * type expresses), the destructor conditionally releases only when
+ * held, and the capability guards cross-process file state rather
+ * than any member the analysis could track. Mis-annotating would
+ * produce warnings on every correct call site and silence on the
+ * incorrect ones. The locking protocol is instead covered dynamically
+ * by test_lock's two-process stampede tests.
  */
-class FileLock
+class CAPABILITY("filelock") FileLock
 {
   public:
     /** Does not acquire; `path` is the lockfile itself (see

@@ -74,9 +74,12 @@ Evaluator::runner() const
     // Lazy so the worker count reflects the global pool (and thus any
     // --serial / HIGHLIGHT_THREADS pin) at first use, not at
     // construction.
-    std::lock_guard<std::mutex> lock(runner_mu_);
+    MutexLock lock(runner_mu_);
     if (!runner_)
         runner_ = std::make_unique<BatchRunner>(&cache_);
+    // Dereferenced under the lock; the BatchRunner itself is
+    // internally synchronized, so handing out the reference is safe
+    // once the unique_ptr is populated (it is never reset).
     return *runner_;
 }
 

@@ -14,12 +14,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "accel/harness.hh"
 #include "accuracy/accuracy_model.hh"
+#include "common/mutex.hh"
 #include "dnn/layer.hh"
 #include "runtime/batch_runner.hh"
 
@@ -181,8 +181,8 @@ class Evaluator
 
     std::vector<std::unique_ptr<Accelerator>> owned_;
     mutable EvalCache cache_;
-    mutable std::mutex runner_mu_; ///< Guards runner_ creation.
-    mutable std::unique_ptr<BatchRunner> runner_;
+    mutable Mutex runner_mu_; ///< Guards runner_ creation.
+    mutable std::unique_ptr<BatchRunner> runner_ GUARDED_BY(runner_mu_);
 };
 
 } // namespace highlight

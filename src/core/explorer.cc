@@ -1,7 +1,6 @@
 #include "core/explorer.hh"
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 #include <optional>
 #include <unordered_map>
@@ -9,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/mutex.hh"
 #include "runtime/thread_pool.hh"
 
 namespace highlight
@@ -114,14 +114,14 @@ DesignSpaceExplorer::analyzeMany(
         &on_report) const
 {
     std::vector<HssDesignReport> out(configs.size());
-    std::mutex report_mu;
+    Mutex report_mu;
     ThreadPool::global().parallelFor(
         configs.size(),
         [&](std::size_t i) {
             out[i] = analyze(configs[i]);
             // Stream the landed report; serialized so callbacks never
             // overlap even though their order is scheduling-dependent.
-            std::lock_guard<std::mutex> lock(report_mu);
+            MutexLock lock(report_mu);
             on_report(i, out[i]);
         },
         1);
@@ -260,6 +260,8 @@ DesignSpaceExplorer::paretoSweep(
         st.done = true;
         out.stats.jobs_skipped +=
             candidates[ci].jobs.size() - st.submitted;
+        // lint-allow(no-unordered-iter): cancel() retires each ticket
+        // independently; counters and results are order-invariant.
         for (const auto t : st.outstanding)
             service.cancel(t);
         st.outstanding.clear();
@@ -366,6 +368,8 @@ DesignSpaceExplorer::paretoSweep(
         // a single bad layer cannot leak foreign tickets into the
         // evaluator's shared persistent service.
         for (auto &st : state) {
+            // lint-allow(no-unordered-iter): order-invariant — every
+            // ticket is cancelled regardless of visit order.
             for (const auto t : st.outstanding)
                 service.cancel(t);
             st.outstanding.clear();

@@ -57,8 +57,7 @@ EvalCacheConfig::fromEnv()
         "HIGHLIGHT_CACHE_CAP",
         /*max_value=*/std::numeric_limits<long long>::max(),
         /*fallback=*/0));
-    if (const char *file = std::getenv("HIGHLIGHT_CACHE_FILE"))
-        cfg.file = file;
+    cfg.file = stringFromEnv("HIGHLIGHT_CACHE_FILE");
     cfg.format = cacheFormatFromEnv();
     return cfg;
 }
@@ -115,7 +114,7 @@ bool
 EvalCache::lookup(const std::string &key, const std::string &workload_name,
                   EvalResult *out)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it == map_.end()) {
         ++stats_.misses;
@@ -132,7 +131,7 @@ EvalCache::lookup(const std::string &key, const std::string &workload_name,
 void
 EvalCache::insert(const std::string &key, const EvalResult &r)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (map_.find(key) != map_.end())
         return; // first insertion wins
     lru_.push_front(Entry{key, r});
@@ -144,21 +143,21 @@ EvalCache::insert(const std::string &key, const EvalResult &r)
 void
 EvalCache::noteHit()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.hits;
 }
 
 std::size_t
 EvalCache::capacity() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return capacity_;
 }
 
 void
 EvalCache::setCapacity(std::size_t capacity)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     capacity_ = capacity;
     evictOverCapacityLocked();
 }
@@ -221,7 +220,7 @@ EvalCache::load(const std::string &path)
         break;
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // The file stores entries hot-first; appending in file order keeps
     // that recency ranking for entries not already resident. A key
     // already resident is skipped: resident wins, by contract (see
@@ -358,27 +357,37 @@ EvalCache::saveFile(const std::string &path, ArtifactFormat format) const
         isArtifactFile(path))
         salvageCacheFile(path, &disk);
 
-    std::lock_guard<std::mutex> mu(mu_);
-    // Resident wins on collisions (load's precedence, mirrored): the
-    // written file is every resident entry MRU-first, then the
-    // on-disk entries whose keys are not resident, in file order,
-    // ranked colder than every resident entry.
-    std::vector<const Entry *> merged;
-    merged.reserve(lru_.size() + disk.size());
-    for (const auto &e : lru_)
-        merged.push_back(&e);
-    for (const auto &e : disk) {
-        if (map_.find(e.key) == map_.end())
+    // Serialize once, up front and *under mu_*: the merged view holds
+    // pointers into lru_, so encoding must finish before another
+    // thread can evict. The resulting byte image is self-contained,
+    // which lets mu_ drop before the write loop below — holding an
+    // in-process mutex across fsync, rename, and a 25ms retry backoff
+    // would stall every concurrent lookup for the whole flush (the
+    // cross-process FileLock stays held; only mu_ is released).
+    std::string image;
+    {
+        MutexLock mu(mu_);
+        // Resident wins on collisions (load's precedence, mirrored):
+        // the written file is every resident entry MRU-first, then the
+        // on-disk entries whose keys are not resident, in file order,
+        // ranked colder than every resident entry.
+        std::vector<const Entry *> merged;
+        merged.reserve(lru_.size() + disk.size());
+        for (const auto &e : lru_)
             merged.push_back(&e);
-    }
+        for (const auto &e : disk) {
+            if (map_.find(e.key) == map_.end())
+                merged.push_back(&e);
+        }
 
-    // Serialize once, up front: if the first write attempt fails the
-    // retry must emit identical bytes, and an encoding failure is not
-    // worth retrying at all.
-    std::ostringstream encoded;
-    if (!writeCacheEntries(encoded, merged, format))
-        return false;
-    const std::string image = encoded.str();
+        // If the first write attempt fails the retry must emit
+        // identical bytes, and an encoding failure is not worth
+        // retrying at all.
+        std::ostringstream encoded;
+        if (!writeCacheEntries(encoded, merged, format))
+            return false;
+        image = encoded.str();
+    }
 
     // Write to a temp file in the same directory, then fsync and
     // atomically rename over the target: a crash mid-write can never
@@ -430,34 +439,30 @@ EvalCache::saveFile(const std::string &path) const
 EvalCache::FlushStatus
 EvalCache::flush() const
 {
-    std::string file;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        file = file_;
-    }
-    if (file.empty())
+    // file_ is const after construction, so no lock is needed here.
+    if (file_.empty())
         return FlushStatus::NoFile;
-    return saveFile(file) ? FlushStatus::Saved : FlushStatus::Failed;
+    return saveFile(file_) ? FlushStatus::Saved : FlushStatus::Failed;
 }
 
 EvalCacheStats
 EvalCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
 }
 
 std::size_t
 EvalCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return lru_.size();
 }
 
 std::vector<std::string>
 EvalCache::keysMruFirst() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::string> keys;
     keys.reserve(lru_.size());
     for (const auto &e : lru_)
@@ -468,7 +473,7 @@ EvalCache::keysMruFirst() const
 void
 EvalCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lru_.clear();
     map_.clear();
     stats_ = EvalCacheStats();

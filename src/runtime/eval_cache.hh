@@ -46,13 +46,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "accel/harness.hh"
 #include "accel/workload.hh"
+#include "common/mutex.hh"
 #include "io/cache_codec.hh"
 
 namespace highlight
@@ -265,16 +265,19 @@ class EvalCache
     using Entry = CacheFileEntry;
 
     /** Drop cold entries until size <= capacity (lock held). */
-    void evictOverCapacityLocked();
+    void evictOverCapacityLocked() REQUIRES(mu_);
 
-    mutable std::mutex mu_;
+    mutable Mutex mu_;
     /** Front = most recently used. */
-    std::list<Entry> lru_;
-    std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-    std::size_t capacity_ = 0; ///< 0 = unbounded.
-    std::string file_;         ///< Persistence target; empty = none.
+    std::list<Entry> lru_ GUARDED_BY(mu_);
+    std::unordered_map<std::string, std::list<Entry>::iterator>
+        map_ GUARDED_BY(mu_);
+    std::size_t capacity_ GUARDED_BY(mu_) = 0; ///< 0 = unbounded.
+    // file_ and format_ are set in the constructor and never written
+    // again, so they need no capability (const-after-construction).
+    std::string file_; ///< Persistence target; empty = none.
     ArtifactFormat format_ = ArtifactFormat::Binary;
-    EvalCacheStats stats_;
+    EvalCacheStats stats_ GUARDED_BY(mu_);
 };
 
 } // namespace highlight

@@ -21,14 +21,18 @@ EvalService::EvalService(EvalCache *cache, int num_workers)
 EvalService::~EvalService()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
     for (auto &w : workers_)
         w.join();
-    // Workers are joined: no lock needed. A driver that submitted,
-    // errored and never claimed must not silently lose the failures.
+    // The workers are joined, but take the lock anyway: it is
+    // uncontended now, it keeps the read provable by the analysis,
+    // and it pairs with the workers' final unlock as a fence. A
+    // driver that submitted, errored and never claimed must not
+    // silently lose the failures.
+    MutexLock lock(mu_);
     if (!errored_.empty())
         warn(msgOf("EvalService destroyed with ", errored_.size(),
                    " unclaimed errored ticket(s); the stored "
@@ -54,68 +58,71 @@ EvalService::submit(const EvalJob &job, const SubmitOptions &options)
         cache_ ? EvalCache::keyOf(job.design->name(), job.workload)
                : std::string();
 
-    std::unique_lock<std::mutex> lock(mu_);
-    const Ticket ticket = next_ticket_++;
-    ++unclaimed_;
-    open_.insert(ticket);
+    Ticket ticket;
+    {
+        MutexLock lock(mu_);
+        ticket = next_ticket_++;
+        ++unclaimed_;
+        open_.insert(ticket);
 
-    PendingTicket info;
-    info.key = key;
-    info.name = job.workload.name;
-    info.priority = options.priority;
-    info.has_deadline = options.has_deadline;
-    info.deadline = options.deadline;
+        PendingTicket info;
+        info.key = key;
+        info.name = job.workload.name;
+        info.priority = options.priority;
+        info.has_deadline = options.has_deadline;
+        info.deadline = options.deadline;
 
-    if (cache_) {
-        // Tier 1: another ticket's compute is queued or running for
-        // this key — attach to it (counts a hit; the evaluation is
-        // shared). Checked before the cache so the lookup's miss
-        // counter stays exact: under mu_ an in-flight key is never in
-        // the cache yet (workers insert and retire the in-flight
-        // entry atomically).
-        const auto it = inflight_.find(key);
-        if (it != inflight_.end()) {
-            InflightGroup &group = it->second;
-            group.waiters.push_back(ticket);
-            pending_.emplace(ticket, std::move(info));
-            // Priority inheritance: a queued compute escalates to its
-            // most urgent attached ticket, so a backlog of cheap work
-            // cannot delay a high-priority duplicate.
-            if (!group.running &&
-                options.priority > group.ready_key.priority) {
-                auto node = ready_.extract(group.ready_key);
-                node.key().priority = options.priority;
-                ready_.insert(std::move(node));
-                group.ready_key.priority = options.priority;
+        if (cache_) {
+            // Tier 1: another ticket's compute is queued or running
+            // for this key — attach to it (counts a hit; the
+            // evaluation is shared). Checked before the cache so the
+            // lookup's miss counter stays exact: under mu_ an
+            // in-flight key is never in the cache yet (workers insert
+            // and retire the in-flight entry atomically).
+            const auto it = inflight_.find(key);
+            if (it != inflight_.end()) {
+                InflightGroup &group = it->second;
+                group.waiters.push_back(ticket);
+                pending_.emplace(ticket, std::move(info));
+                // Priority inheritance: a queued compute escalates to
+                // its most urgent attached ticket, so a backlog of
+                // cheap work cannot delay a high-priority duplicate.
+                if (!group.running &&
+                    options.priority > group.ready_key.priority) {
+                    auto node = ready_.extract(group.ready_key);
+                    node.key().priority = options.priority;
+                    ready_.insert(std::move(node));
+                    group.ready_key.priority = options.priority;
+                }
+                cache_->noteHit();
+                return ticket;
             }
-            cache_->noteHit();
-            return ticket;
+            // Tier 2: already cached — lands now (counts a hit).
+            EvalResult r;
+            if (cache_->lookup(key, job.workload.name, &r)) {
+                completeLocked(ticket, std::move(r));
+                return ticket;
+            }
+            // Tier 3: unique miss (the lookup above already counted
+            // it) — queue one computation.
+            InflightGroup group;
+            group.waiters.push_back(ticket);
+            group.ready_key = ReadyKey{options.priority, ticket};
+            inflight_.emplace(key, std::move(group));
+            pending_.emplace(ticket, std::move(info));
+        } else {
+            const ReadyKey rk{options.priority, ticket};
+            uncached_ready_.emplace(ticket, rk);
+            pending_.emplace(ticket, std::move(info));
         }
-        // Tier 2: already cached — lands immediately (counts a hit).
-        EvalResult r;
-        if (cache_->lookup(key, job.workload.name, &r)) {
-            completeLocked(ticket, std::move(r));
-            return ticket;
-        }
-        // Tier 3: unique miss (the lookup above already counted it) —
-        // queue one computation.
-        InflightGroup group;
-        group.waiters.push_back(ticket);
-        group.ready_key = ReadyKey{options.priority, ticket};
-        inflight_.emplace(key, std::move(group));
-        pending_.emplace(ticket, std::move(info));
-    } else {
-        const ReadyKey rk{options.priority, ticket};
-        uncached_ready_.emplace(ticket, rk);
-        pending_.emplace(ticket, std::move(info));
+        ComputeTask task;
+        task.key = key;
+        task.job = job;
+        task.ticket = ticket;
+        ready_.emplace(ReadyKey{options.priority, ticket},
+                       std::move(task));
     }
-    ComputeTask task;
-    task.key = key;
-    task.job = job;
-    task.ticket = ticket;
-    ready_.emplace(ReadyKey{options.priority, ticket}, std::move(task));
-    lock.unlock();
-    work_cv_.notify_one();
+    work_cv_.notifyOne();
     return ticket;
 }
 
@@ -157,10 +164,11 @@ EvalService::workerLoop()
 {
     for (;;) {
         ComputeTask task;
+        bool shed = false;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            work_cv_.wait(lock,
-                          [&] { return stop_ || !ready_.empty(); });
+            MutexLock lock(mu_);
+            while (!stop_ && ready_.empty())
+                work_cv_.wait(lock);
             if (ready_.empty())
                 return; // stop_ set and nothing left to finish
             const auto it = ready_.begin();
@@ -179,9 +187,7 @@ EvalService::workerLoop()
                     // entry with it.)
                     inflight_.erase(git);
                     ++evals_saved_;
-                    lock.unlock();
-                    complete_cv_.notify_all();
-                    continue;
+                    shed = true;
                 }
             } else {
                 uncached_ready_.erase(task.ticket);
@@ -196,11 +202,13 @@ EvalService::workerLoop()
                             "evaluation shed"))));
                     pending_.erase(pit);
                     ++evals_saved_;
-                    lock.unlock();
-                    complete_cv_.notify_all();
-                    continue;
+                    shed = true;
                 }
             }
+        }
+        if (shed) {
+            complete_cv_.notifyAll();
+            continue;
         }
 
         EvalResult result;
@@ -211,44 +219,46 @@ EvalService::workerLoop()
             err = std::current_exception();
         }
 
-        std::unique_lock<std::mutex> lock(mu_);
-        if (cache_ && !task.key.empty()) {
-            // The result is valid even if every waiter cancelled
-            // while we computed: cache it either way — the work is
-            // already paid for.
-            if (!err)
-                cache_->insert(task.key, result);
-            // Serve every ticket still attached. Cancelled tickets
-            // were already removed from the waiter list (and from
-            // pending_) under mu_, so they are simply not here.
-            auto node = inflight_.extract(task.key);
-            for (const Ticket t : node.mapped().waiters) {
-                const auto pit = pending_.find(t);
-                if (err) {
-                    failLocked(t, err);
-                } else {
-                    EvalResult r = result;
-                    r.workload = pit->second.name;
-                    completeLocked(t, std::move(r));
+        {
+            MutexLock lock(mu_);
+            if (cache_ && !task.key.empty()) {
+                // The result is valid even if every waiter cancelled
+                // while we computed: cache it either way — the work
+                // is already paid for.
+                if (!err)
+                    cache_->insert(task.key, result);
+                // Serve every ticket still attached. Cancelled
+                // tickets were already removed from the waiter list
+                // (and from pending_) under mu_, so they are simply
+                // not here.
+                auto node = inflight_.extract(task.key);
+                for (const Ticket t : node.mapped().waiters) {
+                    const auto pit = pending_.find(t);
+                    if (err) {
+                        failLocked(t, err);
+                    } else {
+                        EvalResult r = result;
+                        r.workload = pit->second.name;
+                        completeLocked(t, std::move(r));
+                    }
+                    pending_.erase(pit);
                 }
-                pending_.erase(pit);
-            }
-        } else {
-            const auto pit = pending_.find(task.ticket);
-            if (pit == pending_.end()) {
-                // Cancelled while running: the result is discarded
-                // (nothing to cache in uncached mode).
-            } else if (err) {
-                failLocked(task.ticket, err);
-                pending_.erase(pit);
             } else {
-                result.workload = pit->second.name;
-                completeLocked(task.ticket, std::move(result));
-                pending_.erase(pit);
+                const auto pit = pending_.find(task.ticket);
+                if (pit == pending_.end()) {
+                    // Cancelled while running: the result is
+                    // discarded (nothing to cache in uncached mode).
+                } else if (err) {
+                    failLocked(task.ticket, err);
+                    pending_.erase(pit);
+                } else {
+                    result.workload = pit->second.name;
+                    completeLocked(task.ticket, std::move(result));
+                    pending_.erase(pit);
+                }
             }
         }
-        lock.unlock();
-        complete_cv_.notify_all();
+        complete_cv_.notifyAll();
     }
 }
 
@@ -333,12 +343,12 @@ EvalService::cancel(Ticket ticket)
 {
     bool cancelled;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         cancelled = cancelLocked(ticket);
     }
     // A drain() blocked on unclaimed_ may now be able to finish.
     if (cancelled)
-        complete_cv_.notify_all();
+        complete_cv_.notifyAll();
     return cancelled;
 }
 
@@ -347,10 +357,12 @@ EvalService::cancelAll()
 {
     std::size_t count = 0;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         // Collect first: cancelLocked mutates open_.
         std::vector<Ticket> targets;
         targets.reserve(open_.size());
+        // lint-allow(no-unordered-iter): every unreserved ticket is
+        // retired; the count and final state are order-invariant.
         for (const Ticket t : open_) {
             if (reserved_.find(t) == reserved_.end())
                 targets.push_back(t);
@@ -359,7 +371,7 @@ EvalService::cancelAll()
             count += cancelLocked(t) ? 1 : 0;
     }
     if (count > 0)
-        complete_cv_.notify_all();
+        complete_cv_.notifyAll();
     return count;
 }
 
@@ -368,7 +380,7 @@ EvalService::completeLocked(Ticket ticket, EvalResult result)
 {
     landed_.emplace(ticket, std::move(result));
     completion_order_.push_back(ticket);
-    complete_cv_.notify_all();
+    complete_cv_.notifyAll();
 }
 
 void
@@ -376,7 +388,7 @@ EvalService::failLocked(Ticket ticket, std::exception_ptr err)
 {
     errored_.emplace(ticket, std::move(err));
     completion_order_.push_back(ticket);
-    complete_cv_.notify_all();
+    complete_cv_.notifyAll();
 }
 
 std::exception_ptr
@@ -426,22 +438,21 @@ EvalService::popCompletionLocked(Completed *out, std::exception_ptr *err)
 EvalResult
 EvalService::wait(Ticket ticket)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (open_.find(ticket) == open_.end())
         fatal(msgOf("EvalService::wait: ticket ", ticket,
                     " is unknown, cancelled or already claimed"));
     // Reserve the ticket so a concurrent drain()/tryNext()/cancel()
     // cannot claim it out from under this blocked waiter.
     reserved_.insert(ticket);
-    complete_cv_.wait(lock, [&] {
-        return landed_.find(ticket) != landed_.end() ||
-               errored_.find(ticket) != errored_.end();
-    });
+    while (landed_.find(ticket) == landed_.end() &&
+           errored_.find(ticket) == errored_.end())
+        complete_cv_.wait(lock);
     reserved_.erase(ticket);
     open_.erase(ticket);
     --unclaimed_;
     // A drain()er may be blocked until every ticket is claimed.
-    complete_cv_.notify_all();
+    complete_cv_.notifyAll();
     std::exception_ptr err = takeErrorLocked(ticket);
     EvalResult r;
     if (!err) {
@@ -468,11 +479,11 @@ EvalService::wait(Ticket ticket)
 bool
 EvalService::tryNext(Completed *out)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::exception_ptr err;
     if (!popCompletionLocked(out, &err))
         return false;
-    complete_cv_.notify_all();
+    complete_cv_.notifyAll();
     if (err)
         std::rethrow_exception(err);
     return true;
@@ -486,10 +497,9 @@ EvalService::drain(
     for (;;) {
         Completed c;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            complete_cv_.wait(lock, [&] {
-                return unclaimed_ == 0 || !completion_order_.empty();
-            });
+            MutexLock lock(mu_);
+            while (unclaimed_ != 0 && completion_order_.empty())
+                complete_cv_.wait(lock);
             std::exception_ptr err;
             if (!popCompletionLocked(&c, &err)) {
                 if (unclaimed_ == 0)
@@ -511,21 +521,21 @@ EvalService::drain(
 std::size_t
 EvalService::pendingCount() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return unclaimed_;
 }
 
 std::uint64_t
 EvalService::cancelledCount() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cancelled_;
 }
 
 std::uint64_t
 EvalService::evaluationsSaved() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return evals_saved_;
 }
 

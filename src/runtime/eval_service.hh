@@ -62,18 +62,17 @@
 #define HIGHLIGHT_RUNTIME_EVAL_SERVICE_HH
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "runtime/eval_cache.hh"
 
 namespace highlight
@@ -296,68 +295,74 @@ class EvalService
 
     void workerLoop();
 
-    /** Mark a ticket completed and wake consumers (lock held). */
-    void completeLocked(Ticket ticket, EvalResult result);
+    /** Mark a ticket completed and wake consumers. */
+    void completeLocked(Ticket ticket, EvalResult result)
+        REQUIRES(mu_);
 
-    /** Mark a ticket failed with `err` and wake consumers (lock held). */
-    void failLocked(Ticket ticket, std::exception_ptr err);
+    /** Mark a ticket failed with `err` and wake consumers. */
+    void failLocked(Ticket ticket, std::exception_ptr err)
+        REQUIRES(mu_);
 
-    /** Claim an errored ticket's exception; null when not errored
-     *  (lock held). */
-    std::exception_ptr takeErrorLocked(Ticket ticket);
+    /** Claim an errored ticket's exception; null when not errored. */
+    std::exception_ptr takeErrorLocked(Ticket ticket) REQUIRES(mu_);
 
-    /** Pop the oldest unclaimed completion (lock held). For an
-     *  errored ticket, *err is set (and out->result left default). */
-    bool popCompletionLocked(Completed *out, std::exception_ptr *err);
+    /** Pop the oldest unclaimed completion. For an errored ticket,
+     *  *err is set (and out->result left default). */
+    bool popCompletionLocked(Completed *out, std::exception_ptr *err)
+        REQUIRES(mu_);
 
     /** cancel() body with mu_ already held. */
-    bool cancelLocked(Ticket ticket);
+    bool cancelLocked(Ticket ticket) REQUIRES(mu_);
 
     /** Re-key a queued group to the max priority over its remaining
      *  waiters, so an inherited priority is dropped again when the
-     *  escalating waiter cancels (lock held). */
-    void rederivePriorityLocked(InflightGroup &group);
+     *  escalating waiter cancels. */
+    void rederivePriorityLocked(InflightGroup &group) REQUIRES(mu_);
 
     /** Fail-and-detach every expired waiter of a just-popped task;
-     *  true when at least one live waiter remains (lock held). */
+     *  true when at least one live waiter remains. */
     bool shedExpiredWaitersLocked(const ComputeTask &task,
                                   std::chrono::steady_clock::time_point
-                                      now);
+                                      now) REQUIRES(mu_);
 
     EvalCache *cache_;
-    int num_workers_ = 1;
+    int num_workers_ = 1; ///< Immutable after construction.
     std::vector<std::thread> workers_;
 
-    mutable std::mutex mu_;
-    std::condition_variable work_cv_;     ///< Queue non-empty / stop.
-    std::condition_variable complete_cv_; ///< A result landed/claimed.
+    mutable Mutex mu_;
+    CondVar work_cv_;     ///< Queue non-empty / stop.
+    CondVar complete_cv_; ///< A result landed/claimed.
     /** The ready queue, best task first. */
-    std::map<ReadyKey, ComputeTask, ReadyOrder> ready_;
+    std::map<ReadyKey, ComputeTask, ReadyOrder> ready_ GUARDED_BY(mu_);
     /** Uncached (keyless) queued task ticket -> its ready_ position. */
-    std::unordered_map<Ticket, ReadyKey> uncached_ready_;
+    std::unordered_map<Ticket, ReadyKey> uncached_ready_
+        GUARDED_BY(mu_);
     /** key -> the single queued/running compute serving that key. */
-    std::unordered_map<std::string, InflightGroup> inflight_;
+    std::unordered_map<std::string, InflightGroup> inflight_
+        GUARDED_BY(mu_);
     /** Ticket -> its key, display name and deadline, while the
      *  ticket is queued or running. */
-    std::unordered_map<Ticket, PendingTicket> pending_;
+    std::unordered_map<Ticket, PendingTicket> pending_ GUARDED_BY(mu_);
     /** Landed, unclaimed results by ticket. */
-    std::unordered_map<Ticket, EvalResult> landed_;
+    std::unordered_map<Ticket, EvalResult> landed_ GUARDED_BY(mu_);
     /** Submitted tickets not yet claimed (detects double-claims). */
-    std::unordered_set<Ticket> open_;
+    std::unordered_set<Ticket> open_ GUARDED_BY(mu_);
     /** Tickets a wait() call is blocked on; tryNext()/drain()/cancel()
      *  must not take these from the blocked waiter. */
-    std::unordered_set<Ticket> reserved_;
+    std::unordered_set<Ticket> reserved_ GUARDED_BY(mu_);
     /** Tickets in completion order for tryNext()/drain(). */
-    std::deque<Ticket> completion_order_;
+    std::deque<Ticket> completion_order_ GUARDED_BY(mu_);
     /** Tickets whose evaluation threw; the exception is rethrown to
      *  whichever consumer claims the ticket. Errors are per-ticket so
      *  one bad job never poisons the service for later submissions. */
-    std::unordered_map<Ticket, std::exception_ptr> errored_;
-    Ticket next_ticket_ = 0;
-    std::size_t unclaimed_ = 0; ///< Submitted minus claimed.
-    std::uint64_t cancelled_ = 0;
-    std::uint64_t evals_saved_ = 0;
-    bool stop_ = false;
+    std::unordered_map<Ticket, std::exception_ptr> errored_
+        GUARDED_BY(mu_);
+    Ticket next_ticket_ GUARDED_BY(mu_) = 0;
+    /** Submitted minus claimed. */
+    std::size_t unclaimed_ GUARDED_BY(mu_) = 0;
+    std::uint64_t cancelled_ GUARDED_BY(mu_) = 0;
+    std::uint64_t evals_saved_ GUARDED_BY(mu_) = 0;
+    bool stop_ GUARDED_BY(mu_) = false;
 };
 
 } // namespace highlight

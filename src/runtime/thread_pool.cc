@@ -20,8 +20,8 @@ namespace
  */
 thread_local bool tls_in_parallel_region = false;
 
-std::unique_ptr<ThreadPool> g_pool;
-std::mutex g_pool_mu;
+Mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool GUARDED_BY(g_pool_mu);
 
 } // namespace
 
@@ -43,7 +43,7 @@ ThreadPool::defaultThreadCount()
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(g_pool_mu);
+    MutexLock lock(g_pool_mu);
     if (!g_pool)
         g_pool = std::make_unique<ThreadPool>();
     return *g_pool;
@@ -52,7 +52,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreads(int num_threads)
 {
-    std::lock_guard<std::mutex> lock(g_pool_mu);
+    MutexLock lock(g_pool_mu);
     g_pool = std::make_unique<ThreadPool>(num_threads);
 }
 
@@ -68,10 +68,10 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
     for (auto &w : workers_)
         w.join();
 }
@@ -91,7 +91,7 @@ ThreadPool::drain(Job &job)
             try {
                 (*job.fn)(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(job.err_mu);
+                MutexLock lock(job.err_mu);
                 if (!job.error)
                     job.error = std::current_exception();
             }
@@ -107,10 +107,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            work_cv_.wait(lock, [&] {
-                return stop_ || (job_ && job_seq_ != seen_seq);
-            });
+            MutexLock lock(mu_);
+            while (!stop_ && !(job_ && job_seq_ != seen_seq))
+                work_cv_.wait(lock);
             if (stop_)
                 return;
             job = job_;
@@ -122,8 +121,8 @@ ThreadPool::workerLoop()
         if (job->done.load(std::memory_order_acquire) >= job->n) {
             // Bridge the mutex so the notify cannot slip between the
             // waiter's predicate check and its sleep (lost wakeup).
-            { std::lock_guard<std::mutex> lock(mu_); }
-            done_cv_.notify_all();
+            { MutexLock lock(mu_); }
+            done_cv_.notifyAll();
         }
     }
 }
@@ -160,11 +159,11 @@ ThreadPool::parallelFor(std::size_t n,
     job->n = n;
     job->grain = grain > 0 ? grain : autoGrain(n);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         job_ = job;
         ++job_seq_;
     }
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
 
     // The caller works too.
     tls_in_parallel_region = true;
@@ -172,15 +171,21 @@ ThreadPool::parallelFor(std::size_t n,
     tls_in_parallel_region = false;
 
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        done_cv_.wait(lock, [&] {
-            return job->done.load(std::memory_order_acquire) >= job->n;
-        });
+        MutexLock lock(mu_);
+        while (job->done.load(std::memory_order_acquire) < job->n)
+            done_cv_.wait(lock);
         job_ = nullptr;
     }
 
-    if (job->error)
-        std::rethrow_exception(job->error);
+    // Read the first captured failure under its mutex: workers that
+    // lost the race to set it may still be inside the catch block.
+    std::exception_ptr err;
+    {
+        MutexLock lock(job->err_mu);
+        err = job->error;
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void

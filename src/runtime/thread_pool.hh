@@ -21,17 +21,16 @@
 #define HIGHLIGHT_RUNTIME_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/mutex.hh"
 
 namespace highlight
 {
@@ -141,23 +140,26 @@ class ThreadPool
         std::size_t grain = 1;    ///< Indices claimed per fetch_add.
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> done{0};
-        std::exception_ptr error; ///< First failure; guarded by err_mu.
-        std::mutex err_mu;
+        Mutex err_mu;
+        /** First failure across all workers. */
+        std::exception_ptr error GUARDED_BY(err_mu);
     };
 
     void workerLoop();
     /** Claim and run indices of `job` until exhausted. */
     static void drain(Job &job);
 
-    int num_threads_ = 1;
+    int num_threads_ = 1; ///< Immutable after construction.
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
-    std::condition_variable work_cv_; ///< Signals a new job / stop.
-    std::condition_variable done_cv_; ///< Signals job completion.
-    std::shared_ptr<Job> job_;        ///< Current job (guarded by mu_).
-    std::uint64_t job_seq_ = 0;       ///< Bumped per job (guarded by mu_).
-    bool stop_ = false;
+    Mutex mu_;
+    CondVar work_cv_; ///< Signals a new job / stop.
+    CondVar done_cv_; ///< Signals job completion.
+    /** Current job. */
+    std::shared_ptr<Job> job_ GUARDED_BY(mu_);
+    /** Bumped per job. */
+    std::uint64_t job_seq_ GUARDED_BY(mu_) = 0;
+    bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /**
@@ -239,7 +241,7 @@ class WorkerSlots
     Lease
     acquire()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (free_.empty())
             panic(msgOf("WorkerSlots: all ", slots_.size(),
                         " slots in use — more concurrent workers than "
@@ -260,13 +262,16 @@ class WorkerSlots
     void
     release(T *slot)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         free_.push_back(slot);
     }
 
+    /// Immutable after construction (the slot objects themselves are
+    /// exclusively owned by one lease at a time, not by this mutex).
     std::vector<std::unique_ptr<T>> slots_;
-    std::vector<T *> free_; ///< Pre-reserved: push/pop never allocate.
-    std::mutex mu_;
+    Mutex mu_;
+    /** Free stack; pre-reserved so push/pop never allocate. */
+    std::vector<T *> free_ GUARDED_BY(mu_);
 };
 
 } // namespace highlight

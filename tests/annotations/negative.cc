@@ -1,0 +1,35 @@
+// Deliberate thread-safety violation: writes a GUARDED_BY member
+// without holding its mutex. The test_thread_annotations ctest
+// asserts this file FAILS to compile under -Werror=thread-safety
+// (with a diagnostic naming the analysis) — proving the annotation
+// wiring is live, not silently inert. Never add this file to any
+// build target.
+
+#include "common/mutex.hh"
+
+namespace
+{
+
+class Counter
+{
+  public:
+    void
+    incrementUnguarded()
+    {
+        ++value_; // BUG (on purpose): mu_ is not held
+    }
+
+  private:
+    highlight::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.incrementUnguarded();
+    return 0;
+}

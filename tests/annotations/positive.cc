@@ -1,0 +1,44 @@
+// Control case for the test_thread_annotations ctest: disciplined
+// use of the annotated primitives must compile cleanly under
+// -Werror=thread-safety. If this file fails, the harness is broken
+// (wrong flags / wrong compiler), so negative.cc failing would prove
+// nothing. Lives outside tests/test_*.cc so the unit-test glob never
+// builds it into the suite; it is compiled only by
+// cmake/check_thread_annotations.cmake.
+
+#include "common/mutex.hh"
+
+namespace
+{
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        highlight::MutexLock lock(mu_);
+        ++value_;
+    }
+
+    int
+    get()
+    {
+        highlight::MutexLock lock(mu_);
+        return value_;
+    }
+
+  private:
+    highlight::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    return c.get() == 1 ? 0 : 1;
+}
